@@ -1,0 +1,89 @@
+// Package cmd_test runs the command-line tools end to end via `go run`,
+// checking the generate → query pipeline and the bench harness dispatch.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ".." // module root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestGenerateThenQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.fgm")
+
+	out := run(t, "run", "./cmd/fgmgen", "-nodes", "2500", "-seed", "5", "-out", graphPath)
+	if !strings.Contains(out, "nodes") {
+		t.Fatalf("fgmgen output: %q", out)
+	}
+	if st, err := os.Stat(graphPath); err != nil || st.Size() == 0 {
+		t.Fatalf("graph file not written: %v", err)
+	}
+
+	out = run(t, "run", "./cmd/fgmatch", "-graph", graphPath, "-stats",
+		"-query", "site->regions; regions->item", "-limit", "2")
+	if !strings.Contains(out, "matches") || !strings.Contains(out, "engine{") {
+		t.Fatalf("fgmatch output: %q", out)
+	}
+
+	out = run(t, "run", "./cmd/fgmatch", "-graph", graphPath,
+		"-query", "person->profile; profile->interest", "-algo", "dp", "-explain")
+	if !strings.Contains(out, "DP plan") {
+		t.Fatalf("explain output: %q", out)
+	}
+
+	out = run(t, "run", "./cmd/fgmatch", "-graph", graphPath,
+		"-query", "person->profile; profile->interest", "-analyze", "-limit", "1")
+	if !strings.Contains(out, "step 1") {
+		t.Fatalf("analyze output: %q", out)
+	}
+}
+
+func TestBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := run(t, "run", "./cmd/fgmbench", "-list")
+	for _, id := range []string{"table2", "fig5a", "fig7c", "iocost", "ablation-merged"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("fgmbench -list missing %s:\n%s", id, out)
+		}
+	}
+	// One tiny real experiment through the CLI.
+	out = run(t, "run", "./cmd/fgmbench", "-exp", "table2", "-mult", "0.05")
+	if !strings.Contains(out, "table2") || !strings.Contains(out, "100M") {
+		t.Fatalf("table2 output: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/fgmatch", "-query", "A->B")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("fgmatch without -graph should fail, got: %s", out)
+	}
+	cmd = exec.Command("go", "run", "./cmd/fgmbench", "-exp", "nope")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment should fail, got: %s", out)
+	}
+}

@@ -1,0 +1,145 @@
+// Command fgmatch builds a graph database over a data graph and evaluates
+// graph pattern queries against it.
+//
+// Usage:
+//
+//	fgmatch -graph data.fgm -query "A->C; B->C; C->D"
+//	fgmatch -graph data.fgm -query "..." -algo dp -explain
+//	fgmatch -graph data.fgm -query "..." -analyze -limit 5
+//	fgmatch -graph data.fgm -stats
+//
+// The graph file uses the text format written by fgmgen. Results print one
+// match per line as label=nodeID pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastmatch"
+	"fastmatch/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgmatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphPath = flag.String("graph", "", "data graph file (text format; required)")
+		query     = flag.String("query", "", "pattern, e.g. \"A->C; B->C\"")
+		algo      = flag.String("algo", "dps", "optimizer: dp or dps")
+		explain   = flag.Bool("explain", false, "print the chosen plan instead of running it")
+		analyze   = flag.Bool("analyze", false, "run and print per-step rows/IO/time")
+		stats     = flag.Bool("stats", false, "print index statistics")
+		limit     = flag.Int("limit", 20, "max result rows to print (0 = all)")
+		pool      = flag.Int("pool", 0, "buffer pool bytes (default 1 MB)")
+		dot       = flag.String("dot", "", "write the data graph in Graphviz DOT format to this file and exit")
+		dotMax    = flag.Int("dotmax", 200, "max nodes in -dot output (0 = all)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	g, err := graph.ReadText(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return graph.WriteDOT(f, g, *dotMax)
+	}
+
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	if *stats {
+		fmt.Println(eng.Stats())
+		if *query == "" {
+			return nil
+		}
+	}
+	if *query == "" {
+		return fmt.Errorf("-query is required (or use -stats)")
+	}
+
+	p, err := fastmatch.ParsePattern(*query)
+	if err != nil {
+		return err
+	}
+	var algorithm fastmatch.Algorithm
+	switch *algo {
+	case "dp":
+		algorithm = fastmatch.DP
+	case "dps":
+		algorithm = fastmatch.DPS
+	case "dpsmerged":
+		algorithm = fastmatch.DPSMerged
+	default:
+		return fmt.Errorf("unknown -algo %q (want dp, dps, or dpsmerged)", *algo)
+	}
+
+	if *explain {
+		plan, err := eng.Explain(p, algorithm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+
+	var res *fastmatch.Result
+	if *analyze {
+		var plan *fastmatch.Plan
+		var traces []fastmatch.StepTrace
+		res, plan, traces, err = eng.ExplainAnalyze(p, algorithm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		for i, tr := range traces {
+			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d %.2fms\n",
+				i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.ElapsedMS)
+		}
+	} else {
+		res, err = eng.QueryPattern(p, algorithm)
+		if err != nil {
+			return err
+		}
+	}
+
+	res.SortRows()
+	fmt.Printf("%d matches\n", res.Len())
+	for i, row := range res.Rows {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more)\n", res.Len()-i)
+			break
+		}
+		for j, v := range row {
+			if j > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%d", p.Nodes[res.Cols[j]], v)
+		}
+		fmt.Println()
+	}
+	return nil
+}

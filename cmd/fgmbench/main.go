@@ -1,0 +1,74 @@
+// Command fgmbench regenerates the paper's tables and figures (Section 6)
+// on the scaled-down XMark-substitute datasets. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured discussion.
+//
+// Usage:
+//
+//	fgmbench -exp all                # every experiment
+//	fgmbench -exp table2             # one experiment
+//	fgmbench -exp fig6a -mult 0.5    # half-size datasets
+//	fgmbench -list                   # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastmatch/internal/bench"
+)
+
+var experimentIDs = []string{
+	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
+	"fig7a", "fig7b", "fig7c", "iocost",
+	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment ID or \"all\"")
+		mult = flag.Float64("mult", 1.0, "dataset size multiplier (1.0 = 20K–100K node ladder)")
+		seed = flag.Int64("seed", 1, "data generation seed")
+		reps = flag.Int("reps", 2, "timed repetitions per query (minimum reported)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	r := bench.NewRunner(*mult, *seed)
+	r.Reps = *reps
+	defer r.Close()
+
+	if *exp == "ablations" {
+		reports, err := r.Ablations()
+		for _, rep := range reports {
+			rep.Print(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "all" {
+		reports, err := r.All()
+		for _, rep := range reports {
+			rep.Print(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := r.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgmbench:", err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
+}

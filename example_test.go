@@ -1,0 +1,95 @@
+package fastmatch_test
+
+import (
+	"fmt"
+
+	"fastmatch"
+)
+
+// Example builds a tiny supply graph and finds every (company, person,
+// project) chain connected by reachability.
+func Example() {
+	b := fastmatch.NewGraphBuilder()
+	acme := b.AddNode("company")
+	dept := b.AddNode("dept")
+	ana := b.AddNode("person")
+	bob := b.AddNode("person")
+	proj := b.AddNode("project")
+	b.AddEdge(acme, dept)
+	b.AddEdge(dept, ana)
+	b.AddEdge(dept, bob)
+	b.AddEdge(ana, proj)
+
+	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Query("company->person; person->project")
+	if err != nil {
+		panic(err)
+	}
+	res.SortRows()
+	for _, row := range res.Rows {
+		fmt.Printf("company=%d person=%d project=%d\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// company=0 person=2 project=4
+}
+
+// ExampleEngine_Explain shows plan inspection: the DPS optimizer interleaves
+// R-semijoins with the joins.
+func ExampleEngine_Explain() {
+	b := fastmatch.NewGraphBuilder()
+	x := b.AddNode("A")
+	y := b.AddNode("B")
+	z := b.AddNode("C")
+	b.AddEdge(x, y)
+	b.AddEdge(y, z)
+	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	p, err := fastmatch.ParsePattern("A->B; B->C")
+	if err != nil {
+		panic(err)
+	}
+	plan, err := eng.Explain(p, fastmatch.DP)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Algorithm, len(plan.Steps) > 0)
+	// Output:
+	// DP true
+}
+
+// ExampleReachabilityOracle answers reachability over a growing graph.
+func ExampleReachabilityOracle() {
+	b := fastmatch.NewGraphBuilder()
+	u := b.AddNode("pkg")
+	v := b.AddNode("pkg")
+	w := b.AddNode("pkg")
+	b.AddEdge(u, v)
+
+	oracle := fastmatch.NewReachabilityOracle(b.Build())
+	fmt.Println(oracle.Reaches(u, w))
+	oracle.InsertEdge(v, w)
+	fmt.Println(oracle.Reaches(u, w))
+	// Output:
+	// false
+	// true
+}
+
+// ExampleParsePattern shows the pattern syntax.
+func ExampleParsePattern() {
+	p, err := fastmatch.ParsePattern("supplier->retailer; bank->supplier; bank->retailer")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.NumNodes(), p.NumEdges(), p.IsTree())
+	// Output:
+	// 3 3 false
+}

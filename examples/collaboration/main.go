@@ -1,0 +1,132 @@
+// Collaboration: research collaboration patterns over an academic graph.
+// Labs contain groups, groups contain researchers, researchers author
+// papers, papers appear at venues, and projects fund groups or researchers.
+// Find, for example, every (lab, researcher, paper, venue) where someone in
+// a lab published — directly or through students — a paper that ended up at
+// a given venue, plus the project money trail behind it.
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fastmatch"
+)
+
+func main() {
+	g, names := buildAcademicGraph(7)
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Println(eng.Stats())
+
+	queries := []struct {
+		title string
+		q     string
+	}{
+		{
+			"lab members reaching venues",
+			"lab->researcher; researcher->paper; paper->venue",
+		},
+		{
+			"projects funding work that reached a venue",
+			"project->researcher; researcher->paper; paper->venue; project->venue",
+		},
+		{
+			"co-funded collaboration: two funded parties on one paper trail",
+			"project->researcher; project->group; researcher->paper; group->paper",
+		},
+	}
+	for _, q := range queries {
+		p, err := fastmatch.ParsePattern(q.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.QueryPattern(p, fastmatch.DPS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.SortRows()
+		fmt.Printf("\n%s — %q: %d matches\n", q.title, q.q, res.Len())
+		for i, row := range res.Rows {
+			if i == 3 {
+				break
+			}
+			fmt.Print(" ")
+			for j, v := range row {
+				fmt.Printf(" %s=%s", p.Nodes[res.Cols[j]], names[v])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// buildAcademicGraph synthesises the academic world described above;
+// advisor→student edges create multi-hop "through students" paths, and a
+// couple of mutual-collaboration edges create cycles (handled by the SCC
+// condensation inside the engine).
+func buildAcademicGraph(seed int64) (*fastmatch.Graph, map[fastmatch.NodeID]string) {
+	rng := rand.New(rand.NewSource(seed))
+	b := fastmatch.NewGraphBuilder()
+	names := map[fastmatch.NodeID]string{}
+	mk := func(label, name string) fastmatch.NodeID {
+		id := b.AddNode(label)
+		names[id] = name
+		return id
+	}
+
+	const nLabs, nGroups, nResearchers, nPapers, nVenues, nProjects = 3, 9, 40, 60, 6, 10
+
+	labs := make([]fastmatch.NodeID, nLabs)
+	for i := range labs {
+		labs[i] = mk("lab", fmt.Sprintf("Lab-%d", i))
+	}
+	groups := make([]fastmatch.NodeID, nGroups)
+	for i := range groups {
+		groups[i] = mk("group", fmt.Sprintf("Group-%d", i))
+		b.AddEdge(labs[rng.Intn(nLabs)], groups[i])
+	}
+	researchers := make([]fastmatch.NodeID, nResearchers)
+	for i := range researchers {
+		researchers[i] = mk("researcher", fmt.Sprintf("R%02d", i))
+		b.AddEdge(groups[rng.Intn(nGroups)], researchers[i])
+		if i > 0 && rng.Intn(2) == 0 {
+			// Advisor relationship: an earlier researcher mentors this one.
+			b.AddEdge(researchers[rng.Intn(i)], researchers[i])
+		}
+	}
+	// A couple of mutual collaborations (cycles).
+	for k := 0; k < 3; k++ {
+		i, j := rng.Intn(nResearchers), rng.Intn(nResearchers)
+		if i != j {
+			b.AddEdge(researchers[i], researchers[j])
+			b.AddEdge(researchers[j], researchers[i])
+		}
+	}
+	venues := make([]fastmatch.NodeID, nVenues)
+	for i := range venues {
+		venues[i] = mk("venue", fmt.Sprintf("Venue-%d", i))
+	}
+	for i := 0; i < nPapers; i++ {
+		p := mk("paper", fmt.Sprintf("Paper-%03d", i))
+		nAuthors := 1 + rng.Intn(3)
+		for a := 0; a < nAuthors; a++ {
+			b.AddEdge(researchers[rng.Intn(nResearchers)], p)
+		}
+		b.AddEdge(p, venues[rng.Intn(nVenues)])
+	}
+	for i := 0; i < nProjects; i++ {
+		pr := mk("project", fmt.Sprintf("Project-%d", i))
+		b.AddEdge(pr, groups[rng.Intn(nGroups)])
+		b.AddEdge(pr, researchers[rng.Intn(nResearchers)])
+		if rng.Intn(2) == 0 {
+			b.AddEdge(pr, venues[rng.Intn(nVenues)]) // sponsors a venue
+		}
+	}
+	return b.Build(), names
+}

@@ -1,0 +1,103 @@
+// Dynamic: incremental reachability over a growing dependency graph.
+// A build system's package graph gains edges as developers add imports;
+// the oracle answers "does A (transitively) depend on B?" after every
+// insertion without recomputing the 2-hop labeling from scratch — the
+// cover update problem referenced by the paper.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fastmatch"
+)
+
+func main() {
+	// Seed graph: a layered package universe (app → lib → core) with
+	// within-layer utility edges.
+	rng := rand.New(rand.NewSource(3))
+	b := fastmatch.NewGraphBuilder()
+	const perLayer = 40
+	layers := [3]string{"app", "lib", "core"}
+	var ids [3][]fastmatch.NodeID
+	for li, label := range layers {
+		for i := 0; i < perLayer; i++ {
+			ids[li] = append(ids[li], b.AddNode(label))
+		}
+	}
+	for li := 0; li < 2; li++ {
+		for _, u := range ids[li] {
+			// Each package imports 1–3 from the next layer down.
+			for k := 1 + rng.Intn(3); k > 0; k-- {
+				b.AddEdge(u, ids[li+1][rng.Intn(perLayer)])
+			}
+		}
+	}
+	g := b.Build()
+
+	oracle := fastmatch.NewReachabilityOracle(g)
+	fmt.Printf("initial: %d nodes, %d edges, %d label entries\n",
+		g.NumNodes(), g.NumEdges(), oracle.LabelEntries())
+
+	app0, core0 := ids[0][0], ids[2][0]
+	fmt.Printf("app[0] depends on core[0]? %v\n", oracle.Reaches(app0, core0))
+
+	// Developers add imports over time; some create new transitive
+	// dependencies, some are redundant, one would create a cycle between
+	// two libs (mutual imports — the oracle handles it).
+	inserts := [][2]fastmatch.NodeID{
+		{ids[1][0], ids[2][0]}, // lib[0] → core[0]
+		{ids[0][0], ids[1][0]}, // app[0] → lib[0]: now app[0] ⇝ core[0]?
+		{ids[1][3], ids[1][7]},
+		{ids[1][7], ids[1][3]}, // mutual libs → cycle
+		{ids[0][0], ids[1][0]}, // duplicate import: no new labels
+	}
+	for _, e := range inserts {
+		added := oracle.InsertEdge(e[0], e[1])
+		fmt.Printf("insert %3d -> %3d: %3d new label entries (total %d)\n",
+			e[0], e[1], added, oracle.LabelEntries())
+	}
+	if !oracle.Reaches(app0, core0) {
+		log.Fatal("app[0] should now reach core[0]")
+	}
+	fmt.Printf("app[0] depends on core[0]? %v\n", oracle.Reaches(app0, core0))
+	fmt.Printf("lib cycle members reach each other? %v\n",
+		oracle.Reaches(ids[1][3], ids[1][7]) && oracle.Reaches(ids[1][7], ids[1][3]))
+
+	// Heavier churn: 500 random imports, verifying a sample against a
+	// from-scratch oracle at the end.
+	type edge struct{ u, v fastmatch.NodeID }
+	var history []edge
+	for i := 0; i < 500; i++ {
+		u := fastmatch.NodeID(rng.Intn(g.NumNodes()))
+		v := fastmatch.NodeID(rng.Intn(g.NumNodes()))
+		oracle.InsertEdge(u, v)
+		history = append(history, edge{u, v})
+	}
+	// Rebuild ground truth from scratch.
+	b2 := fastmatch.NewGraphBuilder()
+	for v := fastmatch.NodeID(0); int(v) < g.NumNodes(); v++ {
+		b2.AddNode(g.LabelNameOf(v))
+	}
+	for v := fastmatch.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, w := range g.Successors(v) {
+			b2.AddEdge(v, w)
+		}
+	}
+	for _, e := range history {
+		b2.AddEdge(e.u, e.v)
+	}
+	fresh := fastmatch.NewReachabilityOracle(b2.Build())
+	for trial := 0; trial < 2000; trial++ {
+		u := fastmatch.NodeID(rng.Intn(g.NumNodes()))
+		v := fastmatch.NodeID(rng.Intn(g.NumNodes()))
+		if oracle.Reaches(u, v) != fresh.Reaches(u, v) {
+			log.Fatalf("incremental and fresh oracles disagree on (%d,%d)", u, v)
+		}
+	}
+	fmt.Printf("after 500 more inserts: %d label entries; 2000 sampled answers match a fresh oracle\n",
+		oracle.LabelEntries())
+}

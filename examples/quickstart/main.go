@@ -1,0 +1,75 @@
+// Quickstart: build a small labeled graph, index it, and run a pattern.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastmatch"
+)
+
+func main() {
+	// The data graph of the paper's Figure 1(a): labels A–E.
+	b := fastmatch.NewGraphBuilder()
+	ids := map[string]fastmatch.NodeID{}
+	node := func(name, label string) {
+		ids[name] = b.AddNode(label)
+	}
+	node("a0", "A")
+	for _, n := range []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6"} {
+		node(n, "B")
+	}
+	for _, n := range []string{"c0", "c1", "c2", "c3"} {
+		node(n, "C")
+	}
+	for _, n := range []string{"d0", "d1", "d2", "d3", "d4", "d5"} {
+		node(n, "D")
+	}
+	for _, n := range []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
+		node(n, "E")
+	}
+	for _, e := range [][2]string{
+		{"a0", "b3"}, {"a0", "b4"}, {"a0", "b5"}, {"a0", "c0"},
+		{"b3", "c2"}, {"b4", "c2"}, {"b5", "c3"}, {"b6", "c3"},
+		{"b0", "c1"}, {"b1", "c1"}, {"b2", "c1"}, {"b1", "c3"},
+		{"c0", "d0"}, {"c0", "d1"}, {"c0", "e0"},
+		{"c1", "d2"}, {"c1", "d3"}, {"c1", "e7"},
+		{"c2", "e2"}, {"c3", "d4"}, {"c3", "d5"},
+		{"d0", "e0"}, {"d2", "e1"}, {"d4", "e3"}, {"e4", "e5"},
+	} {
+		b.AddEdge(ids[e[0]], ids[e[1]])
+	}
+
+	// Index: 2-hop cover, base tables, W-table, cluster-based R-join index.
+	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Println(eng.Stats())
+
+	// The pattern of Figure 1(b): find (a, c, b, d, e) with a ⇝ c, b ⇝ c,
+	// c ⇝ d and d ⇝ e, where ⇝ is reachability over any number of edges.
+	res, err := eng.Query("A->C; B->C; C->D; D->E")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.SortRows()
+	fmt.Printf("%d matches for A->C; B->C; C->D; D->E\n", res.Len())
+	for _, row := range res.Rows {
+		fmt.Printf("  A=%d C=%d B=%d D=%d E=%d\n", row[0], row[1], row[2], row[3], row[4])
+	}
+
+	// Inspect the plan the DPS optimizer chose.
+	p, err := fastmatch.ParsePattern("A->C; B->C; C->D; D->E")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := eng.Explain(p, fastmatch.DPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+}

@@ -1,0 +1,101 @@
+// Supply chain: the paper's introductory example. Over a business
+// relationship graph, find every (Supplier, Retailer, Wholeseller, Bank)
+// such that the supplier directly or indirectly supplies both the retailer
+// and the wholeseller, and all of them receive services from the same bank.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fastmatch"
+)
+
+func main() {
+	g, names := buildSupplyGraph(42)
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Println(eng.Stats())
+
+	// Supplier ⇝ Retailer, Supplier ⇝ Wholeseller (supplies, possibly
+	// through intermediaries), Bank ⇝ all three (provides services,
+	// possibly through subsidiaries).
+	query := "supplier->retailer; supplier->wholeseller; " +
+		"bank->supplier; bank->retailer; bank->wholeseller"
+	res, plan, traces, err := eng.ExplainAnalyze(fastmatch.MustPattern(query), fastmatch.DPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	for i, tr := range traces {
+		fmt.Printf("  step %d %-9s rows=%-6d io=%-6d %.2fms\n", i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.ElapsedMS)
+	}
+	res.SortRows()
+	fmt.Printf("%d supplier/retailer/wholeseller/bank constellations, e.g.:\n", res.Len())
+	for i, row := range res.Rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s supplies %s and %s; all banked by %s\n",
+			names[row[0]], names[row[1]], names[row[2]], names[row[3]])
+	}
+}
+
+// buildSupplyGraph synthesises a layered trade network: banks serve holding
+// companies that own suppliers; suppliers sell through distributors to
+// retailers and wholesellers.
+func buildSupplyGraph(seed int64) (*fastmatch.Graph, map[fastmatch.NodeID]string) {
+	rng := rand.New(rand.NewSource(seed))
+	b := fastmatch.NewGraphBuilder()
+	names := map[fastmatch.NodeID]string{}
+	mk := func(label, name string) fastmatch.NodeID {
+		id := b.AddNode(label)
+		names[id] = name
+		return id
+	}
+
+	const nBanks, nHoldings, nSuppliers, nDistributors, nRetailers, nWholesellers = 4, 8, 20, 12, 30, 15
+
+	banks := make([]fastmatch.NodeID, nBanks)
+	for i := range banks {
+		banks[i] = mk("bank", fmt.Sprintf("Bank-%c", 'A'+i))
+	}
+	holdings := make([]fastmatch.NodeID, nHoldings)
+	for i := range holdings {
+		holdings[i] = mk("holding", fmt.Sprintf("Holding-%d", i))
+		b.AddEdge(banks[rng.Intn(nBanks)], holdings[i]) // bank serves holding
+	}
+	suppliers := make([]fastmatch.NodeID, nSuppliers)
+	for i := range suppliers {
+		suppliers[i] = mk("supplier", fmt.Sprintf("Supplier-%d", i))
+		b.AddEdge(holdings[rng.Intn(nHoldings)], suppliers[i]) // holding owns supplier
+		if rng.Intn(3) == 0 {
+			b.AddEdge(banks[rng.Intn(nBanks)], suppliers[i]) // direct banking
+		}
+	}
+	distributors := make([]fastmatch.NodeID, nDistributors)
+	for i := range distributors {
+		distributors[i] = mk("distributor", fmt.Sprintf("Distributor-%d", i))
+		b.AddEdge(suppliers[rng.Intn(nSuppliers)], distributors[i])
+		if rng.Intn(2) == 0 {
+			b.AddEdge(suppliers[rng.Intn(nSuppliers)], distributors[i])
+		}
+	}
+	for i := 0; i < nRetailers; i++ {
+		r := mk("retailer", fmt.Sprintf("Retailer-%d", i))
+		b.AddEdge(distributors[rng.Intn(nDistributors)], r)
+		b.AddEdge(banks[rng.Intn(nBanks)], r)
+	}
+	for i := 0; i < nWholesellers; i++ {
+		w := mk("wholeseller", fmt.Sprintf("Wholeseller-%d", i))
+		b.AddEdge(distributors[rng.Intn(nDistributors)], w)
+		b.AddEdge(banks[rng.Intn(nBanks)], w)
+	}
+	return b.Build(), names
+}

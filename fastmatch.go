@@ -1,0 +1,274 @@
+// Package fastmatch is a graph pattern matching engine for large directed
+// node-labeled graphs, implementing Cheng, Yu, Ding, Yu and Wang, "Fast
+// Graph Pattern Matching" (ICDE 2008).
+//
+// Given a data graph and a pattern — a small directed graph whose nodes are
+// labels and whose edges are reachability conditions X→Y — the engine finds
+// every tuple of data nodes matching all conditions. Internally it builds a
+// 2-hop reachability cover, stores per-label base tables with graph codes
+// in a paged storage engine, and answers patterns as sequences of R-joins
+// and R-semijoins over a cluster-based R-join index, ordered by a dynamic
+// programming optimizer (the paper's DP and DPS algorithms).
+//
+// Quick start:
+//
+//	b := fastmatch.NewGraphBuilder()
+//	alice := b.AddNode("person")
+//	paper := b.AddNode("paper")
+//	b.AddEdge(alice, paper)
+//	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{})
+//	defer eng.Close()
+//	res, err := eng.Query("person->paper")
+//	for _, row := range res.Rows { ... }
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// paper-to-code map.
+package fastmatch
+
+import (
+	"fmt"
+	"sync"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/optimizer"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
+	"fastmatch/internal/storage"
+	"fastmatch/internal/twohop"
+)
+
+// NodeID identifies a node of a data graph.
+type NodeID = graph.NodeID
+
+// Label identifies a node label.
+type Label = graph.Label
+
+// Graph is an immutable directed node-labeled data graph.
+type Graph = graph.Graph
+
+// GraphBuilder incrementally constructs a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// Pattern is a parsed graph pattern: nodes are labels, edges are
+// reachability conditions.
+type Pattern = pattern.Pattern
+
+// ParsePattern parses the pattern syntax "A->B; B->C; ...".
+func ParsePattern(s string) (*Pattern, error) { return pattern.Parse(s) }
+
+// MustPattern is ParsePattern that panics on error, for fixed patterns.
+func MustPattern(s string) *Pattern { return pattern.MustParse(s) }
+
+// Result is a query result: Cols holds pattern-node indexes (in pattern
+// order) and Rows the matching data-node tuples.
+type Result = rjoin.Table
+
+// Plan is an optimized execution plan (inspect via its String method).
+type Plan = optimizer.Plan
+
+// Algorithm selects the plan-selection strategy.
+type Algorithm = exec.Algorithm
+
+const (
+	// DP optimizes R-join order only (the paper's Section 4.1).
+	DP = exec.DP
+	// DPS interleaves R-joins with R-semijoins (Section 4.2); the default
+	// and usually the fastest.
+	DPS = exec.DPS
+	// DPSMerged is DPS over a reduced status space (B_in and B_out merged
+	// — the paper's O(3^n) variant): faster planning, slightly coarser
+	// plans.
+	DPSMerged = exec.DPSMerged
+)
+
+// IOStats reports page-level I/O counters of the engine's buffer pool.
+type IOStats = storage.IOStats
+
+// Options configures NewEngine.
+type Options struct {
+	// Path stores the database in a page file; empty keeps it in memory.
+	Path string
+	// PoolBytes sizes the buffer pool (default 1 MB, the paper's setting).
+	PoolBytes int
+	// CodeCacheEntries bounds the working cache of decoded graph codes
+	// (default 65536; negative disables).
+	CodeCacheEntries int
+}
+
+// Engine is a queryable graph database built from a data graph. Build
+// once, query many times. Methods are safe for concurrent use: the
+// underlying executor is single-threaded (as in the paper), so calls are
+// serialised by an internal mutex.
+type Engine struct {
+	mu sync.Mutex
+	db *gdb.DB
+}
+
+// NewEngine indexes g: it computes the 2-hop cover, writes base tables,
+// the W-table and the cluster-based R-join index, and returns a queryable
+// engine. With a non-empty Options.Path the database (including the graph)
+// is persisted and can later be reattached with OpenEngine.
+func NewEngine(g *Graph, opt Options) (*Engine, error) {
+	db, err := gdb.Build(g, gdb.Options{
+		Path:             opt.Path,
+		PoolBytes:        opt.PoolBytes,
+		CodeCacheEntries: opt.CodeCacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db}, nil
+}
+
+// OpenEngine reattaches to a database previously created by NewEngine with
+// the same path, without recomputing the 2-hop cover or any index.
+// opt.Path is ignored (the argument path wins).
+func OpenEngine(path string, opt Options) (*Engine, error) {
+	db, err := gdb.Open(path, gdb.Options{
+		PoolBytes:        opt.PoolBytes,
+		CodeCacheEntries: opt.CodeCacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db}, nil
+}
+
+// Close releases the engine's storage.
+func (e *Engine) Close() error { return e.db.Close() }
+
+// Graph returns the underlying data graph.
+func (e *Engine) Graph() *Graph { return e.db.Graph() }
+
+// Query parses and evaluates a pattern with the DPS optimizer.
+func (e *Engine) Query(patternText string) (*Result, error) {
+	p, err := ParsePattern(patternText)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryPattern(p, DPS)
+}
+
+// QueryPattern evaluates a parsed pattern with the chosen optimizer.
+func (e *Engine) QueryPattern(p *Pattern, algo Algorithm) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return exec.Query(e.db, p, algo)
+}
+
+// Explain returns the plan the optimizer would choose, without running it.
+func (e *Engine) Explain(p *Pattern, algo Algorithm) (*Plan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.explainLocked(p, algo)
+}
+
+func (e *Engine) explainLocked(p *Pattern, algo Algorithm) (*Plan, error) {
+	b, err := optimizer.Bind(e.db, p)
+	if err != nil {
+		return nil, err
+	}
+	switch algo {
+	case DP:
+		return optimizer.OptimizeDP(b, optimizer.DefaultCostParams())
+	case DPSMerged:
+		return optimizer.OptimizeDPSMerged(b, optimizer.DefaultCostParams())
+	default:
+		return optimizer.OptimizeDPS(b, optimizer.DefaultCostParams())
+	}
+}
+
+// ExplainAnalyze runs a plan and returns the result together with per-step
+// actual row counts, I/O, and timings.
+func (e *Engine) ExplainAnalyze(p *Pattern, algo Algorithm) (*Result, *Plan, []exec.StepTrace, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	plan, err := e.explainLocked(p, algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, traces, err := exec.RunWithTrace(e.db, plan, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, plan, traces, nil
+}
+
+// StepTrace reports one executed plan step (see ExplainAnalyze).
+type StepTrace = exec.StepTrace
+
+// Reaches reports u ⇝ v using the engine's 2-hop graph codes.
+func (e *Engine) Reaches(u, v NodeID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.Reaches(u, v)
+}
+
+// IOStats returns the accumulated buffer pool counters.
+func (e *Engine) IOStats() IOStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.IOStats()
+}
+
+// ResetIOStats zeroes the counters (e.g. after the build, before a
+// measured query).
+func (e *Engine) ResetIOStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.db.ResetIOStats()
+}
+
+// Stats summarises the engine's index structures.
+type Stats struct {
+	// Nodes and Edges describe the data graph.
+	Nodes, Edges int
+	// Labels is |Σ|.
+	Labels int
+	// CoverSize is the 2-hop cover size |H|.
+	CoverSize int
+	// CoverRatio is |H|/|V|.
+	CoverRatio float64
+	// Centers is the number of centers in the cluster-based R-join index.
+	Centers int
+	// SizeBytes is the on-disk size of the database.
+	SizeBytes int
+}
+
+// Stats reports index statistics.
+func (e *Engine) Stats() Stats {
+	g := e.db.Graph()
+	s := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Labels:    g.Labels().Len(),
+		CoverSize: e.db.CoverSize(),
+		Centers:   e.db.NumCenters(),
+		SizeBytes: e.db.SizeBytes(),
+	}
+	if s.Nodes > 0 {
+		s.CoverRatio = float64(s.CoverSize) / float64(s.Nodes)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("engine{|V|=%d |E|=%d |Σ|=%d |H|=%d (%.2f/node) centers=%d disk=%dKB}",
+		s.Nodes, s.Edges, s.Labels, s.CoverSize, s.CoverRatio, s.Centers, s.SizeBytes/1024)
+}
+
+// CoverStats exposes the full 2-hop cover statistics. The second return is
+// false for an engine reattached with OpenEngine (only the cover's size is
+// persisted; see Stats).
+func (e *Engine) CoverStats() (twohop.Stats, bool) {
+	c := e.db.Cover()
+	if c == nil {
+		return twohop.Stats{}, false
+	}
+	return c.Stats(), true
+}

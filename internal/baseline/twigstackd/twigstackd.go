@@ -1,0 +1,293 @@
+// Package twigstackd reconstructs the TSD baseline of Section 5.1 — the
+// TwigStackD algorithm of Chen, Gupta and Kurul (stack-based pattern
+// matching on DAGs) — to the level of detail the paper gives:
+//
+//   - a spanning forest of the DAG with an interval [s, e] per node, so
+//     tree reachability is interval containment (the machinery TwigStack
+//     uses over XML trees);
+//   - SSPI, the Surrogate and Surplus Predecessor Index: for every node,
+//     its predecessors through non-tree ("remaining") edges;
+//   - pattern matching that finds spanning-tree matches through intervals
+//     and completes DAG-only matches by chasing SSPI predecessor closures,
+//     buffering every node that can possibly take part in a solution.
+//
+// The predecessor-closure buffering is exactly the behaviour the paper
+// identifies as TSD's weakness: it "performs well for very sparse DAGs",
+// but "degrades noticeably when the DAG becomes dense, due to the high
+// overhead of accessing edge transitive closures". Results are exact.
+//
+// TSD supports directed acyclic data graphs and path/tree patterns (twigs),
+// matching its use in the paper's Figure 5 experiments.
+package twigstackd
+
+import (
+	"fmt"
+	"sort"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
+)
+
+// Index is the interval + SSPI encoding of a DAG.
+type Index struct {
+	g *graph.Graph
+	// s, e: the spanning-forest interval of each node; u is a tree ancestor
+	// of v iff s[u] ≤ s[v] and e[v] ≤ e[u].
+	s, e []int32
+	// parent is the spanning-forest parent (InvalidNode for roots).
+	parent []graph.NodeID
+	// sspi[v] lists v's predecessors through non-tree edges.
+	sspi [][]graph.NodeID
+}
+
+// Matcher holds one query evaluation's buffer pool of predecessor
+// closures. TwigStackD buffers, per query, every node that can possibly
+// take part in a solution; the pool is NOT shared across queries, which is
+// the overhead the paper's Figure 5 measures.
+type Matcher struct {
+	ix *Index
+	// anc memoizes predecessor closures for this query: anc[v] is the
+	// sorted set of all u ≠ v with u ⇝ v.
+	anc [][]graph.NodeID
+}
+
+// Matcher starts a fresh query evaluation (an empty buffer pool).
+func (ix *Index) Matcher() *Matcher {
+	return &Matcher{ix: ix, anc: make([][]graph.NodeID, ix.g.NumNodes())}
+}
+
+// BuildIndex encodes g. It fails unless g is a DAG (TwigStackD's domain).
+func BuildIndex(g *graph.Graph) (*Index, error) {
+	if !graph.IsDAG(g) {
+		return nil, fmt.Errorf("twigstackd: data graph is not a DAG")
+	}
+	n := g.NumNodes()
+	ix := &Index{
+		g:      g,
+		s:      make([]int32, n),
+		e:      make([]int32, n),
+		parent: make([]graph.NodeID, n),
+		sspi:   make([][]graph.NodeID, n),
+	}
+	for i := range ix.parent {
+		ix.parent[i] = graph.InvalidNode
+	}
+
+	// Depth-first spanning forest: first tree edge reaching a node wins;
+	// other edges become SSPI entries.
+	visited := make([]bool, n)
+	var clock int32
+	var dfs func(v graph.NodeID)
+	dfs = func(v graph.NodeID) {
+		visited[v] = true
+		ix.s[v] = clock
+		clock++
+		for _, w := range ix.g.Successors(v) {
+			if !visited[w] {
+				ix.parent[w] = v
+				dfs(w)
+			} else {
+				ix.sspi[w] = append(ix.sspi[w], v)
+			}
+		}
+		ix.e[v] = clock
+		clock++
+	}
+	// Roots first (nodes with no predecessors), then any stragglers.
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.InDegree(v) == 0 && !visited[v] {
+			dfs(v)
+		}
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if !visited[v] {
+			dfs(v)
+		}
+	}
+	return ix, nil
+}
+
+// treeAncestor reports interval containment (u is v, or a spanning-tree
+// ancestor of v).
+func (ix *Index) treeAncestor(u, v graph.NodeID) bool {
+	return ix.s[u] <= ix.s[v] && ix.e[v] <= ix.e[u]
+}
+
+// Ancestors returns the full predecessor closure of v (all u ≠ v with
+// u ⇝ v), computed as Anc(v) = Anc(parent(v)) ∪ parent(v) ∪
+// ⋃_{p ∈ SSPI(v)} (Anc(p) ∪ p), buffered in this query's pool. The slice
+// is sorted and must not be modified.
+func (m *Matcher) Ancestors(v graph.NodeID) []graph.NodeID {
+	if m.anc[v] != nil {
+		return m.anc[v]
+	}
+	set := make(map[graph.NodeID]struct{})
+	add := func(p graph.NodeID) {
+		set[p] = struct{}{}
+		for _, a := range m.Ancestors(p) {
+			set[a] = struct{}{}
+		}
+	}
+	ix := m.ix
+	if p := ix.parent[v]; p != graph.InvalidNode {
+		add(p)
+	}
+	for _, p := range ix.sspi[v] {
+		add(p)
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if out == nil {
+		out = []graph.NodeID{} // mark computed
+	}
+	m.anc[v] = out
+	return out
+}
+
+// Reaches reports u ⇝ v: interval containment for spanning-tree paths, the
+// SSPI predecessor closure otherwise.
+func (m *Matcher) Reaches(u, v graph.NodeID) bool {
+	if m.ix.treeAncestor(u, v) {
+		return true
+	}
+	anc := m.Ancestors(v)
+	i := sort.Search(len(anc), func(i int) bool { return anc[i] >= u })
+	return i < len(anc) && anc[i] == u
+}
+
+// PoolSize reports how many closure entries this query has buffered (a
+// measure of TSD's memory overhead, exposed for the experiments).
+func (m *Matcher) PoolSize() int {
+	total := 0
+	for _, a := range m.anc {
+		total += len(a)
+	}
+	return total
+}
+
+// Match evaluates a path or tree pattern and returns all matches, columns
+// in pattern-node order.
+func Match(ix *Index, p *pattern.Pattern) (*rjoin.Table, error) {
+	if !p.IsTree() && !p.IsPath() {
+		return nil, fmt.Errorf("twigstackd: only path and tree (twig) patterns are supported")
+	}
+	g := ix.g
+	labels := make([]graph.Label, p.NumNodes())
+	for i, name := range p.Nodes {
+		labels[i] = g.Labels().Lookup(name)
+		if labels[i] == graph.InvalidLabel {
+			return nil, fmt.Errorf("twigstackd: label %q not in data graph", name)
+		}
+	}
+
+	// Find the pattern root.
+	root := -1
+	for i := 0; i < p.NumNodes(); i++ {
+		if len(p.InEdges(i)) == 0 {
+			root = i
+		}
+	}
+
+	// Candidate adjacency per pattern edge: for each child candidate y,
+	// every parent candidate x with x ⇝ y. Built by scanning each child
+	// extent's predecessor closure (the per-query buffering phase), then
+	// inverted.
+	m := ix.Matcher()
+	adj := make([]map[graph.NodeID][]graph.NodeID, p.NumEdges())
+	for ei, e := range p.Edges {
+		adj[ei] = make(map[graph.NodeID][]graph.NodeID)
+		for _, y := range g.Extent(labels[e.To]) {
+			for _, a := range m.Ancestors(y) {
+				if g.LabelOf(a) == labels[e.From] {
+					adj[ei][a] = append(adj[ei][a], y)
+				}
+			}
+		}
+	}
+
+	// Bottom-up pruning: a candidate for X survives only if every child
+	// edge X→Y has at least one surviving child candidate.
+	surviving := make([]map[graph.NodeID]bool, p.NumNodes())
+	var prune func(node int)
+	prune = func(node int) {
+		surviving[node] = make(map[graph.NodeID]bool)
+		children := p.OutEdges(node)
+		for _, ei := range children {
+			prune(p.Edges[ei].To)
+		}
+		for _, x := range g.Extent(labels[node]) {
+			ok := true
+			for _, ei := range children {
+				found := false
+				for _, y := range adj[ei][x] {
+					if surviving[p.Edges[ei].To][y] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				surviving[node][x] = true
+			}
+		}
+	}
+	prune(root)
+
+	// Top-down enumeration of full matches.
+	cols := make([]int, p.NumNodes())
+	for i := range cols {
+		cols[i] = i
+	}
+	out := rjoin.NewTable(cols...)
+	assign := make([]graph.NodeID, p.NumNodes())
+
+	order := topDownOrder(p, root)
+	var rec func(step int)
+	rec = func(step int) {
+		if step == len(order) {
+			row := make([]graph.NodeID, len(assign))
+			copy(row, assign)
+			out.Rows = append(out.Rows, row)
+			return
+		}
+		node := order[step]
+		if node == root {
+			for x := range surviving[root] {
+				assign[root] = x
+				rec(step + 1)
+			}
+			return
+		}
+		ei := p.InEdges(node)[0]
+		parent := p.Edges[ei].From
+		for _, y := range adj[ei][assign[parent]] {
+			if surviving[node][y] {
+				assign[node] = y
+				rec(step + 1)
+			}
+		}
+	}
+	rec(0)
+	out.SortRows()
+	return out, nil
+}
+
+// topDownOrder lists pattern nodes root-first so each node's parent is
+// assigned before it.
+func topDownOrder(p *pattern.Pattern, root int) []int {
+	order := []int{root}
+	for i := 0; i < len(order); i++ {
+		for _, ei := range p.OutEdges(order[i]) {
+			order = append(order, p.Edges[ei].To)
+		}
+	}
+	return order
+}

@@ -1,0 +1,207 @@
+package twigstackd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+)
+
+// randomDAG builds a random DAG: edges only from lower to higher IDs.
+func randomDAG(seed int64, n, m, nlabels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < nlabels; i++ {
+		b.Intern(string(rune('A' + i)))
+	}
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(nlabels))))
+	}
+	b.SetDedupEdges(true)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build()
+}
+
+func TestBuildIndexRejectsCycles(t *testing.T) {
+	b := graph.NewBuilder()
+	u := b.AddNode("X")
+	v := b.AddNode("Y")
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	if _, err := BuildIndex(b.Build()); err == nil {
+		t.Fatal("expected error for cyclic graph")
+	}
+}
+
+func TestIntervalsAreTreeConsistent(t *testing.T) {
+	g := randomDAG(1, 60, 120, 4)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node's interval nests within its spanning-tree parent's.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		p := ix.parent[v]
+		if p == graph.InvalidNode {
+			continue
+		}
+		if !(ix.s[p] < ix.s[v] && ix.e[v] < ix.e[p]) {
+			t.Fatalf("interval of %d not nested in parent %d", v, p)
+		}
+	}
+}
+
+// TestReachesMatchesBFS: interval + SSPI reachability equals ground truth.
+func TestReachesMatchesBFS(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomDAG(seed, 40, 80, 3)
+		ix, err := BuildIndex(g)
+		if err != nil {
+			return false
+		}
+		m := ix.Matcher()
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+				if m.Reaches(u, v) != graph.Reaches(g, u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorsSemantics(t *testing.T) {
+	g := randomDAG(2, 50, 100, 3)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ix.Matcher()
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		anc := m.Ancestors(v)
+		seen := map[graph.NodeID]bool{}
+		for _, u := range anc {
+			if u == v {
+				t.Fatalf("Ancestors(%d) contains self", v)
+			}
+			if !graph.Reaches(g, u, v) {
+				t.Fatalf("Ancestors(%d) contains non-ancestor %d", v, u)
+			}
+			seen[u] = true
+		}
+		// Completeness.
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			if u != v && graph.Reaches(g, u, v) && !seen[u] {
+				t.Fatalf("Ancestors(%d) missing %d", v, u)
+			}
+		}
+	}
+	if m.PoolSize() == 0 {
+		t.Fatal("pool should be populated after Ancestors calls")
+	}
+}
+
+var tsdPatterns = []string{
+	"A->B",
+	"A->B; B->C",
+	"A->B; B->C; C->D",
+	"A->B; A->C",
+	"A->B; B->C; B->D",
+	"A->B; A->C; C->D; C->E",
+}
+
+// TestMatchEqualsNaive: TSD results equal the naive matcher on random DAGs
+// for paths and twigs.
+func TestMatchEqualsNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomDAG(seed, 50, 90, 5)
+		ix, err := BuildIndex(g)
+		if err != nil {
+			return false
+		}
+		for _, ps := range tsdPatterns {
+			p := pattern.MustParse(ps)
+			got, err := Match(ix, p)
+			if err != nil {
+				return false
+			}
+			want, err := exec.NaiveMatch(g, p)
+			if err != nil {
+				return false
+			}
+			want.SortRows()
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Logf("seed %d pattern %s: tsd %d rows, naive %d rows", seed, ps, got.Len(), want.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchRejectsGraphPatterns(t *testing.T) {
+	g := randomDAG(3, 30, 50, 3)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Match(ix, pattern.MustParse("A->B; B->C; A->C")); err == nil {
+		t.Fatal("expected error for non-twig pattern")
+	}
+	if _, err := Match(ix, pattern.MustParse("A->Z")); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+}
+
+// TestDensityDegradation: the buffered closure pool grows superlinearly
+// with density — the degradation the paper reports for TSD.
+func TestDensityDegradation(t *testing.T) {
+	sparse := randomDAG(4, 300, 330, 3)
+	dense := randomDAG(4, 300, 2400, 3)
+	ixS, err := BuildIndex(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixD, err := BuildIndex(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mS, mD := ixS.Matcher(), ixD.Matcher()
+	for v := graph.NodeID(0); int(v) < 300; v++ {
+		mS.Ancestors(v)
+		mD.Ancestors(v)
+	}
+	if mD.PoolSize() < 4*mS.PoolSize() {
+		t.Fatalf("dense pool %d not ≫ sparse pool %d", mD.PoolSize(), mS.PoolSize())
+	}
+}
+
+func BenchmarkMatchSparse(b *testing.B) {
+	g := randomDAG(5, 2000, 2400, 5)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pattern.MustParse("A->B; B->C")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Match(ix, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/optimizer"
+	"fastmatch/internal/twohop"
+	"fastmatch/internal/workload"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. They are
+// not paper artifacts; run them with `fgmbench -exp ablations` or by ID.
+
+// AblationIDs lists the ablation experiment IDs.
+var AblationIDs = []string{"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive"}
+
+// Ablations runs every ablation.
+func (r *Runner) Ablations() ([]*Report, error) {
+	var out []*Report
+	for _, id := range AblationIDs {
+		rep, err := r.ByID(id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// ablationScale is the mid ladder point, enough to show the effects without
+// slow rebuilds (each ablation builds several database variants).
+func (r *Runner) ablationScale() Scale { return Scales(r.Mult)[1] }
+
+// AblationCenterOrder compares 2-hop center orderings: cover size, build
+// time, and query time over the Figure 7(c) pattern.
+func (r *Runner) AblationCenterOrder() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-order",
+		Title:  "2-hop center ordering: cover size, build and query cost",
+		Header: []string{"order", "|H|", "|H|/|V|", "build ms", "query ms", "query io"},
+	}
+	g := r.dataset(r.ablationScale()).Graph
+	w := workload.ScalabilityGraph()
+	for _, ord := range []twohop.CenterOrder{twohop.OrderDegreeProduct, twohop.OrderTopological, twohop.OrderRandom} {
+		start := time.Now()
+		cover := twohop.Compute(g, twohop.Options{Order: ord, Seed: 7})
+		db, err := gdb.BuildFromCover(g, cover, gdb.Options{CodeCacheEntries: 4096})
+		if err != nil {
+			return nil, err
+		}
+		buildMS := float64(time.Since(start).Microseconds()) / 1000
+		m, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		st := cover.Stats()
+		rep.AddRow(ord.String(), fmt.Sprintf("%d", st.Size), fmt.Sprintf("%.2f", st.Ratio),
+			ms(buildMS), ms(m.ElapsedMS), fmt.Sprintf("%d", m.IO))
+	}
+	return rep, nil
+}
+
+// AblationWTableCache measures the in-memory W-table cache (Section 3.4
+// keeps frequently used W entries in memory).
+func (r *Runner) AblationWTableCache() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-wcache",
+		Title:  "W-table memory cache on/off: query cost",
+		Header: []string{"config", "query ms", "query io"},
+	}
+	g := r.dataset(r.ablationScale()).Graph
+	w := workload.ScalabilityGraph()
+	for _, disabled := range []bool{false, true} {
+		db, err := gdb.Build(g, gdb.Options{DisableWTableCache: disabled, CodeCacheEntries: 4096})
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		db.Close()
+		if err != nil {
+			return nil, err
+		}
+		name := "cache on"
+		if disabled {
+			name = "cache off"
+		}
+		rep.AddRow(name, ms(m.ElapsedMS), fmt.Sprintf("%d", m.IO))
+	}
+	return rep, nil
+}
+
+// AblationPoolSize sweeps the buffer pool size (the paper fixes 1 MB;
+// physical I/O shows the working-set crossover).
+func (r *Runner) AblationPoolSize() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-pool",
+		Title:  "buffer pool size sweep: logical vs physical I/O",
+		Header: []string{"pool", "query ms", "logical io", "phys reads", "phys writes"},
+	}
+	g := r.dataset(r.ablationScale()).Graph
+	w := workload.ScalabilityGraph()
+	for _, poolBytes := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		db, err := gdb.Build(g, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.ResizePool(poolBytes); err != nil {
+			db.Close()
+			return nil, err
+		}
+		var m Measure
+		var stats struct{ reads, writes int64 }
+		for rep := 0; rep < r.reps(); rep++ {
+			db.ClearCaches()
+			db.ResetIOStats()
+			start := time.Now()
+			res, err := exec.Query(db, w.Pattern, exec.DPS)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			el := float64(time.Since(start).Microseconds()) / 1000
+			if m.ElapsedMS == 0 || el < m.ElapsedMS {
+				io := db.IOStats()
+				m = Measure{ElapsedMS: el, IO: io.Logical(), Rows: res.Len()}
+				stats.reads, stats.writes = io.Reads, io.Writes
+			}
+		}
+		db.Close()
+		rep.AddRow(fmt.Sprintf("%dKB", poolBytes>>10), ms(m.ElapsedMS),
+			fmt.Sprintf("%d", m.IO), fmt.Sprintf("%d", stats.reads), fmt.Sprintf("%d", stats.writes))
+	}
+	return rep, nil
+}
+
+// AblationDPSMerged compares full DPS (O(5^n) statuses) with the merged-B
+// variant (O(3^n)): planning time, estimated cost, and actual execution.
+func (r *Runner) AblationDPSMerged() (*Report, error) {
+	rep := &Report{
+		ID:    "ablation-merged",
+		Title: "DPS vs DPS-merged (B_in∪B_out): planning and execution",
+		Header: []string{"query", "plan µs (DPS)", "plan µs (merged)",
+			"exec ms (DPS)", "exec ms (merged)", "io (DPS)", "io (merged)"},
+	}
+	db, err := r.db(r.ablationScale())
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workload.Graphs5B() {
+		bind, err := optimizer.Bind(db, w.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		startFull := time.Now()
+		if _, err := optimizer.OptimizeDPS(bind, optimizer.DefaultCostParams()); err != nil {
+			return nil, err
+		}
+		fullPlanUS := time.Since(startFull).Microseconds()
+		startMerged := time.Now()
+		if _, err := optimizer.OptimizeDPSMerged(bind, optimizer.DefaultCostParams()); err != nil {
+			return nil, err
+		}
+		mergedPlanUS := time.Since(startMerged).Microseconds()
+
+		mFull, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		if err != nil {
+			return nil, err
+		}
+		mMerged, err := r.timeQuery(db, w.Pattern, exec.DPSMerged)
+		if err != nil {
+			return nil, err
+		}
+		if mFull.Rows != mMerged.Rows {
+			return nil, fmt.Errorf("ablation-merged %s: row mismatch %d vs %d", w.Name, mFull.Rows, mMerged.Rows)
+		}
+		rep.AddRow(w.Name, fmt.Sprintf("%d", fullPlanUS), fmt.Sprintf("%d", mergedPlanUS),
+			ms(mFull.ElapsedMS), ms(mMerged.ElapsedMS),
+			fmt.Sprintf("%d", mFull.IO), fmt.Sprintf("%d", mMerged.IO))
+	}
+	return rep, nil
+}
+
+// AblationNaive compares the engine (DPS) against the index-free naive
+// matcher (backtracking over a transitive closure) on the smallest ladder
+// dataset — the "why build all this" baseline.
+func (r *Runner) AblationNaive() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-naive",
+		Title:  "engine (DPS) vs naive transitive-closure matcher, 20M dataset",
+		Header: []string{"query", "DPS ms", "naive ms", "speedup", "rows"},
+	}
+	s := Scales(r.Mult)[0]
+	db, err := r.db(s)
+	if err != nil {
+		return nil, err
+	}
+	g := r.dataset(s).Graph
+	ws := []workload.Workload{
+		workload.ScalabilityPath(),
+		workload.ScalabilityTree(),
+		workload.ScalabilityGraph(),
+	}
+	for _, w := range ws {
+		m, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		naive, err := exec.NaiveMatch(g, w.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		naiveMS := float64(time.Since(start).Microseconds()) / 1000
+		if naive.Len() != m.Rows {
+			return nil, fmt.Errorf("ablation-naive %s: naive %d rows != engine %d", w.Name, naive.Len(), m.Rows)
+		}
+		rep.AddRow(w.Name, ms(m.ElapsedMS), ms(naiveMS),
+			fmt.Sprintf("%.1fx", naiveMS/m.ElapsedMS), fmt.Sprintf("%d", m.Rows))
+	}
+	return rep, nil
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/workload"
+)
+
+// Table2 regenerates Table 2: dataset statistics with 2-hop cover sizes.
+func (r *Runner) Table2() (*Report, error) {
+	rep := &Report{
+		ID:         "table2",
+		Title:      "dataset statistics (scaled ladder; see DESIGN.md substitutions)",
+		PaperClaim: "|E|/|V| ≈ 1.18 and |H|/|V| ≈ 3.47–3.50 across all five datasets",
+		Header:     []string{"dataset", "|V|", "|E|", "|H|", "|H|/|V|"},
+	}
+	for _, s := range Scales(r.Mult) {
+		st := r.CoverStats(s)
+		rep.AddRow(s.Name,
+			fmt.Sprintf("%d", st.Nodes),
+			fmt.Sprintf("%d", st.Edges),
+			fmt.Sprintf("%d", st.Size),
+			fmt.Sprintf("%.3f", st.Ratio))
+	}
+	return rep, nil
+}
+
+// fig5 runs the TSD vs INT-DP vs DP comparison over one workload battery.
+func (r *Runner) fig5(id, title string, ws []workload.Workload) (*Report, error) {
+	db, tsd, ig, err := r.dagSetup()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:         id,
+		Title:      title,
+		PaperClaim: "TSD slower than INT-DP/DP by orders of magnitude (e.g. 1668×/9709× on P2); DP ≤ INT-DP on every pattern",
+		Header:     []string{"query", "TSD ms", "INT-DP ms", "DP ms", "rows"},
+	}
+	for _, w := range ws {
+		mt, err := r.timeTSD(tsd, w.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("%s TSD: %w", w.Name, err)
+		}
+		mi, err := r.timeINTDP(db, ig, w.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("%s INT-DP: %w", w.Name, err)
+		}
+		md, err := r.timeQuery(db, w.Pattern, exec.DP)
+		if err != nil {
+			return nil, fmt.Errorf("%s DP: %w", w.Name, err)
+		}
+		if mt.Rows != mi.Rows || mi.Rows != md.Rows {
+			return nil, fmt.Errorf("%s: row mismatch TSD=%d INT-DP=%d DP=%d", w.Name, mt.Rows, mi.Rows, md.Rows)
+		}
+		rep.AddRow(w.Name, ms(mt.ElapsedMS), ms(mi.ElapsedMS), ms(md.ElapsedMS), fmt.Sprintf("%d", md.Rows))
+	}
+	return rep, nil
+}
+
+// Fig5a regenerates Figure 5(a): nine path patterns over the DAG dataset.
+func (r *Runner) Fig5a() (*Report, error) {
+	return r.fig5("fig5a", "TSD vs INT-DP vs DP, 9 path patterns (DAG dataset)", workload.Paths())
+}
+
+// Fig5b regenerates Figure 5(b): nine tree patterns over the DAG dataset.
+func (r *Runner) Fig5b() (*Report, error) {
+	return r.fig5("fig5b", "TSD vs INT-DP vs DP, 9 tree patterns (DAG dataset)", workload.Trees())
+}
+
+// fig6 runs DP vs DPS over one graph-pattern battery on the largest
+// dataset.
+func (r *Runner) fig6(id, title string, ws []workload.Workload) (*Report, error) {
+	scales := Scales(r.Mult)
+	db, err := r.db(scales[len(scales)-1])
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:         id,
+		Title:      title,
+		PaperClaim: "DPS significantly outperforms DP on every Q1–Q5",
+		Header:     []string{"query", "DP ms", "DPS ms", "DP io", "DPS io", "rows"},
+	}
+	for _, w := range ws {
+		md, err := r.timeQuery(db, w.Pattern, exec.DP)
+		if err != nil {
+			return nil, fmt.Errorf("%s DP: %w", w.Name, err)
+		}
+		msr, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		if err != nil {
+			return nil, fmt.Errorf("%s DPS: %w", w.Name, err)
+		}
+		if md.Rows != msr.Rows {
+			return nil, fmt.Errorf("%s: row mismatch DP=%d DPS=%d", w.Name, md.Rows, msr.Rows)
+		}
+		rep.AddRow(w.Name, ms(md.ElapsedMS), ms(msr.ElapsedMS),
+			fmt.Sprintf("%d", md.IO), fmt.Sprintf("%d", msr.IO), fmt.Sprintf("%d", md.Rows))
+	}
+	return rep, nil
+}
+
+// Fig6a regenerates Figure 6(a): |V_q|=4 confluence patterns, DP vs DPS.
+func (r *Runner) Fig6a() (*Report, error) {
+	return r.fig6("fig6a", "DP vs DPS, Q1–Q5 |Vq|=4 (Figure 4(e) shapes), largest dataset", workload.Graphs4A())
+}
+
+// Fig6b regenerates Figure 6(b): |V_q|=4 diamond patterns.
+func (r *Runner) Fig6b() (*Report, error) {
+	return r.fig6("fig6b", "DP vs DPS, Q1–Q5 |Vq|=4 (Figure 4(d) shapes), largest dataset", workload.Graphs4B())
+}
+
+// Fig6c regenerates Figure 6(c): |V_q|=5 patterns.
+func (r *Runner) Fig6c() (*Report, error) {
+	return r.fig6("fig6c", "DP vs DPS, Q1–Q5 |Vq|=5 (Figure 4(h) shapes), largest dataset", workload.Graphs5A())
+}
+
+// Fig6d regenerates Figure 6(d): |V_q|=5 five-condition patterns.
+func (r *Runner) Fig6d() (*Report, error) {
+	return r.fig6("fig6d", "DP vs DPS, Q1–Q5 |Vq|=5 (Figure 4(i) shapes), largest dataset", workload.Graphs5B())
+}
+
+// fig7 runs DP vs DPS for one pattern across the five-scale ladder.
+func (r *Runner) fig7(id, title string, w workload.Workload) (*Report, error) {
+	rep := &Report{
+		ID:         id,
+		Title:      title,
+		PaperClaim: "DPS outperforms DP by at least an order of magnitude, gap widening with scale (DP's I/O grows much faster)",
+		Header:     []string{"dataset", "DP ms", "DPS ms", "DP io", "DPS io", "rows"},
+	}
+	for _, s := range Scales(r.Mult) {
+		db, err := r.db(s)
+		if err != nil {
+			return nil, err
+		}
+		md, err := r.timeQuery(db, w.Pattern, exec.DP)
+		if err != nil {
+			return nil, fmt.Errorf("%s DP: %w", s.Name, err)
+		}
+		msr, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		if err != nil {
+			return nil, fmt.Errorf("%s DPS: %w", s.Name, err)
+		}
+		if md.Rows != msr.Rows {
+			return nil, fmt.Errorf("%s: row mismatch DP=%d DPS=%d", s.Name, md.Rows, msr.Rows)
+		}
+		rep.AddRow(s.Name, ms(md.ElapsedMS), ms(msr.ElapsedMS),
+			fmt.Sprintf("%d", md.IO), fmt.Sprintf("%d", msr.IO), fmt.Sprintf("%d", md.Rows))
+	}
+	return rep, nil
+}
+
+// Fig7a regenerates Figure 7(a): scalability on a path pattern.
+func (r *Runner) Fig7a() (*Report, error) {
+	return r.fig7("fig7a", "scalability, path pattern (Figure 4(a))", workload.ScalabilityPath())
+}
+
+// Fig7b regenerates Figure 7(b): scalability on a tree pattern.
+func (r *Runner) Fig7b() (*Report, error) {
+	return r.fig7("fig7b", "scalability, tree pattern (Figure 4(d))", workload.ScalabilityTree())
+}
+
+// Fig7c regenerates Figure 7(c): scalability on a graph pattern.
+func (r *Runner) Fig7c() (*Report, error) {
+	return r.fig7("fig7c", "scalability, graph pattern (Figure 4(i))", workload.ScalabilityGraph())
+}
+
+// IOCost regenerates the Section 6.2 I/O claim over all graph-pattern
+// batteries on the largest dataset.
+func (r *Runner) IOCost() (*Report, error) {
+	scales := Scales(r.Mult)
+	db, err := r.db(scales[len(scales)-1])
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:         "iocost",
+		Title:      "I/O cost, DP vs DPS, all graph-pattern batteries, largest dataset",
+		PaperClaim: "for most queries DP spends over five times the I/O cost of DPS",
+		Header:     []string{"query", "DP io", "DPS io", "DP/DPS"},
+	}
+	batteries := []struct {
+		suffix string
+		ws     []workload.Workload
+	}{
+		{"x4a", workload.Graphs4A()}, {"x4b", workload.Graphs4B()},
+		{"x5a", workload.Graphs5A()}, {"x5b", workload.Graphs5B()},
+	}
+	for _, b := range batteries {
+		for _, w := range b.ws {
+			md, err := r.timeQuery(db, w.Pattern, exec.DP)
+			if err != nil {
+				return nil, err
+			}
+			msr, err := r.timeQuery(db, w.Pattern, exec.DPS)
+			if err != nil {
+				return nil, err
+			}
+			ratio := "inf"
+			if msr.IO > 0 {
+				ratio = fmt.Sprintf("%.1f", float64(md.IO)/float64(msr.IO))
+			}
+			rep.AddRow(w.Name+b.suffix, fmt.Sprintf("%d", md.IO), fmt.Sprintf("%d", msr.IO), ratio)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,65 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's Section 6 on the scaled-down XMark-substitute
+// datasets, printing paper-style rows (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for paper-vs-measured). Used by cmd/fgmbench and by the
+// repository's top-level benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID matches DESIGN.md's experiment index (e.g. "table2", "fig5a").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim summarises the shape the paper reports for this artifact.
+	PaperClaim string
+	// Header names the columns; Rows are formatted cells.
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(w, "   paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "   "+strings.TrimRight(sb.String(), " "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// ms formats a duration in milliseconds.
+func ms(v float64) string { return fmt.Sprintf("%.2f", v) }

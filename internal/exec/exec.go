@@ -1,0 +1,203 @@
+// Package exec evaluates optimized plans against a graph database, binding
+// the optimizer's steps to the R-join/R-semijoin operators. It also
+// provides a naive backtracking matcher used as ground truth and as a
+// measurable worst-case baseline.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/optimizer"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
+)
+
+// StepTrace records one executed plan step for EXPLAIN-style output.
+type StepTrace struct {
+	Step optimizer.Step
+	// Rows is the temporal table size after the step.
+	Rows int
+	// IO is the logical page I/O the step performed (including its spill).
+	IO int64
+	// ElapsedMS is the step's wall time in milliseconds.
+	ElapsedMS float64
+}
+
+// Run executes a plan and returns the full result table, with one column
+// per pattern node in pattern-node order and duplicate rows removed.
+func Run(db *gdb.DB, plan *optimizer.Plan) (*rjoin.Table, error) {
+	t, _, err := RunWithTrace(db, plan, false)
+	return t, err
+}
+
+// RunWithTrace is Run that also reports per-step actual row counts, I/O,
+// and elapsed time when trace is true.
+func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, []StepTrace, error) {
+	b := plan.Binding
+	var traces []StepTrace
+	var t *rjoin.Table
+	for si, s := range plan.Steps {
+		stepStart := time.Now()
+		ioBefore := db.IOStats().Logical()
+		var err error
+		switch s.Kind {
+		case optimizer.StepHPSJ:
+			if t != nil {
+				return nil, nil, fmt.Errorf("exec: step %d: HPSJ mid-plan", si+1)
+			}
+			t, err = rjoin.HPSJ(db, b.Conds[s.Edges[0]])
+		case optimizer.StepSemijoinGroup:
+			if t == nil {
+				t = extentTable(db.Graph(), b, s.Node)
+			}
+			conds := make([]rjoin.Cond, len(s.Edges))
+			for i, e := range s.Edges {
+				conds[i] = b.Conds[e]
+			}
+			t, err = rjoin.FilterGroup(db, t, conds, s.Node, s.OutSide)
+		case optimizer.StepFetch:
+			t, err = requireTable(t, si)
+			if err == nil {
+				t, err = rjoin.Fetch(db, t, b.Conds[s.Edges[0]])
+			}
+		case optimizer.StepJoinFilterFetch:
+			t, err = requireTable(t, si)
+			if err == nil {
+				t, err = rjoin.Filter(db, t, b.Conds[s.Edges[0]])
+			}
+			if err == nil {
+				t, err = rjoin.Fetch(db, t, b.Conds[s.Edges[0]])
+			}
+		case optimizer.StepSelection:
+			t, err = requireTable(t, si)
+			if err == nil {
+				t, err = rjoin.Selection(db, t, b.Conds[s.Edges[0]])
+			}
+		default:
+			err = fmt.Errorf("exec: unknown step kind %v", s.Kind)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: step %d (%v): %w", si+1, s.Kind, err)
+		}
+		// Materialise the temporal table through the storage engine: the
+		// paper's executor keeps intermediate results in disk-resident
+		// tables, so their size is part of the measured I/O cost.
+		if err := spill(db, t); err != nil {
+			return nil, nil, fmt.Errorf("exec: step %d (%v): spill: %w", si+1, s.Kind, err)
+		}
+		if trace {
+			traces = append(traces, StepTrace{
+				Step:      s,
+				Rows:      t.Len(),
+				IO:        db.IOStats().Logical() - ioBefore,
+				ElapsedMS: float64(time.Since(stepStart).Microseconds()) / 1000,
+			})
+		}
+	}
+	if t == nil {
+		return nil, nil, fmt.Errorf("exec: empty plan")
+	}
+	nodes := make([]int, b.Pattern.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	out, err := t.Project(nodes)
+	return out, traces, err
+}
+
+// spill writes a temporal table to the database heap and reads it back,
+// replacing the table's rows with the materialised copy. With the paper's
+// 1 MB buffer pool, tables larger than the pool incur real evictions and
+// re-reads — charging intermediate-result size as I/O exactly as a
+// disk-based executor does.
+func spill(db *gdb.DB, t *rjoin.Table) error {
+	if t == nil || len(t.Rows) == 0 {
+		return nil
+	}
+	rid, err := db.Heap().Insert(t.EncodeRows())
+	if err != nil {
+		return err
+	}
+	data, err := db.Heap().Read(rid)
+	if err != nil {
+		return err
+	}
+	return t.DecodeRows(data)
+}
+
+func requireTable(t *rjoin.Table, si int) (*rjoin.Table, error) {
+	if t == nil {
+		return nil, fmt.Errorf("exec: step %d needs a temporal table", si+1)
+	}
+	return t, nil
+}
+
+// extentTable builds the single-column temporal table holding ext(X) for a
+// pattern node (the base table a leading Filter-move scans).
+func extentTable(g *graph.Graph, b *optimizer.Binding, node int) *rjoin.Table {
+	t := rjoin.NewTable(node)
+	for _, v := range g.Extent(b.Labels[node]) {
+		t.Rows = append(t.Rows, []graph.NodeID{v})
+	}
+	return t
+}
+
+// Algorithm selects a planner for Query.
+type Algorithm int
+
+const (
+	// DP is R-join order selection only (Section 4.1).
+	DP Algorithm = iota
+	// DPS interleaves R-joins with R-semijoins (Section 4.2).
+	DPS
+	// DPSMerged is DPS over the reduced status space with B_in and B_out
+	// merged (the O(3^n) variant of Section 4.2).
+	DPSMerged
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case DP:
+		return "DP"
+	case DPSMerged:
+		return "DPS-merged"
+	default:
+		return "DPS"
+	}
+}
+
+// Query binds, optimizes (with default cost parameters), and runs a pattern
+// in one call.
+func Query(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, error) {
+	t, _, err := QueryWithPlan(db, p, algo)
+	return t, err
+}
+
+// QueryWithPlan is Query returning the chosen plan as well.
+func QueryWithPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, *optimizer.Plan, error) {
+	b, err := optimizer.Bind(db, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	params := optimizer.DefaultCostParams()
+	var plan *optimizer.Plan
+	switch algo {
+	case DP:
+		plan, err = optimizer.OptimizeDP(b, params)
+	case DPSMerged:
+		plan, err = optimizer.OptimizeDPSMerged(b, params)
+	default:
+		plan, err = optimizer.OptimizeDPS(b, params)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := Run(db, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, plan, nil
+}

@@ -1,0 +1,625 @@
+// Package gdb implements the graph database of Section 3: per-label base
+// tables T_X(X, X_in, X_out) holding 2-hop graph codes under a primary
+// index, the W-table, and the cluster-based R-join index.
+//
+// All persistent structures live in pages accessed through a buffer pool,
+// so every probe contributes to the I/O cost metric the experiments report.
+//
+// Center/cluster semantics (Section 3.2, following the compact codes of
+// Example 3.1): the stored code of node v omits v itself; full codes are
+// in(v) = In(v) ∪ {v} and out(v) = Out(v) ∪ {v}. The center set is every
+// node that appears in at least one stored code. For a center w,
+//
+//	F-cluster  U_w = {u : w ∈ out(u)} = {u : w ∈ stored-Out(u)} ∪ {w}
+//	T-cluster  V_w = {v : w ∈ in(v)}  = {v : w ∈ stored-In(v)} ∪ {w}
+//
+// subdivided by node label into F-/T-subclusters. W(X, Y) lists the centers
+// with a non-empty X-labeled F-subcluster and a non-empty Y-labeled
+// T-subcluster. For any two nodes with distinct labels, x ⇝ y holds iff
+// some center w ∈ W(label(x), label(y)) has x ∈ U_w and y ∈ V_w, so R-joins
+// are answerable entirely from the index.
+package gdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/storage"
+	"fastmatch/internal/twohop"
+)
+
+// Options configures Build.
+type Options struct {
+	// Path is the page file location; empty means in-memory.
+	Path string
+	// PoolBytes sizes the buffer pool (default storage.DefaultPoolBytes,
+	// the paper's 1 MB).
+	PoolBytes int
+	// Cover configures 2-hop cover computation.
+	Cover twohop.Options
+	// DisableWTableCache turns off the in-memory W-table cache. The paper
+	// keeps frequently used W entries in memory (Section 3.4); the cache is
+	// on by default and this switch exists for ablation benchmarks.
+	DisableWTableCache bool
+	// CodeCacheEntries bounds the working cache of decoded graph codes
+	// (the paper's getCenters cache). Default 65536; negative disables.
+	CodeCacheEntries int
+}
+
+// DB is a built graph database, read-only after Build.
+type DB struct {
+	g     *graph.Graph
+	cover *twohop.Cover
+
+	pager storage.Pager
+	pool  *storage.BufferPool
+	heap  *storage.HeapFile
+
+	base    map[graph.Label]*storage.BTree // primary index per base table
+	wtable  *storage.BTree                 // (X,Y) → RID of center list
+	cluster *storage.BTree                 // (w, dir, label) → RID of node list
+
+	wcache     map[wKey][]graph.NodeID
+	wcacheOn   bool
+	codeCache  map[graph.NodeID]codes
+	codeCacheN int
+
+	numCenters int
+	coverSize  int
+	joinSizes  map[wKey]int64 // memoized base-table R-join size estimates
+	distFrom   map[wKey]int64 // memoized |π_X(T_X ⋈ T_Y)|
+	distTo     map[wKey]int64 // memoized |π_Y(T_X ⋈ T_Y)|
+}
+
+type wKey struct{ x, y graph.Label }
+
+type codes struct{ in, out []graph.NodeID }
+
+const (
+	dirF byte = 0
+	dirT byte = 1
+)
+
+// Build constructs the database for g: computes the 2-hop cover, writes the
+// base tables, the cluster-based R-join index, and the W-table.
+func Build(g *graph.Graph, opt Options) (*DB, error) {
+	cover := twohop.Compute(g, opt.Cover)
+	return BuildFromCover(g, cover, opt)
+}
+
+// BuildFromCover is Build with a precomputed cover (to share one cover
+// across several database configurations in benchmarks).
+func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, error) {
+	if opt.PoolBytes == 0 {
+		opt.PoolBytes = storage.DefaultPoolBytes
+	}
+	if opt.CodeCacheEntries == 0 {
+		opt.CodeCacheEntries = 65536
+	}
+	var pager storage.Pager
+	if opt.Path == "" {
+		pager = storage.NewMemPager()
+	} else {
+		fp, err := storage.OpenFilePager(opt.Path)
+		if err != nil {
+			return nil, err
+		}
+		pager = fp
+	}
+	db := &DB{
+		g:          g,
+		cover:      cover,
+		pager:      pager,
+		pool:       storage.NewBufferPool(pager, opt.PoolBytes),
+		base:       make(map[graph.Label]*storage.BTree),
+		wcacheOn:   !opt.DisableWTableCache,
+		wcache:     make(map[wKey][]graph.NodeID),
+		codeCacheN: opt.CodeCacheEntries,
+		codeCache:  make(map[graph.NodeID]codes),
+		joinSizes:  make(map[wKey]int64),
+		distFrom:   make(map[wKey]int64),
+		distTo:     make(map[wKey]int64),
+	}
+	db.heap = storage.NewHeapFile(db.pool)
+	db.coverSize = cover.Size()
+	if err := db.buildBaseTables(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.buildClusterIndexAndWTable(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if opt.Path != "" {
+		if err := db.Persist(opt.Path); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Close releases the pager.
+func (db *DB) Close() error { return db.pager.Close() }
+
+// Graph returns the underlying data graph.
+func (db *DB) Graph() *graph.Graph { return db.g }
+
+// Cover returns the 2-hop cover the database was built from, or nil for a
+// database reattached with Open (the cover's information lives in the
+// stored graph codes; only the object is not reloaded).
+func (db *DB) Cover() *twohop.Cover { return db.cover }
+
+// CoverSize returns the 2-hop cover size |H|, available on both built and
+// opened databases.
+func (db *DB) CoverSize() int { return db.coverSize }
+
+// IOStats returns the buffer pool counters.
+func (db *DB) IOStats() storage.IOStats { return db.pool.Stats() }
+
+// ResetIOStats zeroes the buffer pool counters (e.g. after Build, before a
+// measured query).
+func (db *DB) ResetIOStats() { db.pool.ResetStats() }
+
+// ClearCaches empties the in-memory W-table and graph-code caches so a
+// measured query starts cold.
+func (db *DB) ClearCaches() {
+	db.wcache = make(map[wKey][]graph.NodeID)
+	db.codeCache = make(map[graph.NodeID]codes)
+}
+
+// NumCenters returns the number of centers in the cluster-based index.
+func (db *DB) NumCenters() int { return db.numCenters }
+
+// Heap exposes the database's record heap. The executor spills temporal
+// tables through it so intermediate-result sizes are charged as I/O, as in
+// the paper's disk-resident (MiniBase) executor.
+func (db *DB) Heap() *storage.HeapFile { return db.heap }
+
+// SizeBytes returns the database's on-disk size (all allocated pages).
+func (db *DB) SizeBytes() int { return db.pager.NumPages() * storage.PageSize }
+
+// ResizePool changes the buffer pool capacity (see the paper's 1 MB buffer
+// versus 20–100 MB datasets; benchmarks scale the pool to keep the same
+// buffer-to-data ratio on scaled-down data).
+func (db *DB) ResizePool(bytes int) error { return db.pool.Resize(bytes) }
+
+func (db *DB) buildBaseTables() error {
+	var err error
+	for l := graph.Label(0); int(l) < db.g.Labels().Len(); l++ {
+		db.base[l], err = storage.NewBTree(db.pool)
+		if err != nil {
+			return err
+		}
+	}
+	for v := graph.NodeID(0); int(v) < db.g.NumNodes(); v++ {
+		rec := encodeCodes(db.cover.In(v), db.cover.Out(v))
+		rid, err := db.heap.Insert(rec)
+		if err != nil {
+			return err
+		}
+		if err := db.base[db.g.LabelOf(v)].Insert(nodeKey(v), rid.Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) buildClusterIndexAndWTable() error {
+	// Invert the cover: for each center w, the per-label F-/T-subclusters.
+	type subclusters struct {
+		f map[graph.Label][]graph.NodeID
+		t map[graph.Label][]graph.NodeID
+	}
+	centers := make(map[graph.NodeID]*subclusters)
+	get := func(w graph.NodeID) *subclusters {
+		sc := centers[w]
+		if sc == nil {
+			sc = &subclusters{
+				f: make(map[graph.Label][]graph.NodeID),
+				t: make(map[graph.Label][]graph.NodeID),
+			}
+			centers[w] = sc
+		}
+		return sc
+	}
+	for v := graph.NodeID(0); int(v) < db.g.NumNodes(); v++ {
+		lv := db.g.LabelOf(v)
+		for _, w := range db.cover.Out(v) {
+			sc := get(w)
+			sc.f[lv] = append(sc.f[lv], v)
+		}
+		for _, w := range db.cover.In(v) {
+			sc := get(w)
+			sc.t[lv] = append(sc.t[lv], v)
+		}
+	}
+	// Compact-code self entries: every center belongs to its own clusters.
+	for w, sc := range centers {
+		lw := db.g.LabelOf(w)
+		sc.f[lw] = insertSorted(sc.f[lw], w)
+		sc.t[lw] = insertSorted(sc.t[lw], w)
+	}
+	db.numCenters = len(centers)
+
+	var err error
+	db.cluster, err = storage.NewBTree(db.pool)
+	if err != nil {
+		return err
+	}
+	// Insert cluster entries in center order for locality.
+	order := make([]graph.NodeID, 0, len(centers))
+	for w := range centers {
+		order = append(order, w)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	wmap := make(map[wKey][]graph.NodeID)
+	for _, w := range order {
+		sc := centers[w]
+		for l, nodes := range sc.f {
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			rid, err := db.heap.Insert(encodeNodeList(nodes))
+			if err != nil {
+				return err
+			}
+			if err := db.cluster.Insert(clusterKey(w, dirF, l), rid.Encode()); err != nil {
+				return err
+			}
+		}
+		for l, nodes := range sc.t {
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			rid, err := db.heap.Insert(encodeNodeList(nodes))
+			if err != nil {
+				return err
+			}
+			if err := db.cluster.Insert(clusterKey(w, dirT, l), rid.Encode()); err != nil {
+				return err
+			}
+		}
+		// W-table contributions: every (X-labeled F, Y-labeled T) pair.
+		for lx := range sc.f {
+			for ly := range sc.t {
+				k := wKey{lx, ly}
+				wmap[k] = append(wmap[k], w)
+			}
+		}
+	}
+
+	db.wtable, err = storage.NewBTree(db.pool)
+	if err != nil {
+		return err
+	}
+	for k, ws := range wmap {
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		rid, err := db.heap.Insert(encodeNodeList(ws))
+		if err != nil {
+			return err
+		}
+		if err := db.wtable.Insert(wtableKey(k.x, k.y), rid.Encode()); err != nil {
+			return err
+		}
+	}
+	return db.pool.FlushAll()
+}
+
+func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Centers returns W(X, Y): the centers whose clusters can produce (X, Y)
+// R-join pairs, sorted ascending. Returns nil when the entry is empty.
+func (db *DB) Centers(x, y graph.Label) ([]graph.NodeID, error) {
+	k := wKey{x, y}
+	if db.wcacheOn {
+		if ws, ok := db.wcache[k]; ok {
+			return ws, nil
+		}
+	}
+	v, ok, err := db.wtable.Get(wtableKey(x, y))
+	if err != nil {
+		return nil, err
+	}
+	var ws []graph.NodeID
+	if ok {
+		rec, err := db.heap.Read(storage.DecodeRID(v))
+		if err != nil {
+			return nil, err
+		}
+		ws = decodeNodeList(rec)
+	}
+	if db.wcacheOn {
+		db.wcache[k] = ws
+	}
+	return ws, nil
+}
+
+// GetF returns the X-labeled F-subcluster of center w (nodes u with
+// u ⇝ w), sorted ascending; nil when empty.
+func (db *DB) GetF(w graph.NodeID, x graph.Label) ([]graph.NodeID, error) {
+	return db.clusterLookup(w, dirF, x)
+}
+
+// GetT returns the Y-labeled T-subcluster of center w (nodes v with
+// w ⇝ v), sorted ascending; nil when empty.
+func (db *DB) GetT(w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
+	return db.clusterLookup(w, dirT, y)
+}
+
+func (db *DB) clusterLookup(w graph.NodeID, dir byte, l graph.Label) ([]graph.NodeID, error) {
+	v, ok, err := db.cluster.Get(clusterKey(w, dir, l))
+	if err != nil || !ok {
+		return nil, err
+	}
+	rec, err := db.heap.Read(storage.DecodeRID(v))
+	if err != nil {
+		return nil, err
+	}
+	return decodeNodeList(rec), nil
+}
+
+// OutCode returns the full graph code out(x) = stored X_out ∪ {x}, sorted
+// ascending. Reads the base table through its primary index, with the
+// working cache of Section 3.3.
+func (db *DB) OutCode(x graph.NodeID) ([]graph.NodeID, error) {
+	c, err := db.getCodes(x)
+	if err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+// InCode returns the full graph code in(x) = stored X_in ∪ {x}, sorted
+// ascending.
+func (db *DB) InCode(x graph.NodeID) ([]graph.NodeID, error) {
+	c, err := db.getCodes(x)
+	if err != nil {
+		return nil, err
+	}
+	return c.in, nil
+}
+
+func (db *DB) getCodes(x graph.NodeID) (codes, error) {
+	if c, ok := db.codeCache[x]; ok {
+		return c, nil
+	}
+	v, ok, err := db.base[db.g.LabelOf(x)].Get(nodeKey(x))
+	if err != nil {
+		return codes{}, err
+	}
+	if !ok {
+		return codes{}, fmt.Errorf("gdb: node %d missing from base table", x)
+	}
+	rec, err := db.heap.Read(storage.DecodeRID(v))
+	if err != nil {
+		return codes{}, err
+	}
+	in, out := decodeCodes(rec)
+	c := codes{in: insertSorted(in, x), out: insertSorted(out, x)}
+	if db.codeCacheN >= 0 {
+		if len(db.codeCache) >= db.codeCacheN {
+			// Simple bounded cache: drop an arbitrary entry.
+			for k := range db.codeCache {
+				delete(db.codeCache, k)
+				break
+			}
+		}
+		db.codeCache[x] = c
+	}
+	return c, nil
+}
+
+// Reaches evaluates u ⇝ v from graph codes: out(u) ∩ in(v) ≠ ∅.
+func (db *DB) Reaches(u, v graph.NodeID) (bool, error) {
+	if u == v {
+		return true, nil
+	}
+	ou, err := db.OutCode(u)
+	if err != nil {
+		return false, err
+	}
+	iv, err := db.InCode(v)
+	if err != nil {
+		return false, err
+	}
+	return IntersectNonEmpty(ou, iv), nil
+}
+
+// JoinSize estimates |T_X ⋈_{X→Y} T_Y| as Σ_{w∈W(X,Y)} |F_X(w)|·|T_Y(w)|
+// (an upper bound: a pair may be covered by several centers). Results are
+// memoized; the paper maintains these base-table join sizes for the
+// optimizer.
+func (db *DB) JoinSize(x, y graph.Label) (int64, error) {
+	k := wKey{x, y}
+	if s, ok := db.joinSizes[k]; ok {
+		return s, nil
+	}
+	ws, err := db.Centers(x, y)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, w := range ws {
+		f, err := db.GetF(w, x)
+		if err != nil {
+			return 0, err
+		}
+		t, err := db.GetT(w, y)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(len(f)) * int64(len(t))
+	}
+	db.joinSizes[k] = total
+	return total, nil
+}
+
+// DistinctFrom returns |π_X(T_X ⋈_{X→Y} T_Y)|: the number of X-labeled
+// nodes that reach at least one Y-labeled node, computed exactly as the
+// union of the X-labeled F-subclusters over W(X, Y). Memoized.
+func (db *DB) DistinctFrom(x, y graph.Label) (int64, error) {
+	k := wKey{x, y}
+	if s, ok := db.distFrom[k]; ok {
+		return s, nil
+	}
+	n, err := db.distinctUnion(x, y, dirF, x)
+	if err != nil {
+		return 0, err
+	}
+	db.distFrom[k] = n
+	return n, nil
+}
+
+// DistinctTo returns |π_Y(T_X ⋈_{X→Y} T_Y)|: the number of Y-labeled nodes
+// reached from at least one X-labeled node. Memoized.
+func (db *DB) DistinctTo(x, y graph.Label) (int64, error) {
+	k := wKey{x, y}
+	if s, ok := db.distTo[k]; ok {
+		return s, nil
+	}
+	n, err := db.distinctUnion(x, y, dirT, y)
+	if err != nil {
+		return 0, err
+	}
+	db.distTo[k] = n
+	return n, nil
+}
+
+func (db *DB) distinctUnion(x, y graph.Label, dir byte, side graph.Label) (int64, error) {
+	ws, err := db.Centers(x, y)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[graph.NodeID]struct{})
+	for _, w := range ws {
+		nodes, err := db.clusterLookup(w, dir, side)
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range nodes {
+			seen[n] = struct{}{}
+		}
+	}
+	return int64(len(seen)), nil
+}
+
+// IntersectNonEmpty reports whether two ascending NodeID slices share an
+// element.
+func IntersectNonEmpty(a, b []graph.NodeID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Intersect returns the elements common to two ascending NodeID slices.
+func Intersect(a, b []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Key encodings. Big-endian keeps B+-tree order aligned with numeric order.
+
+func nodeKey(v graph.NodeID) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	return b[:]
+}
+
+func wtableKey(x, y graph.Label) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(x))
+	binary.BigEndian.PutUint32(b[4:8], uint32(y))
+	return b[:]
+}
+
+func clusterKey(w graph.NodeID, dir byte, l graph.Label) []byte {
+	var b [9]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(w))
+	b[4] = dir
+	binary.BigEndian.PutUint32(b[5:9], uint32(l))
+	return b[:]
+}
+
+// Record encodings.
+
+func encodeNodeList(nodes []graph.NodeID) []byte {
+	b := make([]byte, 4+4*len(nodes))
+	binary.LittleEndian.PutUint32(b, uint32(len(nodes)))
+	for i, v := range nodes {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(v))
+	}
+	return b
+}
+
+func decodeNodeList(b []byte) []graph.NodeID {
+	n := binary.LittleEndian.Uint32(b)
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	return out
+}
+
+func encodeCodes(in, out []graph.NodeID) []byte {
+	b := make([]byte, 8+4*(len(in)+len(out)))
+	binary.LittleEndian.PutUint32(b, uint32(len(in)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(out)))
+	o := 8
+	for _, v := range in {
+		binary.LittleEndian.PutUint32(b[o:], uint32(v))
+		o += 4
+	}
+	for _, v := range out {
+		binary.LittleEndian.PutUint32(b[o:], uint32(v))
+		o += 4
+	}
+	return b
+}
+
+func decodeCodes(b []byte) (in, out []graph.NodeID) {
+	ni := binary.LittleEndian.Uint32(b)
+	no := binary.LittleEndian.Uint32(b[4:])
+	in = make([]graph.NodeID, ni)
+	out = make([]graph.NodeID, no)
+	o := 8
+	for i := range in {
+		in[i] = graph.NodeID(binary.LittleEndian.Uint32(b[o:]))
+		o += 4
+	}
+	for i := range out {
+		out[i] = graph.NodeID(binary.LittleEndian.Uint32(b[o:]))
+		o += 4
+	}
+	return in, out
+}

@@ -1,0 +1,182 @@
+package gdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/storage"
+)
+
+// A file-backed database persists alongside its page file a small JSON
+// manifest `<path>.manifest` holding the index roots and pointers to
+// in-page records for the graph itself, so Open can reattach without
+// recomputing the 2-hop cover or rebuilding any index.
+
+// manifest is the serialised database header.
+type manifest struct {
+	Version    int               `json:"version"`
+	Labels     []string          `json:"labels"`
+	BaseRoots  map[string]uint32 `json:"base_roots"` // label name → B+-tree root
+	WTableRoot uint32            `json:"wtable_root"`
+	ClustRoot  uint32            `json:"cluster_root"`
+	NodesRID   uint64            `json:"nodes_rid"` // heap record: per-node label IDs
+	EdgesRID   uint64            `json:"edges_rid"` // heap record: edge list
+	NumCenters int               `json:"num_centers"`
+	CoverSize  int               `json:"cover_size"`
+}
+
+const manifestVersion = 1
+
+func manifestPath(path string) string { return path + ".manifest" }
+
+// Persist writes the database's manifest and graph records so Open can
+// reattach later. It is called automatically by Build when Options.Path is
+// set; call it again only after mutating options worth re-saving.
+func (db *DB) Persist(path string) error {
+	g := db.g
+	// Node labels record.
+	nodeRec := make([]byte, 4+4*g.NumNodes())
+	binary.LittleEndian.PutUint32(nodeRec, uint32(g.NumNodes()))
+	for v := 0; v < g.NumNodes(); v++ {
+		binary.LittleEndian.PutUint32(nodeRec[4+4*v:], uint32(g.LabelOf(graph.NodeID(v))))
+	}
+	nodesRID, err := db.heap.Insert(nodeRec)
+	if err != nil {
+		return err
+	}
+	// Edge list record.
+	edgeRec := make([]byte, 4+8*g.NumEdges())
+	binary.LittleEndian.PutUint32(edgeRec, uint32(g.NumEdges()))
+	o := 4
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, w := range g.Successors(v) {
+			binary.LittleEndian.PutUint32(edgeRec[o:], uint32(v))
+			binary.LittleEndian.PutUint32(edgeRec[o+4:], uint32(w))
+			o += 8
+		}
+	}
+	edgesRID, err := db.heap.Insert(edgeRec)
+	if err != nil {
+		return err
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+
+	m := manifest{
+		Version:    manifestVersion,
+		Labels:     g.Labels().Names(),
+		BaseRoots:  make(map[string]uint32, len(db.base)),
+		WTableRoot: uint32(db.wtable.Root()),
+		ClustRoot:  uint32(db.cluster.Root()),
+		NodesRID:   nodesRID.Encode(),
+		EdgesRID:   edgesRID.Encode(),
+		NumCenters: db.numCenters,
+		CoverSize:  db.cover.Size(),
+	}
+	for l, bt := range db.base {
+		m.BaseRoots[g.Labels().Name(l)] = uint32(bt.Root())
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := manifestPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, manifestPath(path))
+}
+
+// Open reattaches to a database previously built with a non-empty
+// Options.Path. The 2-hop cover object itself is not reloaded (its
+// information lives in the stored graph codes); Cover returns nil on an
+// opened database and CoverSize reports the persisted size.
+func Open(path string, opt Options) (*DB, error) {
+	raw, err := os.ReadFile(manifestPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("gdb: open manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("gdb: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("gdb: manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	if opt.PoolBytes == 0 {
+		opt.PoolBytes = storage.DefaultPoolBytes
+	}
+	if opt.CodeCacheEntries == 0 {
+		opt.CodeCacheEntries = 65536
+	}
+	pager, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		pager:      pager,
+		pool:       storage.NewBufferPool(pager, opt.PoolBytes),
+		base:       make(map[graph.Label]*storage.BTree),
+		wcacheOn:   !opt.DisableWTableCache,
+		wcache:     make(map[wKey][]graph.NodeID),
+		codeCacheN: opt.CodeCacheEntries,
+		codeCache:  make(map[graph.NodeID]codes),
+		joinSizes:  make(map[wKey]int64),
+		distFrom:   make(map[wKey]int64),
+		distTo:     make(map[wKey]int64),
+		numCenters: m.NumCenters,
+		coverSize:  m.CoverSize,
+	}
+	db.heap = storage.NewHeapFile(db.pool)
+	db.wtable = storage.OpenBTree(db.pool, storage.PageID(m.WTableRoot))
+	db.cluster = storage.OpenBTree(db.pool, storage.PageID(m.ClustRoot))
+
+	// Rebuild the graph from the persisted records.
+	nodeRec, err := db.heap.Read(storage.DecodeRID(m.NodesRID))
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("gdb: read node record: %w", err)
+	}
+	edgeRec, err := db.heap.Read(storage.DecodeRID(m.EdgesRID))
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("gdb: read edge record: %w", err)
+	}
+	gb := graph.NewBuilder()
+	labelIDs := make([]graph.Label, len(m.Labels))
+	for i, name := range m.Labels {
+		labelIDs[i] = gb.Intern(name)
+	}
+	nNodes := int(binary.LittleEndian.Uint32(nodeRec))
+	for v := 0; v < nNodes; v++ {
+		li := binary.LittleEndian.Uint32(nodeRec[4+4*v:])
+		if int(li) >= len(labelIDs) {
+			db.Close()
+			return nil, fmt.Errorf("gdb: node %d has label %d of %d", v, li, len(labelIDs))
+		}
+		gb.AddNodeLabel(labelIDs[li])
+	}
+	nEdges := int(binary.LittleEndian.Uint32(edgeRec))
+	o := 4
+	for i := 0; i < nEdges; i++ {
+		from := graph.NodeID(binary.LittleEndian.Uint32(edgeRec[o:]))
+		to := graph.NodeID(binary.LittleEndian.Uint32(edgeRec[o+4:]))
+		o += 8
+		gb.AddEdge(from, to)
+	}
+	db.g = gb.Build()
+
+	for name, root := range m.BaseRoots {
+		l := db.g.Labels().Lookup(name)
+		if l == graph.InvalidLabel {
+			db.Close()
+			return nil, fmt.Errorf("gdb: manifest base table for unknown label %q", name)
+		}
+		db.base[l] = storage.OpenBTree(db.pool, storage.PageID(root))
+	}
+	return db, nil
+}

@@ -1,0 +1,126 @@
+package gdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+func TestPersistAndOpen(t *testing.T) {
+	g := randomGraph(31, 300, 600, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+
+	built, err := Build(g, Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture reference facts from the built database.
+	type probe struct{ u, v graph.NodeID }
+	var probes []probe
+	var want []bool
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u += 7 {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v += 11 {
+			ok, err := built.Reaches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes = append(probes, probe{u, v})
+			want = append(want, ok)
+		}
+	}
+	wantCenters := built.NumCenters()
+	wantCover := built.CoverSize()
+	aLbl := g.Labels().Lookup("A")
+	bLbl := g.Labels().Lookup("B")
+	wantW, err := built.Centers(aLbl, bLbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, err := built.JoinSize(aLbl, bLbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk only.
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if db.Cover() != nil {
+		t.Fatal("opened DB should have nil cover object")
+	}
+	if db.CoverSize() != wantCover {
+		t.Fatalf("cover size %d, want %d", db.CoverSize(), wantCover)
+	}
+	if db.NumCenters() != wantCenters {
+		t.Fatalf("centers %d, want %d", db.NumCenters(), wantCenters)
+	}
+	// Graph reconstructed faithfully.
+	g2 := db.Graph()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph mismatch: %v vs %v", g2, g)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g2.LabelNameOf(v) != g.LabelNameOf(v) {
+			t.Fatalf("label of node %d changed", v)
+		}
+	}
+	// Reachability answers identical.
+	for i, pr := range probes {
+		ok, err := db.Reaches(pr.u, pr.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want[i] {
+			t.Fatalf("Reaches(%d,%d) = %v after reopen, want %v", pr.u, pr.v, ok, want[i])
+		}
+	}
+	// W-table and stats identical.
+	gotW, err := db.Centers(g2.Labels().Lookup("A"), g2.Labels().Lookup("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotW) != len(wantW) {
+		t.Fatalf("W(A,B) size %d, want %d", len(gotW), len(wantW))
+	}
+	gotJS, err := db.JoinSize(g2.Labels().Lookup("A"), g2.Labels().Lookup("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJS != wantJS {
+		t.Fatalf("JoinSize %d, want %d", gotJS, wantJS)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.pages"), Options{}); err == nil {
+		t.Fatal("expected error for missing manifest")
+	}
+	// Corrupt manifest.
+	path := filepath.Join(dir, "bad.pages")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".manifest", []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("expected error for corrupt manifest")
+	}
+	// Wrong version.
+	if err := os.WriteFile(path+".manifest", []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("expected error for bad version")
+	}
+}

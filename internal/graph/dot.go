@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders g in Graphviz DOT format, one node per data node with
+// its label and ID, for visualising small graphs and debugging examples.
+// maxNodes caps the output (0 = no cap); when the cap truncates, a comment
+// notes how many nodes were omitted.
+func WriteDOT(w io.Writer, g *Graph, maxNodes int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph G {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=ellipse, fontsize=10];")
+	n := g.NumNodes()
+	shown := n
+	if maxNodes > 0 && maxNodes < n {
+		shown = maxNodes
+	}
+	for v := 0; v < shown; v++ {
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, fmt.Sprintf("%s/%d", escapeDOT(g.LabelNameOf(NodeID(v))), v))
+	}
+	for v := 0; v < shown; v++ {
+		for _, u := range g.Successors(NodeID(v)) {
+			if int(u) < shown {
+				fmt.Fprintf(bw, "  n%d -> n%d;\n", v, u)
+			}
+		}
+	}
+	if shown < n {
+		fmt.Fprintf(bw, "  // %d of %d nodes omitted\n", n-shown, n)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func escapeDOT(s string) string {
+	return strings.NewReplacer(`"`, `\"`, "\n", " ").Replace(s)
+}

@@ -1,0 +1,355 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the data graph of Figure 1(a):
+// labels A,B,C,D,E with nodes a0; b0..b6; c0..c3; d0..d5; e0..e7 and the
+// edges drawn in the figure (reconstructed from Figure 2's codes).
+func paperGraph(t testing.TB) (*Graph, map[string]NodeID) {
+	b := NewBuilder()
+	ids := map[string]NodeID{}
+	add := func(name string, label string) {
+		ids[name] = b.AddNode(label)
+	}
+	add("a0", "A")
+	for _, n := range []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6"} {
+		add(n, "B")
+	}
+	for _, n := range []string{"c0", "c1", "c2", "c3"} {
+		add(n, "C")
+	}
+	for _, n := range []string{"d0", "d1", "d2", "d3", "d4", "d5"} {
+		add(n, "D")
+	}
+	for _, n := range []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
+		add(n, "E")
+	}
+	edges := [][2]string{
+		{"a0", "b3"}, {"a0", "b4"}, {"a0", "b5"},
+		{"a0", "c0"}, {"b3", "c2"}, {"b4", "c2"},
+		{"b5", "c3"}, {"b6", "c3"},
+		{"b0", "c1"}, {"b1", "c1"}, {"b2", "c1"}, {"b1", "c3"},
+		{"c0", "d0"}, {"c0", "d1"}, {"c0", "e0"},
+		{"c1", "d2"}, {"c1", "d3"}, {"c1", "e7"},
+		{"c2", "e2"},
+		{"c3", "d4"}, {"c3", "d5"},
+		{"d0", "e0"}, {"d2", "e1"}, {"d4", "e3"},
+		{"e4", "e5"},
+	}
+	for _, e := range edges {
+		b.AddEdge(ids[e[0]], ids[e[1]])
+	}
+	return b.Build(), ids
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g, ids := paperGraph(t)
+	if g.NumNodes() != 26 {
+		t.Fatalf("NumNodes = %d, want 26", g.NumNodes())
+	}
+	if g.NumEdges() != 25 {
+		t.Fatalf("NumEdges = %d, want 25", g.NumEdges())
+	}
+	if g.Labels().Len() != 5 {
+		t.Fatalf("labels = %d, want 5", g.Labels().Len())
+	}
+	if g.LabelNameOf(ids["c2"]) != "C" {
+		t.Fatalf("label of c2 = %q", g.LabelNameOf(ids["c2"]))
+	}
+	if got := g.ExtentSize(g.Labels().Lookup("B")); got != 7 {
+		t.Fatalf("|ext(B)| = %d, want 7", got)
+	}
+	if got := g.OutDegree(ids["a0"]); got != 4 {
+		t.Fatalf("outdeg(a0) = %d, want 4", got)
+	}
+	if got := g.InDegree(ids["c1"]); got != 3 {
+		t.Fatalf("indeg(c1) = %d, want 3", got)
+	}
+}
+
+func TestLabelTable(t *testing.T) {
+	var lt LabelTable
+	a := lt.Intern("A")
+	b := lt.Intern("B")
+	if a == b {
+		t.Fatal("distinct names interned to same label")
+	}
+	if lt.Intern("A") != a {
+		t.Fatal("re-interning changed ID")
+	}
+	if lt.Lookup("missing") != InvalidLabel {
+		t.Fatal("Lookup of missing name should be InvalidLabel")
+	}
+	if lt.Name(a) != "A" || lt.Name(b) != "B" {
+		t.Fatal("Name mismatch")
+	}
+	if got := lt.Names(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Names() = %v", got)
+	}
+	var empty LabelTable
+	if empty.Lookup("x") != InvalidLabel {
+		t.Fatal("empty table Lookup should be InvalidLabel")
+	}
+}
+
+func TestReachesPaperExamples(t *testing.T) {
+	g, ids := paperGraph(t)
+	// From Section 2: a0 ⇝ c1 is NOT an edge-path in our reconstruction of
+	// the figure (Figure 1 is only partially recoverable), but the following
+	// pairs are fixed by the drawn edges.
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"a0", "c2", true},  // a0→b3→c2
+		{"a0", "e2", true},  // …→c2→e2
+		{"b1", "c3", true},  // edge
+		{"b1", "e3", true},  // b1→c3→d4→e3
+		{"c0", "e0", true},  // direct and via d0
+		{"e0", "c0", false}, // no back edges
+		{"b0", "b1", false},
+		{"d2", "e1", true},
+		{"e4", "e5", true},
+		{"e5", "e4", false},
+		{"a0", "a0", true}, // reflexive
+	}
+	for _, c := range cases {
+		if got := Reaches(g, ids[c.from], ids[c.to]); got != c.want {
+			t.Errorf("Reaches(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestDedupEdges(t *testing.T) {
+	b := NewBuilder()
+	b.SetDedupEdges(true)
+	u := b.AddNode("X")
+	v := b.AddNode("Y")
+	b.AddEdge(u, v)
+	b.AddEdge(u, v)
+	b.AddEdge(u, v)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 after dedup", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanicsOnBadNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for edge to nonexistent node")
+		}
+	}()
+	b := NewBuilder()
+	u := b.AddNode("X")
+	b.AddEdge(u, 99)
+}
+
+// randomGraph builds a random labeled digraph from a seed.
+func randomGraph(seed int64, n, m, nlabels int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(nlabels))))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestSCCOnCycle(t *testing.T) {
+	b := NewBuilder()
+	var nodes []NodeID
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, b.AddNode("X"))
+	}
+	for i := 0; i < 5; i++ {
+		b.AddEdge(nodes[i], nodes[(i+1)%5])
+	}
+	g := b.Build()
+	s := NewSCC(g)
+	if s.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", s.NumComponents())
+	}
+	if len(s.Members(0)) != 5 {
+		t.Fatalf("component size = %d, want 5", len(s.Members(0)))
+	}
+}
+
+func TestSCCTwoCyclesBridge(t *testing.T) {
+	b := NewBuilder()
+	var nodes []NodeID
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, b.AddNode("X"))
+	}
+	// Cycle 0-1-2, cycle 3-4-5, bridge 2→3.
+	b.AddEdge(nodes[0], nodes[1])
+	b.AddEdge(nodes[1], nodes[2])
+	b.AddEdge(nodes[2], nodes[0])
+	b.AddEdge(nodes[3], nodes[4])
+	b.AddEdge(nodes[4], nodes[5])
+	b.AddEdge(nodes[5], nodes[3])
+	b.AddEdge(nodes[2], nodes[3])
+	g := b.Build()
+	s := NewSCC(g)
+	if s.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", s.NumComponents())
+	}
+	// The first cycle's component must topologically precede the second's,
+	// i.e. have the larger ID (reverse topological numbering).
+	c0 := s.Comp[nodes[0]]
+	c3 := s.Comp[nodes[3]]
+	if c0 <= c3 {
+		t.Fatalf("expected comp(first cycle)=%d > comp(second)=%d", c0, c3)
+	}
+	if got := s.CondSuccessors(c0); len(got) != 1 || got[0] != c3 {
+		t.Fatalf("CondSuccessors(%d) = %v, want [%d]", c0, got, c3)
+	}
+	if got := s.CondPredecessors(c3); len(got) != 1 || got[0] != c0 {
+		t.Fatalf("CondPredecessors(%d) = %v, want [%d]", c3, got, c0)
+	}
+}
+
+// TestSCCProperty checks on random graphs that two nodes share a component
+// iff they reach each other, and that component IDs are reverse-topological.
+func TestSCCProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 30, 60, 3)
+		s := NewSCC(g)
+		for trial := 0; trial < 40; trial++ {
+			rng := rand.New(rand.NewSource(seed + int64(trial)))
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			same := s.Comp[u] == s.Comp[v]
+			mutual := Reaches(g, u, v) && Reaches(g, v, u)
+			if same != mutual {
+				return false
+			}
+			// Reverse-topological IDs: u ⇝ v across components implies
+			// comp(u) > comp(v).
+			if s.Comp[u] != s.Comp[v] && Reaches(g, u, v) && s.Comp[u] < s.Comp[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitiveClosureProperty checks the bitset closure against BFS.
+func TestTransitiveClosureProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 25, 50, 3)
+		tc := NewTransitiveClosure(g)
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		for trial := 0; trial < 50; trial++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			if tc.Reaches(u, v) != Reaches(g, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveClosureCountFrom(t *testing.T) {
+	g, ids := paperGraph(t)
+	tc := NewTransitiveClosure(g)
+	from := ReachableFrom(g, ids["a0"])
+	want := 0
+	for _, ok := range from {
+		if ok {
+			want++
+		}
+	}
+	if got := tc.CountFrom(ids["a0"]); got != want {
+		t.Fatalf("CountFrom(a0) = %d, want %d", got, want)
+	}
+}
+
+func TestReachableFromAndTo(t *testing.T) {
+	g, ids := paperGraph(t)
+	from := ReachableFrom(g, ids["c0"])
+	if !from[ids["e0"]] || !from[ids["d1"]] || from[ids["a0"]] {
+		t.Fatalf("ReachableFrom(c0) wrong: e0=%v d1=%v a0=%v",
+			from[ids["e0"]], from[ids["d1"]], from[ids["a0"]])
+	}
+	to := ReachingTo(g, ids["e3"])
+	if !to[ids["c3"]] || !to[ids["b1"]] || to[ids["e0"]] {
+		t.Fatalf("ReachingTo(e3) wrong")
+	}
+	// Duality: w ∈ ReachableFrom(v) ⇔ v ∈ ReachingTo(w).
+	for v := NodeID(0); int(v) < g.NumNodes(); v += 3 {
+		fw := ReachableFrom(g, v)
+		for w := NodeID(0); int(w) < g.NumNodes(); w += 5 {
+			if fw[w] != ReachingTo(g, w)[v] {
+				t.Fatalf("duality violated for %d,%d", v, w)
+			}
+		}
+	}
+}
+
+func TestIsDAG(t *testing.T) {
+	g, _ := paperGraph(t)
+	if !IsDAG(g) {
+		t.Fatal("paper graph should be a DAG")
+	}
+	b := NewBuilder()
+	u := b.AddNode("X")
+	v := b.AddNode("X")
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+	if IsDAG(b.Build()) {
+		t.Fatal("2-cycle should not be a DAG")
+	}
+	b2 := NewBuilder()
+	w := b2.AddNode("X")
+	b2.AddEdge(w, w)
+	if IsDAG(b2.Build()) {
+		t.Fatal("self-loop should not be a DAG")
+	}
+}
+
+func TestSCCTopoOrder(t *testing.T) {
+	g := randomGraph(7, 40, 80, 4)
+	s := NewSCC(g)
+	order := s.TopoOrder()
+	pos := make(map[int32]int, len(order))
+	for i, c := range order {
+		pos[c] = i
+	}
+	for _, c := range order {
+		for _, d := range s.CondSuccessors(c) {
+			if pos[c] >= pos[d] {
+				t.Fatalf("topo order violated: %d before %d", c, d)
+			}
+		}
+	}
+}
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	g := randomGraph(11, 2000, 6000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewTransitiveClosure(g)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := randomGraph(12, 20000, 60000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSCC(g)
+	}
+}

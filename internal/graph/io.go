@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text graph format, one record per line:
+//
+//	fgm 1                 header: magic + version
+//	n <label>             one per node, in node-ID order
+//	e <from> <to>         one per edge
+//	# ...                 comment (ignored)
+//
+// It is the interchange format of cmd/fgmgen and cmd/fgmatch.
+
+// WriteText serialises g in the text graph format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "fgm 1\n"); err != nil {
+		return err
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "n %s\n", g.LabelNameOf(v)); err != nil {
+			return err
+		}
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, u := range g.Successors(v) {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text graph format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != "fgm 1" {
+		return nil, fmt.Errorf("graph: bad header %q (want \"fgm 1\")", sc.Text())
+	}
+	b := NewBuilder()
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "n "):
+			label := strings.TrimSpace(line[2:])
+			if label == "" {
+				return nil, fmt.Errorf("graph: line %d: empty label", lineNo)
+			}
+			b.AddNode(label)
+		case strings.HasPrefix(line, "e "):
+			fields := strings.Fields(line[2:])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"e <from> <to>\"", lineNo)
+			}
+			from, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			to, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			if from < 0 || from >= b.NumNodes() || to < 0 || to >= b.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: edge %d->%d out of range (%d nodes so far; declare nodes before edges)",
+					lineNo, from, to, b.NumNodes())
+			}
+			b.AddEdge(NodeID(from), NodeID(to))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g, _ := paperGraph(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %v vs %v", g2, g)
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g2.LabelNameOf(v) != g.LabelNameOf(v) {
+			t.Fatalf("label of %d changed", v)
+		}
+		a, b := g.Successors(v), g2.Successors(v)
+		if len(a) != len(b) {
+			t.Fatalf("successors of %d changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("successors of %d changed", v)
+			}
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := "fgm 1\n# a comment\nn X\nn Y\n\ne 0 1\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		frag string
+	}{
+		{"", "empty input"},
+		{"nope\n", "bad header"},
+		{"fgm 1\nx 1\n", "unknown record"},
+		{"fgm 1\nn \n", "unknown record"}, // "n " trims to "n" → unknown
+		{"fgm 1\ne 0 1\n", "out of range"},
+		{"fgm 1\nn X\ne 0\n", "want \"e <from> <to>\""},
+		{"fgm 1\nn X\ne a b\n", "invalid syntax"},
+		{"fgm 1\nn X\ne 0 7\n", "out of range"},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ReadText(%q) err = %v, want containing %q", c.in, err, c.frag)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := paperGraph(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph G") || !strings.Contains(out, "->") {
+		t.Fatalf("unhelpful DOT output: %q", out[:80])
+	}
+	if strings.Count(out, "[label=") != g.NumNodes() {
+		t.Fatalf("DOT node count mismatch")
+	}
+	// Capped output mentions omissions and stays well-formed.
+	buf.Reset()
+	if err := WriteDOT(&buf, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "omitted") {
+		t.Fatal("capped DOT should note omissions")
+	}
+}

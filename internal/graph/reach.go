@@ -1,0 +1,146 @@
+package graph
+
+// Reaches reports whether v ⇝ w in g, i.e. w is reachable from v along zero
+// or more edges (reachability is reflexive, matching the 2-hop convention of
+// Example 3.1). It runs a fresh BFS and is intended for tests, small graphs,
+// and as a ground-truth oracle — not for query processing.
+func Reaches(g *Graph, v, w NodeID) bool {
+	if v == w {
+		return true
+	}
+	visited := make([]bool, g.NumNodes())
+	queue := []NodeID{v}
+	visited[v] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, x := range g.Successors(u) {
+			if x == w {
+				return true
+			}
+			if !visited[x] {
+				visited[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableFrom returns the set of nodes reachable from v (including v) as a
+// boolean slice indexed by NodeID.
+func ReachableFrom(g *Graph, v NodeID) []bool {
+	visited := make([]bool, g.NumNodes())
+	queue := []NodeID{v}
+	visited[v] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, x := range g.Successors(u) {
+			if !visited[x] {
+				visited[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return visited
+}
+
+// ReachingTo returns the set of nodes that reach v (including v) as a
+// boolean slice indexed by NodeID.
+func ReachingTo(g *Graph, v NodeID) []bool {
+	visited := make([]bool, g.NumNodes())
+	queue := []NodeID{v}
+	visited[v] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, x := range g.Predecessors(u) {
+			if !visited[x] {
+				visited[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return visited
+}
+
+// TransitiveClosure computes the full reachability matrix of g as a slice of
+// bitsets: bit w of row v is set iff v ⇝ w. Memory is O(|V|²/8); use only on
+// small graphs (tests and the TSD comparison dataset).
+type TransitiveClosure struct {
+	n    int
+	rows [][]uint64
+}
+
+// NewTransitiveClosure computes the closure of g by processing the SCC
+// condensation in reverse topological order and OR-ing successor rows.
+func NewTransitiveClosure(g *Graph) *TransitiveClosure {
+	n := g.NumNodes()
+	words := (n + 63) / 64
+	tc := &TransitiveClosure{n: n, rows: make([][]uint64, n)}
+
+	scc := NewSCC(g)
+	nc := scc.NumComponents()
+	compRows := make([][]uint64, nc)
+
+	// Component IDs are in reverse topological order: component 0 has no
+	// successors outside itself, so process IDs ascending.
+	for c := int32(0); c < int32(nc); c++ {
+		row := make([]uint64, words)
+		for _, v := range scc.Members(c) {
+			row[int(v)/64] |= 1 << (uint(v) % 64)
+		}
+		for _, sc := range scc.CondSuccessors(c) {
+			srow := compRows[sc]
+			for i, w := range srow {
+				row[i] |= w
+			}
+		}
+		compRows[c] = row
+	}
+	for v := 0; v < n; v++ {
+		tc.rows[v] = compRows[scc.Comp[v]]
+	}
+	return tc
+}
+
+// Reaches reports v ⇝ w.
+func (tc *TransitiveClosure) Reaches(v, w NodeID) bool {
+	return tc.rows[v][int(w)/64]&(1<<(uint(w)%64)) != 0
+}
+
+// CountFrom returns |{w : v ⇝ w}|.
+func (tc *TransitiveClosure) CountFrom(v NodeID) int {
+	total := 0
+	for _, word := range tc.rows[v] {
+		total += popcount(word)
+	}
+	return total
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// IsDAG reports whether g is acyclic (every SCC is a singleton with no
+// self-loop).
+func IsDAG(g *Graph) bool {
+	scc := NewSCC(g)
+	if scc.NumComponents() != g.NumNodes() {
+		return false
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, w := range g.Successors(v) {
+			if w == v {
+				return false
+			}
+		}
+	}
+	return true
+}

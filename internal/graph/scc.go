@@ -1,0 +1,185 @@
+package graph
+
+// SCC is the result of a strongly-connected-component decomposition of a
+// Graph, together with its condensation (a DAG whose nodes are components).
+type SCC struct {
+	// Comp[v] is the component ID of node v. Component IDs are dense in
+	// [0, NumComponents) and assigned in reverse topological order of the
+	// condensation (a component's ID is greater than the IDs of the
+	// components it can reach). Members reports the nodes of one component.
+	Comp []int32
+
+	members    [][]NodeID
+	condHead   []int32
+	condAdj    []int32
+	condRev    []int32
+	condRevHdr []int32
+}
+
+// NumComponents returns the number of strongly connected components.
+func (s *SCC) NumComponents() int { return len(s.members) }
+
+// Members returns the nodes in component c. The slice aliases internal
+// storage and must not be modified.
+func (s *SCC) Members(c int32) []NodeID { return s.members[c] }
+
+// CondSuccessors returns the successor components of component c in the
+// condensation (deduplicated).
+func (s *SCC) CondSuccessors(c int32) []int32 {
+	return s.condAdj[s.condHead[c]:s.condHead[c+1]]
+}
+
+// CondPredecessors returns the predecessor components of component c in the
+// condensation (deduplicated).
+func (s *SCC) CondPredecessors(c int32) []int32 {
+	return s.condRev[s.condRevHdr[c]:s.condRevHdr[c+1]]
+}
+
+// TopoOrder returns the component IDs in a topological order of the
+// condensation (sources first). Because component IDs are assigned in
+// reverse topological order by Tarjan's algorithm, this is simply
+// NumComponents-1 .. 0.
+func (s *SCC) TopoOrder() []int32 {
+	n := s.NumComponents()
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(n - 1 - i)
+	}
+	return out
+}
+
+// NewSCC decomposes g into strongly connected components using an iterative
+// Tarjan's algorithm and builds the condensation DAG.
+func NewSCC(g *Graph) *SCC {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		counter int32
+		nComp   int32
+		stack   []NodeID // Tarjan stack
+	)
+
+	// Explicit DFS stack: each frame is (node, index into successor list).
+	type frame struct {
+		v  NodeID
+		ei int32
+	}
+	var dfs []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{NodeID(start), 0})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			succ := g.Successors(f.v)
+			if int(f.ei) < len(succ) {
+				w := succ[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-visit of f.v.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v is the root of a component: pop it.
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	s := &SCC{Comp: comp}
+	s.members = make([][]NodeID, nComp)
+	counts := make([]int, nComp)
+	for _, c := range comp {
+		counts[c]++
+	}
+	for c := range s.members {
+		s.members[c] = make([]NodeID, 0, counts[c])
+	}
+	for v := 0; v < n; v++ {
+		s.members[comp[v]] = append(s.members[comp[v]], NodeID(v))
+	}
+
+	// Condensation edges (deduplicated).
+	type cedge struct{ u, v int32 }
+	seen := make(map[cedge]struct{})
+	var cs, cd []int32
+	for v := 0; v < n; v++ {
+		cu := comp[v]
+		for _, w := range g.Successors(NodeID(v)) {
+			cv := comp[w]
+			if cu == cv {
+				continue
+			}
+			e := cedge{cu, cv}
+			if _, ok := seen[e]; ok {
+				continue
+			}
+			seen[e] = struct{}{}
+			cs = append(cs, cu)
+			cd = append(cd, cv)
+		}
+	}
+	s.condHead, s.condAdj = buildCSR32(int(nComp), cs, cd)
+	s.condRevHdr, s.condRev = buildCSR32(int(nComp), cd, cs)
+	return s
+}
+
+// buildCSR32 is buildCSR for int32 node IDs (condensation components).
+func buildCSR32(n int, from, to []int32) ([]int32, []int32) {
+	head := make([]int32, n+1)
+	for _, u := range from {
+		head[u+1]++
+	}
+	for i := 1; i <= n; i++ {
+		head[i] += head[i-1]
+	}
+	adj := make([]int32, len(from))
+	cursor := make([]int32, n)
+	for i, u := range from {
+		adj[head[u]+cursor[u]] = to[i]
+		cursor[u]++
+	}
+	return head, adj
+}

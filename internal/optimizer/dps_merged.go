@@ -1,0 +1,233 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OptimizeDPSMerged is the reduced-state variant the paper describes at the
+// end of Section 4.2: B_in and B_out are replaced by a single set
+// B = B_in ∪ B_out, dropping the status count from O(5^n) to O(3^n) — "with
+// the implication that the X_in and X_out columns of a base table T_X are
+// accessed with each other each time". A Filter-move on X therefore scans
+// both code columns at once (slightly more expensive per row) and appends
+// every remaining semijoin on either side of X; afterwards both code sides
+// of X count as cached.
+func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
+	pat := b.Pattern
+	m := pat.NumEdges()
+	n := pat.NumNodes()
+	if m > 16 || n > 16 {
+		return nil, fmt.Errorf("optimizer: pattern with %d nodes/%d edges too large for DPS", n, m)
+	}
+	fullE := (uint32(1) << m) - 1
+
+	type info struct {
+		cost float64
+		pred uint64
+		mv   move
+	}
+	key := func(e, bm uint32) uint64 { return uint64(e) | uint64(bm)<<16 }
+	states := map[uint64]*info{0: {}}
+	levels := make([][]uint64, m+n+1)
+	levels[0] = []uint64{0}
+	level := func(k uint64) int {
+		return bits.OnesCount32(uint32(k&0xFFFF)) + bits.OnesCount32(uint32(k>>16))
+	}
+	relax := func(from, to uint64, cost float64, mv move) {
+		cur := states[to]
+		if cur == nil {
+			states[to] = &info{cost: cost, pred: from, mv: mv}
+			levels[level(to)] = append(levels[level(to)], to)
+			return
+		}
+		if cost < cur.cost {
+			cur.cost, cur.pred, cur.mv = cost, from, mv
+		}
+	}
+
+	rowsOf := func(e, bm uint32) float64 {
+		v := bm
+		for ei := 0; ei < m; ei++ {
+			if e&(1<<uint(ei)) != 0 {
+				pe := pat.Edges[ei]
+				v |= 1<<uint(pe.From) | 1<<uint(pe.To)
+			}
+		}
+		if v == 0 {
+			return 1
+		}
+		rows := 1.0
+		for x := 0; x < n; x++ {
+			if v&(1<<uint(x)) != 0 {
+				rows *= b.Ext[x]
+			}
+		}
+		for ei := 0; ei < m; ei++ {
+			pe := pat.Edges[ei]
+			if e&(1<<uint(ei)) != 0 {
+				rows *= b.sel(ei)
+				continue
+			}
+			if bm&(1<<uint(pe.From)) != 0 {
+				rows *= b.semiSelFrom(ei)
+			}
+			if bm&(1<<uint(pe.To)) != 0 {
+				rows *= b.semiSelTo(ei)
+			}
+		}
+		return rows
+	}
+
+	for l := 0; l < len(levels); l++ {
+		for _, k := range levels[l] {
+			st := states[k]
+			e, bm := uint32(k&0xFFFF), uint32(k>>16)
+			rows := rowsOf(e, bm)
+
+			bound := bm
+			for ei := 0; ei < m; ei++ {
+				if e&(1<<uint(ei)) != 0 {
+					pe := pat.Edges[ei]
+					bound |= 1<<uint(pe.From) | 1<<uint(pe.To)
+				}
+			}
+
+			if k == 0 {
+				for ei := 0; ei < m; ei++ {
+					cost := st.cost + params.hpsjCost(b.WCount[ei], b.JS[ei])
+					relax(k, key(1<<uint(ei), 0), cost, move{kind: moveRJoin, edge: ei})
+				}
+			}
+
+			// Filter-move: both code sides of X are read in one scan.
+			for x := 0; x < n; x++ {
+				if bound != 0 && bound&(1<<uint(x)) == 0 {
+					continue
+				}
+				if bm&(1<<uint(x)) != 0 {
+					continue
+				}
+				var q []int
+				for ei := 0; ei < m; ei++ {
+					if e&(1<<uint(ei)) != 0 {
+						continue
+					}
+					pe := pat.Edges[ei]
+					if pe.From == x || pe.To == x {
+						q = append(q, ei)
+					}
+				}
+				if len(q) == 0 {
+					continue
+				}
+				basis := rows
+				if bound == 0 {
+					basis = b.Ext[x]
+				}
+				// Both code columns per row: SearchB + 2·CodeFetch.
+				cost := st.cost + (params.SearchB+2*params.CodeFetch)*basis + params.CPU*basis*float64(len(q))
+				relax(k, key(e, bm|1<<uint(x)), cost,
+					move{kind: moveFilter, node: x, edges: q})
+			}
+
+			// Fetch-move: any edge whose filter is included via either side.
+			for ei := 0; ei < m; ei++ {
+				if e&(1<<uint(ei)) != 0 {
+					continue
+				}
+				pe := pat.Edges[ei]
+				fromCached := bm&(1<<uint(pe.From)) != 0
+				toCached := bm&(1<<uint(pe.To)) != 0
+				if !fromCached && !toCached {
+					continue
+				}
+				ne := e | 1<<uint(ei)
+				nrows := rowsOf(ne, bm)
+				fromBound := bound&(1<<uint(pe.From)) != 0
+				toBound := bound&(1<<uint(pe.To)) != 0
+				var cost float64
+				isSel := fromBound && toBound
+				if isSel {
+					uncached := 0
+					if !fromCached {
+						uncached++
+					}
+					if !toCached {
+						uncached++
+					}
+					cost = st.cost + params.selectionCost(rows, uncached)
+				} else {
+					cost = st.cost + params.fetchCost(rows, nrows)
+				}
+				relax(k, key(ne, bm), cost, move{kind: moveFetch, edge: ei, isSel: isSel})
+			}
+		}
+	}
+
+	var best uint64
+	var bestInfo *info
+	for k, inf := range states {
+		if uint32(k&0xFFFF) != fullE {
+			continue
+		}
+		if bestInfo == nil || inf.cost < bestInfo.cost {
+			best, bestInfo = k, inf
+		}
+	}
+	if bestInfo == nil {
+		return nil, fmt.Errorf("optimizer: DPS-merged found no complete plan")
+	}
+
+	var movesRev []move
+	for k := best; k != 0; {
+		inf := states[k]
+		movesRev = append(movesRev, inf.mv)
+		k = inf.pred
+	}
+	plan := &Plan{
+		Binding:       b,
+		EstimatedCost: bestInfo.cost,
+		EstimatedRows: rowsOf(uint32(best&0xFFFF), uint32(best>>16)),
+		Algorithm:     "DPS-merged",
+	}
+	for i := len(movesRev) - 1; i >= 0; i-- {
+		mv := movesRev[i]
+		switch mv.kind {
+		case moveRJoin:
+			plan.Steps = append(plan.Steps, Step{Kind: StepHPSJ, Edges: []int{mv.edge}})
+		case moveFilter:
+			// The merged Filter-move reads both code columns; emit one
+			// semijoin group per side actually used so the executor's
+			// operators stay single-sided.
+			var outQ, inQ []int
+			for _, ei := range mv.edges {
+				if pat.Edges[ei].From == mv.node {
+					outQ = append(outQ, ei)
+				} else {
+					inQ = append(inQ, ei)
+				}
+			}
+			if len(outQ) > 0 {
+				plan.Steps = append(plan.Steps, Step{
+					Kind: StepSemijoinGroup, Edges: outQ, Node: mv.node, OutSide: true,
+				})
+			}
+			if len(inQ) > 0 {
+				plan.Steps = append(plan.Steps, Step{
+					Kind: StepSemijoinGroup, Edges: inQ, Node: mv.node, OutSide: false,
+				})
+			}
+		case moveFetch:
+			kind := StepFetch
+			if mv.isSel {
+				kind = StepSelection
+			}
+			plan.Steps = append(plan.Steps, Step{Kind: kind, Edges: []int{mv.edge}})
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: DPS-merged produced invalid plan: %w", err)
+	}
+	return plan, nil
+}

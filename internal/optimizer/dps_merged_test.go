@@ -1,0 +1,89 @@
+package optimizer
+
+import (
+	"testing"
+
+	"fastmatch/internal/pattern"
+)
+
+func TestDPSMergedPlansValid(t *testing.T) {
+	g := randomGraph(21, 120, 300, 5)
+	db := mustDB(t, g)
+	for _, ps := range testPatterns {
+		b, err := Bind(db, pattern.MustParse(ps))
+		if err != nil {
+			t.Fatalf("%s: %v", ps, err)
+		}
+		plan, err := OptimizeDPSMerged(b, DefaultCostParams())
+		if err != nil {
+			t.Fatalf("%s: %v", ps, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: invalid merged plan: %v\n%s", ps, err, plan)
+		}
+		if plan.Algorithm != "DPS-merged" {
+			t.Fatalf("algorithm = %q", plan.Algorithm)
+		}
+	}
+}
+
+// TestDPSMergedNeverCheaperThanDPS: the merged variant searches a strictly
+// coarser status space with an extra per-row code-column cost, so its
+// estimated cost can not undercut full DPS under the same model by more
+// than rounding.
+func TestDPSMergedCostSane(t *testing.T) {
+	g := randomGraph(22, 150, 380, 5)
+	db := mustDB(t, g)
+	for _, ps := range testPatterns {
+		b, err := Bind(db, pattern.MustParse(ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := OptimizeDPS(b, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := OptimizeDPSMerged(b, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.EstimatedCost <= 0 || full.EstimatedCost <= 0 {
+			t.Fatalf("%s: nonpositive costs", ps)
+		}
+		// Coarser space + pricier filter scans: merged should not beat the
+		// full search by more than a sliver of modeling noise.
+		if merged.EstimatedCost < full.EstimatedCost*0.99 {
+			t.Errorf("%s: merged est %.1f undercuts full DPS est %.1f", ps, merged.EstimatedCost, full.EstimatedCost)
+		}
+	}
+}
+
+func TestDPSMergedEmitsSplitGroups(t *testing.T) {
+	// A node with conditions on both sides (C here) should yield separate
+	// in-side and out-side semijoin groups when its merged Filter-move is
+	// chosen.
+	g := randomGraph(23, 200, 500, 5)
+	db := mustDB(t, g)
+	b, err := Bind(db, pattern.MustParse("A->C; B->C; C->D; C->E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimizeDPSMerged(b, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		if s.Kind != StepSemijoinGroup {
+			continue
+		}
+		for _, e := range s.Edges {
+			side := b.Pattern.Edges[e].From
+			if !s.OutSide {
+				side = b.Pattern.Edges[e].To
+			}
+			if side != s.Node {
+				t.Fatalf("semijoin group mixes sides:\n%s", plan)
+			}
+		}
+	}
+}

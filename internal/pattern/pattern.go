@@ -1,0 +1,237 @@
+// Package pattern models graph patterns: connected directed graphs whose
+// nodes are labels and whose edges X→Y are reachability conditions
+// (Section 2 of the paper). It includes a small text syntax:
+//
+//	A->C; B->C; C->D; D->E
+//
+// Each edge is "X->Y"; edges are separated by ';' or newlines; whitespace is
+// ignored. Node labels are introduced by the edges that mention them.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a reachability condition From→To, holding indexes into
+// Pattern.Nodes.
+type Edge struct {
+	From, To int
+}
+
+// Pattern is a parsed, validated graph pattern. As in the paper, each
+// pattern node is a distinct label.
+type Pattern struct {
+	// Nodes holds the label names, in first-mention order.
+	Nodes []string
+	// Edges holds the reachability conditions.
+	Edges []Edge
+
+	index map[string]int
+}
+
+// New builds a pattern from label names and edges given as label pairs.
+func New(edges [][2]string) (*Pattern, error) {
+	p := &Pattern{index: make(map[string]int)}
+	for _, e := range edges {
+		from, to := strings.TrimSpace(e[0]), strings.TrimSpace(e[1])
+		if from == "" || to == "" {
+			return nil, fmt.Errorf("pattern: empty label in edge %q->%q", e[0], e[1])
+		}
+		fi := p.intern(from)
+		ti := p.intern(to)
+		p.Edges = append(p.Edges, Edge{fi, ti})
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Parse parses the text syntax.
+func Parse(s string) (*Pattern, error) {
+	var edges [][2]string
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == '\n' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lr := strings.Split(part, "->")
+		if len(lr) != 2 {
+			return nil, fmt.Errorf("pattern: bad edge %q (want X->Y)", part)
+		}
+		edges = append(edges, [2]string{strings.TrimSpace(lr[0]), strings.TrimSpace(lr[1])})
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("pattern: no edges in %q", s)
+	}
+	return New(edges)
+}
+
+// MustParse parses or panics; for tests and fixed workloads.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Pattern) intern(label string) int {
+	if i, ok := p.index[label]; ok {
+		return i
+	}
+	i := len(p.Nodes)
+	p.Nodes = append(p.Nodes, label)
+	p.index[label] = i
+	return i
+}
+
+func (p *Pattern) validate() error {
+	if len(p.Edges) == 0 {
+		return fmt.Errorf("pattern: no edges")
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range p.Edges {
+		if e.From == e.To {
+			return fmt.Errorf("pattern: self edge on %q", p.Nodes[e.From])
+		}
+		if seen[e] {
+			return fmt.Errorf("pattern: duplicate edge %q->%q", p.Nodes[e.From], p.Nodes[e.To])
+		}
+		seen[e] = true
+	}
+	if !p.connected() {
+		return fmt.Errorf("pattern: not connected")
+	}
+	return nil
+}
+
+// connected checks weak connectivity.
+func (p *Pattern) connected() bool {
+	n := len(p.Nodes)
+	if n == 0 {
+		return false
+	}
+	adj := make([][]int, n)
+	for _, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// NodeIndex returns the index of a label in Nodes, or -1.
+func (p *Pattern) NodeIndex(label string) int {
+	if i, ok := p.index[label]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumNodes returns |V_q|.
+func (p *Pattern) NumNodes() int { return len(p.Nodes) }
+
+// NumEdges returns |E_q|.
+func (p *Pattern) NumEdges() int { return len(p.Edges) }
+
+// OutEdges returns indexes of edges leaving node i.
+func (p *Pattern) OutEdges(i int) []int {
+	var out []int
+	for ei, e := range p.Edges {
+		if e.From == i {
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+// InEdges returns indexes of edges entering node i.
+func (p *Pattern) InEdges(i int) []int {
+	var out []int
+	for ei, e := range p.Edges {
+		if e.To == i {
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+// Touches reports whether edge ei is incident to node i.
+func (p *Pattern) Touches(ei, i int) bool {
+	return p.Edges[ei].From == i || p.Edges[ei].To == i
+}
+
+// String renders the pattern back to the text syntax with edges in input
+// order.
+func (p *Pattern) String() string {
+	parts := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		parts[i] = p.Nodes[e.From] + "->" + p.Nodes[e.To]
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Canonical returns a canonical string (sorted edges), usable as a map key.
+func (p *Pattern) Canonical() string {
+	parts := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		parts[i] = p.Nodes[e.From] + "->" + p.Nodes[e.To]
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}
+
+// IsPath reports whether the pattern is a simple directed path
+// X1→X2→…→Xn (Figure 4(a)-style shapes).
+func (p *Pattern) IsPath() bool {
+	if len(p.Edges) != len(p.Nodes)-1 {
+		return false
+	}
+	starts := 0
+	for i := range p.Nodes {
+		in, out := len(p.InEdges(i)), len(p.OutEdges(i))
+		switch {
+		case in == 0 && out == 1:
+			starts++
+		case in == 1 && out <= 1:
+		default:
+			return false
+		}
+	}
+	return starts == 1
+}
+
+// IsTree reports whether the pattern is a rooted out-tree.
+func (p *Pattern) IsTree() bool {
+	if len(p.Edges) != len(p.Nodes)-1 {
+		return false
+	}
+	roots := 0
+	for i := range p.Nodes {
+		switch len(p.InEdges(i)) {
+		case 0:
+			roots++
+		case 1:
+		default:
+			return false
+		}
+	}
+	return roots == 1
+}

@@ -1,0 +1,161 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperPattern(t *testing.T) {
+	// Figure 1(b): A→C, B→C, C→D, D→E.
+	p, err := Parse("A->C; B->C; C->D; D->E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", p.NumNodes())
+	}
+	if p.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", p.NumEdges())
+	}
+	if p.NodeIndex("A") != 0 || p.NodeIndex("C") != 1 || p.NodeIndex("B") != 2 {
+		t.Fatalf("node order: %v", p.Nodes)
+	}
+	if p.NodeIndex("Z") != -1 {
+		t.Fatal("missing label should map to -1")
+	}
+	if got := p.String(); got != "A->C; B->C; C->D; D->E" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseWhitespaceAndNewlines(t *testing.T) {
+	p, err := Parse("  A -> B \n B->C ;\n\n C -> D ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 4 || p.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", p.NumNodes(), p.NumEdges())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		frag string
+	}{
+		{"", "no edges"},
+		{"A->", "empty label"},
+		{"->B", "empty label"},
+		{"A-B", "bad edge"},
+		{"A->B->C", "bad edge"},
+		{"A->A", "self edge"},
+		{"A->B; A->B", "duplicate edge"},
+		{"A->B; C->D", "not connected"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): err = %v, want containing %q", c.in, err, c.frag)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestAdjacencyHelpers(t *testing.T) {
+	p := MustParse("A->C; B->C; C->D; D->E")
+	c := p.NodeIndex("C")
+	if got := p.InEdges(c); len(got) != 2 {
+		t.Fatalf("InEdges(C) = %v", got)
+	}
+	if got := p.OutEdges(c); len(got) != 1 {
+		t.Fatalf("OutEdges(C) = %v", got)
+	}
+	if !p.Touches(0, p.NodeIndex("A")) || !p.Touches(0, c) {
+		t.Fatal("Touches wrong for edge 0")
+	}
+	if p.Touches(0, p.NodeIndex("E")) {
+		t.Fatal("Touches(A->C, E) should be false")
+	}
+}
+
+func TestCanonicalIndependentOfOrder(t *testing.T) {
+	a := MustParse("A->C; B->C; C->D")
+	b := MustParse("C->D; A->C; B->C")
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical differs: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if a.String() == b.String() {
+		t.Fatal("String should preserve input order (sanity)")
+	}
+}
+
+func TestIsPathIsTree(t *testing.T) {
+	cases := []struct {
+		in   string
+		path bool
+		tree bool
+	}{
+		{"A->B; B->C", true, true},
+		{"A->B; A->C", false, true},
+		{"A->B; B->C; A->C", false, false}, // extra edge: a DAG pattern
+		{"A->C; B->C", false, false},       // two roots
+		{"A->B; B->C; C->D; D->E", true, true},
+		{"A->B; B->C; B->D", false, true},
+	}
+	for _, c := range cases {
+		p := MustParse(c.in)
+		if p.IsPath() != c.path {
+			t.Errorf("IsPath(%q) = %v, want %v", c.in, p.IsPath(), c.path)
+		}
+		if p.IsTree() != c.tree {
+			t.Errorf("IsTree(%q) = %v, want %v", c.in, p.IsTree(), c.tree)
+		}
+	}
+}
+
+func TestNewRejectsEmptyLabels(t *testing.T) {
+	if _, err := New([][2]string{{" ", "B"}}); err == nil {
+		t.Fatal("expected error for blank label")
+	}
+}
+
+// TestParseNeverPanics: arbitrary input must produce a value or an error,
+// never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				t.Fail()
+			}
+		}()
+		p, err := Parse(s)
+		if err == nil && p == nil {
+			return false
+		}
+		if err == nil {
+			// Parsed patterns must re-parse from their own String form.
+			if _, err2 := Parse(p.String()); err2 != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// A few structured near-miss inputs.
+	for _, s := range []string{"->", ";;;", "a->b->", "a -> ;b", "-> ->", "a\n->\nb"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package rjoin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+func randomGraph(seed int64, n, m, nlabels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(nlabels))))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func mustDB(t testing.TB, g *graph.Graph) *gdb.DB {
+	t.Helper()
+	db, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// cond builds a Cond from label names for pattern nodes 0(from) and 1(to).
+func cond(g *graph.Graph, from, to string, fromNode, toNode int) Cond {
+	return Cond{
+		FromNode:  fromNode,
+		ToNode:    toNode,
+		FromLabel: g.Labels().Lookup(from),
+		ToLabel:   g.Labels().Lookup(to),
+	}
+}
+
+// truthJoin computes the exact R-join result by BFS.
+func truthJoin(g *graph.Graph, from, to graph.Label) map[[2]graph.NodeID]bool {
+	out := map[[2]graph.NodeID]bool{}
+	for _, x := range g.Extent(from) {
+		for _, y := range g.Extent(to) {
+			if graph.Reaches(g, x, y) {
+				out[[2]graph.NodeID{x, y}] = true
+			}
+		}
+	}
+	return out
+}
+
+func tableToSet(t *Table) map[string][]graph.NodeID {
+	out := make(map[string][]graph.NodeID, len(t.Rows))
+	for _, r := range t.Rows {
+		var k []byte
+		for _, v := range r {
+			k = appendNodeKey(k, v)
+		}
+		out[string(k)] = r
+	}
+	return out
+}
+
+// TestHPSJMatchesTruth: Algorithm 1 returns exactly the reachable pairs,
+// with no duplicates.
+func TestHPSJMatchesTruth(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 30, 65, 3)
+		db, err := gdb.Build(g, gdb.Options{})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		for x := graph.Label(0); int(x) < g.Labels().Len(); x++ {
+			for y := graph.Label(0); int(y) < g.Labels().Len(); y++ {
+				if x == y {
+					continue
+				}
+				got, err := HPSJ(db, Cond{0, 1, x, y})
+				if err != nil {
+					return false
+				}
+				want := truthJoin(g, x, y)
+				if len(got.Rows) != len(want) {
+					return false
+				}
+				for _, r := range got.Rows {
+					if !want[[2]graph.NodeID{r[0], r[1]}] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPSJEqualsNestedLoop(t *testing.T) {
+	g := randomGraph(4, 50, 110, 4)
+	db := mustDB(t, g)
+	c := cond(g, "A", "B", 0, 1)
+	a, err := HPSJ(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NestedLoopJoin(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SortRows()
+	b.SortRows()
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("HPSJ %d rows != nested loop %d rows", len(a.Rows), len(b.Rows))
+	}
+}
+
+// TestFilterSemanticsForward: the R-semijoin drops exactly the rows whose
+// bound value cannot join the other side.
+func TestFilterSemanticsForward(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed^0x1234, 28, 60, 3)
+		db, err := gdb.Build(g, gdb.Options{})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
+		if a < 0 || b < 0 {
+			return true // degenerate label draw; skip
+		}
+		// Temporal table with one column: all A nodes.
+		tbl := NewTable(0)
+		for _, x := range g.Extent(a) {
+			tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+		}
+		got, err := Filter(db, tbl, Cond{0, 1, a, b})
+		if err != nil {
+			return false
+		}
+		kept := map[graph.NodeID]bool{}
+		for _, r := range got.Rows {
+			kept[r[0]] = true
+		}
+		for _, x := range g.Extent(a) {
+			want := false
+			for _, y := range g.Extent(b) {
+				if graph.Reaches(g, x, y) {
+					want = true
+					break
+				}
+			}
+			if kept[x] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterSemanticsReverse: the reverse-direction semijoin (Eq. 8).
+func TestFilterSemanticsReverse(t *testing.T) {
+	g := randomGraph(8, 40, 85, 3)
+	db := mustDB(t, g)
+	a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
+	tbl := NewTable(1) // Y side bound
+	for _, y := range g.Extent(b) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{y})
+	}
+	got, err := Filter(db, tbl, Cond{0, 1, a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[graph.NodeID]bool{}
+	for _, r := range got.Rows {
+		kept[r[0]] = true
+	}
+	for _, y := range g.Extent(b) {
+		want := false
+		for _, x := range g.Extent(a) {
+			if graph.Reaches(g, x, y) {
+				want = true
+				break
+			}
+		}
+		if kept[y] != want {
+			t.Fatalf("reverse filter kept[%d]=%v want %v", y, kept[y], want)
+		}
+	}
+}
+
+// TestFetchEqualsHPSJ: starting from the full extent of X, Fetch on X→Y
+// must produce exactly the HPSJ result.
+func TestFetchEqualsHPSJ(t *testing.T) {
+	g := randomGraph(10, 45, 95, 3)
+	db := mustDB(t, g)
+	c := cond(g, "A", "C", 0, 1)
+	tbl := NewTable(0)
+	for _, x := range g.Extent(c.FromLabel) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+	}
+	fetched, err := Fetch(db, tbl, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HPSJ(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched.SortRows()
+	want.SortRows()
+	if !reflect.DeepEqual(fetched.Rows, want.Rows) {
+		t.Fatalf("fetch %d rows != hpsj %d rows", len(fetched.Rows), len(want.Rows))
+	}
+}
+
+// TestFetchReverse: Fetch with the To side bound expands F-subclusters.
+func TestFetchReverse(t *testing.T) {
+	g := randomGraph(11, 45, 95, 3)
+	db := mustDB(t, g)
+	c := cond(g, "A", "C", 0, 1)
+	tbl := NewTable(1)
+	for _, y := range g.Extent(c.ToLabel) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{y})
+	}
+	fetched, err := Fetch(db, tbl, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: [to, from] — project to [from, to] and compare to HPSJ.
+	proj, err := fetched.Project([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HPSJ(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj.SortRows()
+	want.SortRows()
+	if !reflect.DeepEqual(proj.Rows, want.Rows) {
+		t.Fatalf("reverse fetch mismatch: %d vs %d rows", len(proj.Rows), len(want.Rows))
+	}
+}
+
+// TestFilterThenFetchEqualsFetch: HPSJ+ (filter;fetch) must produce the same
+// join result as fetch alone (Eq. 9) — the filter only prunes earlier.
+func TestFilterThenFetchEqualsFetch(t *testing.T) {
+	g := randomGraph(12, 50, 100, 4)
+	db := mustDB(t, g)
+	c := cond(g, "B", "D", 0, 1)
+	tbl := NewTable(0)
+	for _, x := range g.Extent(c.FromLabel) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+	}
+	direct, err := Fetch(db, tbl, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Filter(db, tbl, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Len() > tbl.Len() {
+		t.Fatal("filter grew the table")
+	}
+	two, err := Fetch(db, filtered, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.SortRows()
+	two.SortRows()
+	if !reflect.DeepEqual(direct.Rows, two.Rows) {
+		t.Fatalf("filter+fetch != fetch: %d vs %d rows", len(two.Rows), len(direct.Rows))
+	}
+}
+
+// TestFilterMultiEqualsSequential: one shared scan (Remark 3.1) must equal
+// applying the semijoins one at a time.
+func TestFilterMultiEqualsSequential(t *testing.T) {
+	g := randomGraph(13, 60, 130, 5)
+	db := mustDB(t, g)
+	// Temporal table: all C nodes in column 0; two semijoins C→D and C→E.
+	cl := g.Labels().Lookup("C")
+	cd := Cond{0, 1, cl, g.Labels().Lookup("D")}
+	ce := Cond{0, 2, cl, g.Labels().Lookup("E")}
+	tbl := NewTable(0)
+	for _, x := range g.Extent(cl) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+	}
+	multi, err := FilterMulti(db, tbl, []Cond{cd, ce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Filter(db, tbl, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err = Filter(db, seq, ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi.SortRows()
+	seq.SortRows()
+	if !reflect.DeepEqual(multi.Rows, seq.Rows) {
+		t.Fatalf("FilterMulti %d rows != sequential %d rows", multi.Len(), seq.Len())
+	}
+}
+
+// TestSelection: the self R-join checks a condition between bound columns.
+func TestSelection(t *testing.T) {
+	g := randomGraph(14, 40, 80, 3)
+	db := mustDB(t, g)
+	a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
+	// Cartesian product of extents, then select A→B.
+	tbl := NewTable(0, 1)
+	for _, x := range g.Extent(a) {
+		for _, y := range g.Extent(b) {
+			tbl.Rows = append(tbl.Rows, []graph.NodeID{x, y})
+		}
+	}
+	sel, err := Selection(db, tbl, Cond{0, 1, a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HPSJ(db, Cond{0, 1, a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.SortRows()
+	want.SortRows()
+	if !reflect.DeepEqual(sel.Rows, want.Rows) {
+		t.Fatalf("selection %d rows != hpsj %d rows", sel.Len(), want.Len())
+	}
+}
+
+func TestOperatorErrors(t *testing.T) {
+	g := randomGraph(15, 20, 40, 3)
+	db := mustDB(t, g)
+	a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
+	c := Cond{0, 1, a, b}
+
+	both := NewTable(0, 1)
+	if _, err := Filter(db, both, c); err == nil {
+		t.Fatal("Filter with both sides bound should error")
+	}
+	if _, err := Fetch(db, both, c); err == nil {
+		t.Fatal("Fetch with both sides bound should error")
+	}
+	neither := NewTable(7)
+	if _, err := Filter(db, neither, c); err == nil {
+		t.Fatal("Filter with no side bound should error")
+	}
+	one := NewTable(0)
+	if _, err := Selection(db, one, c); err == nil {
+		t.Fatal("Selection with one side bound should error")
+	}
+	if _, err := one.Project([]int{5}); err == nil {
+		t.Fatal("Project of unbound column should error")
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := NewTable(3, 1)
+	tbl.Rows = append(tbl.Rows, []graph.NodeID{10, 20}, []graph.NodeID{10, 20}, []graph.NodeID{11, 21})
+	if tbl.ColIndex(1) != 1 || tbl.ColIndex(3) != 0 || tbl.ColIndex(9) != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+	if !tbl.HasCol(3) || tbl.HasCol(9) {
+		t.Fatal("HasCol wrong")
+	}
+	p, err := tbl.Project([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Project should dedup: %d rows", p.Len())
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty String")
+	}
+	// FilterMulti with no conditions is the identity.
+	got, err := FilterMulti(nil, tbl, nil)
+	if err != nil || got != tbl {
+		t.Fatal("empty FilterMulti should return the input table")
+	}
+}
+
+func BenchmarkHPSJ(b *testing.B) {
+	g := randomGraph(20, 3000, 6000, 6)
+	db, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := cond(g, "A", "B", 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HPSJ(db, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterFetch(b *testing.B) {
+	g := randomGraph(21, 3000, 6000, 6)
+	db, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := cond(g, "A", "B", 0, 1)
+	tbl := NewTable(0)
+	for _, x := range g.Extent(c.FromLabel) {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Filter(db, tbl, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Fetch(db, f, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFilterGroupExplicitSides: FilterGroup with an explicit bound node and
+// side prunes exactly the rows whose value cannot join each condition's
+// other-side base table — including conditions whose other endpoint is
+// already bound (the residual check is left to a later Selection).
+func TestFilterGroupExplicitSides(t *testing.T) {
+	g := randomGraph(31, 60, 130, 5)
+	db := mustDB(t, g)
+	cl := g.Labels().Lookup("C")
+	dl := g.Labels().Lookup("D")
+	el := g.Labels().Lookup("E")
+
+	// Table with both C (col 0) and D (col 1) bound.
+	tbl := NewTable(0, 1)
+	for _, c := range g.Extent(cl) {
+		for _, d := range g.Extent(dl) {
+			tbl.Rows = append(tbl.Rows, []graph.NodeID{c, d})
+		}
+	}
+	conds := []Cond{
+		{FromNode: 0, ToNode: 1, FromLabel: cl, ToLabel: dl}, // other side bound
+		{FromNode: 0, ToNode: 2, FromLabel: cl, ToLabel: el}, // other side free
+	}
+	got, err := FilterGroup(db, tbl, conds, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range got.Rows {
+		c := row[0]
+		reachesSomeD, reachesSomeE := false, false
+		for _, d := range g.Extent(dl) {
+			if graph.Reaches(g, c, d) {
+				reachesSomeD = true
+				break
+			}
+		}
+		for _, e := range g.Extent(el) {
+			if graph.Reaches(g, c, e) {
+				reachesSomeE = true
+				break
+			}
+		}
+		if !reachesSomeD || !reachesSomeE {
+			t.Fatalf("row with c=%d survived but fails a semijoin", c)
+		}
+	}
+	// Completeness: every c passing both semijoins keeps all its rows.
+	kept := map[graph.NodeID]int{}
+	for _, row := range got.Rows {
+		kept[row[0]]++
+	}
+	for _, c := range g.Extent(cl) {
+		passD, passE := false, false
+		for _, d := range g.Extent(dl) {
+			if graph.Reaches(g, c, d) {
+				passD = true
+				break
+			}
+		}
+		for _, e := range g.Extent(el) {
+			if graph.Reaches(g, c, e) {
+				passE = true
+				break
+			}
+		}
+		want := 0
+		if passD && passE {
+			want = g.ExtentSize(dl)
+		}
+		if kept[c] != want {
+			t.Fatalf("c=%d kept %d rows, want %d", c, kept[c], want)
+		}
+	}
+}
+
+func TestFilterGroupErrors(t *testing.T) {
+	g := randomGraph(32, 30, 60, 3)
+	db := mustDB(t, g)
+	al := g.Labels().Lookup("A")
+	bl := g.Labels().Lookup("B")
+	tbl := NewTable(0)
+	// Bound node not in table.
+	if _, err := FilterGroup(db, tbl, []Cond{{FromNode: 5, ToNode: 6, FromLabel: al, ToLabel: bl}}, 5, true); err == nil {
+		t.Fatal("expected error for unbound group node")
+	}
+	// Condition not incident on the declared side.
+	tbl2 := NewTable(0)
+	if _, err := FilterGroup(db, tbl2, []Cond{{FromNode: 1, ToNode: 0, FromLabel: al, ToLabel: bl}}, 0, true); err == nil {
+		t.Fatal("expected error for wrong-side condition")
+	}
+	// Empty condition list is the identity.
+	if got, err := FilterGroup(db, tbl2, nil, 0, true); err != nil || got != tbl2 {
+		t.Fatal("empty FilterGroup should return the input table")
+	}
+}
+
+// TestFilterGroupImpossibleCondition: a condition whose W entry is empty
+// empties the table immediately.
+func TestFilterGroupImpossibleCondition(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.AddNode("X")
+	b.AddNode("Y") // never connected
+	g := b.Build()
+	db := mustDB(t, g)
+	tbl := NewTable(0)
+	tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
+	got, err := FilterGroup(db, tbl, []Cond{{
+		FromNode: 0, ToNode: 1,
+		FromLabel: g.Labels().Lookup("X"), ToLabel: g.Labels().Lookup("Y"),
+	}}, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("impossible condition kept %d rows", got.Len())
+	}
+}

@@ -1,0 +1,61 @@
+package rjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+func TestEncodeDecodeRowsRoundTrip(t *testing.T) {
+	tbl := NewTable(2, 0, 5)
+	tbl.Rows = [][]graph.NodeID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	enc := tbl.EncodeRows()
+	out := NewTable(2, 0, 5)
+	if err := out.DecodeRows(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Rows, tbl.Rows) {
+		t.Fatalf("round trip changed rows: %v", out.Rows)
+	}
+	// Empty table round-trips too.
+	empty := NewTable(1)
+	if err := empty.DecodeRows(empty.EncodeRows()); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("empty table grew")
+	}
+}
+
+func TestDecodeRowsErrors(t *testing.T) {
+	tbl := NewTable(0, 1)
+	tbl.Rows = [][]graph.NodeID{{1, 2}}
+	enc := tbl.EncodeRows()
+
+	wrongWidth := NewTable(0)
+	if err := wrongWidth.DecodeRows(enc); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+	truncated := NewTable(0, 1)
+	if err := truncated.DecodeRows(enc[:len(enc)-2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSortRowsDeterministic(t *testing.T) {
+	tbl := NewTable(0, 1)
+	tbl.Rows = [][]graph.NodeID{{3, 1}, {1, 2}, {1, 1}, {3, 0}}
+	tbl.SortRows()
+	want := [][]graph.NodeID{{1, 1}, {1, 2}, {3, 0}, {3, 1}}
+	if !reflect.DeepEqual(tbl.Rows, want) {
+		t.Fatalf("sorted = %v", tbl.Rows)
+	}
+}
+
+func TestCondString(t *testing.T) {
+	c := Cond{FromNode: 2, ToNode: 5}
+	if c.String() != "2->5" {
+		t.Fatalf("Cond.String = %q", c.String())
+	}
+}

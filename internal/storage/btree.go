@@ -1,0 +1,453 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// BTree is a disk-resident B+-tree mapping variable-length byte keys to
+// 8-byte values (typically an encoded RID). All page access goes through
+// the buffer pool, so index probes contribute to the I/O cost metric.
+//
+// The tree supports insert (upsert), point lookup, and ordered range scans.
+// Deletion is not supported: every index in the graph database is built
+// once, then read-only — matching the paper's workload.
+//
+// Page layout (both node kinds):
+//
+//	[0]     kind: 0 leaf, 1 internal
+//	[1:3)   nKeys uint16
+//	[3:7)   leaf: next-leaf PageID | internal: leftmost child PageID
+//	[7:9)   cell-area start offset uint16 (cells grow down from PageSize)
+//	[9:...) slot directory: nKeys × uint16 cell offsets, key-sorted
+//
+// Leaf cell:     keyLen uint16, key, value uint64.
+// Internal cell: keyLen uint16, key, child PageID uint32 — the child holding
+// keys ≥ this separator.
+type BTree struct {
+	bp   *BufferPool
+	root PageID
+}
+
+const (
+	btKindLeaf     = 0
+	btKindInternal = 1
+	btHdr          = 9
+	// MaxKeyLen bounds key size so any two cells fit a fresh page.
+	MaxKeyLen = 512
+)
+
+// NewBTree creates an empty tree on bp.
+func NewBTree(bp *BufferPool) (*BTree, error) {
+	f, id, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initNode(f.Data(), btKindLeaf)
+	bp.Unpin(f, true)
+	return &BTree{bp: bp, root: id}, nil
+}
+
+// OpenBTree attaches to an existing tree by its root page.
+func OpenBTree(bp *BufferPool, root PageID) *BTree { return &BTree{bp: bp, root: root} }
+
+// Root returns the current root page ID (persist it to reopen the tree).
+func (t *BTree) Root() PageID { return t.root }
+
+func initNode(p []byte, kind byte) {
+	p[0] = kind
+	binary.LittleEndian.PutUint16(p[1:3], 0)
+	binary.LittleEndian.PutUint32(p[3:7], uint32(InvalidPage))
+	binary.LittleEndian.PutUint16(p[7:9], PageSize)
+}
+
+// node accessors operating on raw page bytes.
+
+func nKeys(p []byte) int           { return int(binary.LittleEndian.Uint16(p[1:3])) }
+func setNKeys(p []byte, n int)     { binary.LittleEndian.PutUint16(p[1:3], uint16(n)) }
+func link(p []byte) PageID         { return PageID(binary.LittleEndian.Uint32(p[3:7])) }
+func setLink(p []byte, v PageID)   { binary.LittleEndian.PutUint32(p[3:7], uint32(v)) }
+func cellStart(p []byte) int       { return int(binary.LittleEndian.Uint16(p[7:9])) }
+func setCellStart(p []byte, v int) { binary.LittleEndian.PutUint16(p[7:9], uint16(v)) }
+func slotOff(p []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(p[btHdr+2*i:]))
+}
+func setSlot(p []byte, i, off int) {
+	binary.LittleEndian.PutUint16(p[btHdr+2*i:], uint16(off))
+}
+
+// cellKey returns the key bytes of cell i (aliasing the page).
+func cellKey(p []byte, i int) []byte {
+	off := slotOff(p, i)
+	klen := int(binary.LittleEndian.Uint16(p[off:]))
+	return p[off+2 : off+2+klen]
+}
+
+// leafValue returns the value of leaf cell i.
+func leafValue(p []byte, i int) uint64 {
+	off := slotOff(p, i)
+	klen := int(binary.LittleEndian.Uint16(p[off:]))
+	return binary.LittleEndian.Uint64(p[off+2+klen:])
+}
+
+func setLeafValue(p []byte, i int, v uint64) {
+	off := slotOff(p, i)
+	klen := int(binary.LittleEndian.Uint16(p[off:]))
+	binary.LittleEndian.PutUint64(p[off+2+klen:], v)
+}
+
+// childAt returns the child pointer of internal cell i.
+func childAt(p []byte, i int) PageID {
+	off := slotOff(p, i)
+	klen := int(binary.LittleEndian.Uint16(p[off:]))
+	return PageID(binary.LittleEndian.Uint32(p[off+2+klen:]))
+}
+
+// freeSpace returns the bytes available between the slot directory and the
+// cell area.
+func freeSpace(p []byte) int { return cellStart(p) - (btHdr + 2*nKeys(p)) }
+
+// cellSize returns the bytes a new cell consumes including its slot entry.
+func cellSize(klen int, kind byte) int {
+	if kind == btKindLeaf {
+		return 2 + klen + 8 + 2
+	}
+	return 2 + klen + 4 + 2
+}
+
+// search returns the index of the first cell with key ≥ k, and whether an
+// exact match exists at that index.
+func search(p []byte, k []byte) (int, bool) {
+	lo, hi := 0, nKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cellKey(p, mid), k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := lo < nKeys(p) && bytes.Equal(cellKey(p, lo), k)
+	return lo, exact
+}
+
+// insertCell places a cell at sorted position i; the caller guarantees room.
+func insertCell(p []byte, i int, key []byte, tail []byte) {
+	n := nKeys(p)
+	sz := 2 + len(key) + len(tail)
+	off := cellStart(p) - sz
+	binary.LittleEndian.PutUint16(p[off:], uint16(len(key)))
+	copy(p[off+2:], key)
+	copy(p[off+2+len(key):], tail)
+	// Shift slots right.
+	copy(p[btHdr+2*(i+1):btHdr+2*(n+1)], p[btHdr+2*i:btHdr+2*n])
+	setSlot(p, i, off)
+	setNKeys(p, n+1)
+	setCellStart(p, off)
+}
+
+// Get looks up key, returning its value.
+func (t *BTree) Get(key []byte) (uint64, bool, error) {
+	id := t.root
+	for {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return 0, false, err
+		}
+		p := f.Data()
+		if p[0] == btKindLeaf {
+			i, exact := search(p, key)
+			var v uint64
+			if exact {
+				v = leafValue(p, i)
+			}
+			t.bp.Unpin(f, false)
+			return v, exact, nil
+		}
+		id = descend(p, key)
+		t.bp.Unpin(f, false)
+	}
+}
+
+// descend picks the child to follow for key in internal page p.
+func descend(p []byte, key []byte) PageID {
+	i, exact := search(p, key)
+	if exact {
+		return childAt(p, i)
+	}
+	if i == 0 {
+		return link(p) // leftmost child
+	}
+	return childAt(p, i-1)
+}
+
+// splitResult carries a promoted separator after a child split.
+type splitResult struct {
+	key   []byte
+	right PageID
+}
+
+// Insert upserts key → value.
+func (t *BTree) Insert(key []byte, value uint64) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("storage: key of %d bytes exceeds max %d", len(key), MaxKeyLen)
+	}
+	sp, err := t.insertAt(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if sp == nil {
+		return nil
+	}
+	// Root split: create a new internal root.
+	f, id, err := t.bp.NewPage()
+	if err != nil {
+		return err
+	}
+	p := f.Data()
+	initNode(p, btKindInternal)
+	setLink(p, t.root)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], uint32(sp.right))
+	insertCell(p, 0, sp.key, tail[:])
+	t.bp.Unpin(f, true)
+	t.root = id
+	return nil
+}
+
+func (t *BTree) insertAt(id PageID, key []byte, value uint64) (*splitResult, error) {
+	f, err := t.bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	p := f.Data()
+
+	if p[0] == btKindLeaf {
+		i, exact := search(p, key)
+		if exact {
+			setLeafValue(p, i, value)
+			t.bp.Unpin(f, true)
+			return nil, nil
+		}
+		if freeSpace(p) >= cellSize(len(key), btKindLeaf) {
+			var tail [8]byte
+			binary.LittleEndian.PutUint64(tail[:], value)
+			insertCell(p, i, key, tail[:])
+			t.bp.Unpin(f, true)
+			return nil, nil
+		}
+		sp, err := t.splitLeaf(f, key, value)
+		t.bp.Unpin(f, true)
+		return sp, err
+	}
+
+	child := descend(p, key)
+	// Keep the parent unpinned during the child insert to bound pin counts;
+	// single-threaded access makes this safe.
+	t.bp.Unpin(f, false)
+	sp, err := t.insertAt(child, key, value)
+	if err != nil || sp == nil {
+		return nil, err
+	}
+	// Insert the promoted separator into this node.
+	f, err = t.bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	p = f.Data()
+	i, _ := search(p, sp.key)
+	if freeSpace(p) >= cellSize(len(sp.key), btKindInternal) {
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], uint32(sp.right))
+		insertCell(p, i, sp.key, tail[:])
+		t.bp.Unpin(f, true)
+		return nil, nil
+	}
+	up, err := t.splitInternal(f, sp)
+	t.bp.Unpin(f, true)
+	return up, err
+}
+
+// splitLeaf splits the full leaf in f and inserts key/value on the proper
+// side. Returns the separator to promote.
+func (t *BTree) splitLeaf(f *Frame, key []byte, value uint64) (*splitResult, error) {
+	p := f.Data()
+	n := nKeys(p)
+	mid := n / 2
+
+	rf, rid, err := t.bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	rp := rf.Data()
+	initNode(rp, btKindLeaf)
+
+	// Move upper half to the right node.
+	for i := mid; i < n; i++ {
+		k := cellKey(p, i)
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], leafValue(p, i))
+		insertCell(rp, i-mid, k, tail[:])
+	}
+	setLink(rp, link(p))
+	setLink(p, rid)
+
+	// Compact the left node to the lower half.
+	compactKeep(p, mid, btKindLeaf)
+
+	// Insert the pending key into the correct side.
+	sep := append([]byte(nil), cellKey(rp, 0)...)
+	target := p
+	if bytes.Compare(key, sep) >= 0 {
+		target = rp
+	}
+	i, exact := search(target, key)
+	if exact {
+		setLeafValue(target, i, value)
+	} else {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], value)
+		insertCell(target, i, key, tail[:])
+	}
+	t.bp.Unpin(rf, true)
+	return &splitResult{key: sep, right: rid}, nil
+}
+
+// splitInternal splits the full internal node in f while inserting sp.
+// Returns the separator to promote further up.
+func (t *BTree) splitInternal(f *Frame, sp *splitResult) (*splitResult, error) {
+	p := f.Data()
+	n := nKeys(p)
+
+	// Materialise all cells plus the pending one, sorted.
+	type icell struct {
+		key   []byte
+		child PageID
+	}
+	cells := make([]icell, 0, n+1)
+	pos, _ := search(p, sp.key)
+	for i := 0; i < n; i++ {
+		if i == pos {
+			cells = append(cells, icell{sp.key, sp.right})
+		}
+		cells = append(cells, icell{append([]byte(nil), cellKey(p, i)...), childAt(p, i)})
+	}
+	if pos == n {
+		cells = append(cells, icell{sp.key, sp.right})
+	}
+
+	mid := len(cells) / 2
+	sepCell := cells[mid]
+
+	rf, rid, err := t.bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	rp := rf.Data()
+	initNode(rp, btKindInternal)
+	setLink(rp, sepCell.child) // separator's child becomes right's leftmost
+	for i, c := range cells[mid+1:] {
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], uint32(c.child))
+		insertCell(rp, i, c.key, tail[:])
+	}
+	t.bp.Unpin(rf, true)
+
+	// Rebuild the left node with cells[:mid].
+	left := link(p)
+	initNode(p, btKindInternal)
+	setLink(p, left)
+	for i, c := range cells[:mid] {
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], uint32(c.child))
+		insertCell(p, i, c.key, tail[:])
+	}
+	return &splitResult{key: sepCell.key, right: rid}, nil
+}
+
+// compactKeep rewrites page p keeping only its first keep cells.
+func compactKeep(p []byte, keep int, kind byte) {
+	type kv struct {
+		key  []byte
+		tail []byte
+	}
+	cells := make([]kv, keep)
+	for i := 0; i < keep; i++ {
+		k := append([]byte(nil), cellKey(p, i)...)
+		var tail []byte
+		if kind == btKindLeaf {
+			tail = make([]byte, 8)
+			binary.LittleEndian.PutUint64(tail, leafValue(p, i))
+		} else {
+			tail = make([]byte, 4)
+			binary.LittleEndian.PutUint32(tail, uint32(childAt(p, i)))
+		}
+		cells[i] = kv{k, tail}
+	}
+	next := link(p)
+	initNode(p, kind)
+	setLink(p, next)
+	for i, c := range cells {
+		insertCell(p, i, c.key, c.tail)
+	}
+}
+
+// Scan calls fn for every key ≥ start in ascending order until fn returns
+// false or the keys are exhausted. A nil start scans from the beginning.
+func (t *BTree) Scan(start []byte, fn func(key []byte, value uint64) bool) error {
+	id := t.root
+	// Descend to the leaf containing start.
+	for {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		if p[0] == btKindLeaf {
+			t.bp.Unpin(f, false)
+			break
+		}
+		if start == nil {
+			id2 := link(p)
+			t.bp.Unpin(f, false)
+			id = id2
+			continue
+		}
+		id2 := descend(p, start)
+		t.bp.Unpin(f, false)
+		id = id2
+	}
+	for id != InvalidPage {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		n := nKeys(p)
+		i := 0
+		if start != nil {
+			i, _ = search(p, start)
+			start = nil
+		}
+		for ; i < n; i++ {
+			k := append([]byte(nil), cellKey(p, i)...)
+			v := leafValue(p, i)
+			if !fn(k, v) {
+				t.bp.Unpin(f, false)
+				return nil
+			}
+		}
+		next := link(p)
+		t.bp.Unpin(f, false)
+		id = next
+	}
+	return nil
+}
+
+// Len counts the keys in the tree (full scan; for tests and stats).
+func (t *BTree) Len() (int, error) {
+	n := 0
+	err := t.Scan(nil, func([]byte, uint64) bool { n++; return true })
+	return n, err
+}

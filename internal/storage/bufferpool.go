@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// IOStats counts page traffic through a buffer pool. Logical accesses are
+// Hits+Misses; physical I/O is Reads+Writes. The experiment harness reports
+// these as the paper's "I/O cost".
+type IOStats struct {
+	Reads  int64 // physical page reads from the pager
+	Writes int64 // physical page writes to the pager
+	Hits   int64 // buffer pool hits
+	Misses int64 // buffer pool misses
+}
+
+// Logical returns the number of logical page accesses.
+func (s IOStats) Logical() int64 { return s.Hits + s.Misses }
+
+// Sub returns s - o, for measuring an interval.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes,
+		Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("io{reads=%d writes=%d hits=%d misses=%d}", s.Reads, s.Writes, s.Hits, s.Misses)
+}
+
+// Frame is a buffer pool slot.
+type Frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	lru   *list.Element // position in the unpinned-LRU, nil while pinned
+}
+
+// BufferPool caches pages of a Pager with LRU replacement of unpinned
+// frames. Not safe for concurrent use (the engine is single-threaded per
+// query, as in the paper's setting).
+type BufferPool struct {
+	pager  Pager
+	frames map[PageID]*Frame
+	lru    *list.List // of *Frame, front = most recently unpinned
+	cap    int
+	stats  IOStats
+}
+
+// DefaultPoolBytes is 1 MB — the buffer size the paper uses in Section 6.
+const DefaultPoolBytes = 1 << 20
+
+// NewBufferPool wraps pager with a pool of poolBytes/PageSize frames
+// (minimum 8).
+func NewBufferPool(pager Pager, poolBytes int) *BufferPool {
+	n := poolBytes / PageSize
+	if n < 8 {
+		n = 8
+	}
+	return &BufferPool{
+		pager:  pager,
+		frames: make(map[PageID]*Frame, n),
+		lru:    list.New(),
+		cap:    n,
+	}
+}
+
+// Stats returns the accumulated I/O counters.
+func (bp *BufferPool) Stats() IOStats { return bp.stats }
+
+// ResetStats zeroes the I/O counters.
+func (bp *BufferPool) ResetStats() { bp.stats = IOStats{} }
+
+// Capacity returns the number of frames.
+func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// Pager exposes the underlying pager.
+func (bp *BufferPool) Pager() Pager { return bp.pager }
+
+// Fetch pins page id and returns its Frame data. The caller must Unpin it.
+func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pin(f)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.victim()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.pager.ReadPage(id, f.data[:]); err != nil {
+		// The victim frame was already detached from the map and LRU; drop
+		// it — the pool re-grows lazily while under capacity.
+		return nil, err
+	}
+	bp.stats.Reads++
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	bp.frames[id] = f
+	return f, nil
+}
+
+// NewPage allocates a fresh page, pins it, and returns the Frame and ID.
+func (bp *BufferPool) NewPage() (*Frame, PageID, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, InvalidPage, err
+	}
+	f, err := bp.victim()
+	if err != nil {
+		return nil, InvalidPage, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	bp.frames[id] = f
+	return f, id, nil
+}
+
+// Unpin releases one pin on f, marking it dirty if the caller modified it.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	if f.pins <= 0 {
+		panic("storage: Unpin of unpinned Frame")
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		bp.lru.PushFront(f)
+		f.lru = bp.lru.Front()
+	}
+}
+
+// Data returns the page bytes of a pinned Frame.
+func (f *Frame) Data() []byte { return f.data[:] }
+
+// ID returns the page ID held by the Frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// pin re-pins a resident Frame.
+func (bp *BufferPool) pin(f *Frame) {
+	if f.pins == 0 && f.lru != nil {
+		bp.lru.Remove(f.lru)
+		f.lru = nil
+	}
+	f.pins++
+}
+
+// victim returns an unpinned Frame to reuse, evicting the LRU page (and
+// flushing it if dirty), or a brand-new Frame while under capacity.
+func (bp *BufferPool) victim() (*Frame, error) {
+	if len(bp.frames) < bp.cap {
+		return &Frame{}, nil
+	}
+	el := bp.lru.Back()
+	if el == nil {
+		return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames all pinned)", bp.cap)
+	}
+	f := el.Value.(*Frame)
+	bp.lru.Remove(el)
+	f.lru = nil
+	delete(bp.frames, f.id)
+	if f.dirty {
+		if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
+			return nil, err
+		}
+		bp.stats.Writes++
+		f.dirty = false
+	}
+	return f, nil
+}
+
+// Resize changes the pool's capacity to poolBytes/PageSize frames (minimum
+// 8), flushing and evicting unpinned pages as needed. Used to measure
+// queries under a buffer-to-data ratio matching the paper's setting after
+// building with a larger pool.
+func (bp *BufferPool) Resize(poolBytes int) error {
+	n := poolBytes / PageSize
+	if n < 8 {
+		n = 8
+	}
+	bp.cap = n
+	for len(bp.frames) > bp.cap {
+		el := bp.lru.Back()
+		if el == nil {
+			return fmt.Errorf("storage: cannot shrink pool below %d pinned frames", len(bp.frames))
+		}
+		f := el.Value.(*Frame)
+		bp.lru.Remove(el)
+		f.lru = nil
+		delete(bp.frames, f.id)
+		if f.dirty {
+			if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to the pager.
+func (bp *BufferPool) FlushAll() error {
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// lruLen is exported for white-box tests.
+func (bp *BufferPool) lruLen() int { return bp.lru.Len() }

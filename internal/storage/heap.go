@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID identifies a record in a HeapFile.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// chainSlot marks a RID whose page is the head of an overflow chain rather
+// than a slotted page.
+const chainSlot uint16 = 0xFFFF
+
+// IsChain reports whether the record is stored as an overflow chain.
+func (r RID) IsChain() bool { return r.Slot == chainSlot }
+
+func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", r.Page, r.Slot) }
+
+// Encode packs the RID into 8 bytes (little endian page, slot, padding).
+func (r RID) Encode() uint64 { return uint64(r.Page) | uint64(r.Slot)<<32 }
+
+// DecodeRID unpacks an 8-byte encoded RID.
+func DecodeRID(v uint64) RID { return RID{Page: PageID(v & 0xFFFFFFFF), Slot: uint16(v >> 32)} }
+
+// Slotted heap page layout:
+//
+//	[0:2)  nSlots uint16
+//	[2:4)  free-space pointer (cell area grows down from PageSize)
+//	[4:..) slot directory: per slot, offset uint16 + length uint16
+//
+// Overflow chain page layout:
+//
+//	[0:4)  next PageID (InvalidPage at tail)
+//	[4:8)  total record length uint32 (head page only; 0 elsewhere)
+//	[8:10) fragment length uint16
+//	[10:)  fragment bytes
+const (
+	heapHdr      = 4
+	slotBytes    = 4
+	chainHdr     = 10
+	chainPayload = PageSize - chainHdr
+	// maxInline is the largest record stored in a slotted page; larger
+	// records use overflow chains.
+	maxInline = PageSize / 4
+)
+
+// HeapFile stores variable-length records in pages of a buffer pool and
+// returns stable RIDs. Records are append-only (the graph database is built
+// once and then queried, as in the paper).
+type HeapFile struct {
+	bp *BufferPool
+	// cur is the current slotted page being filled, InvalidPage before the
+	// first small-record insert.
+	cur PageID
+}
+
+// NewHeapFile creates an empty heap file on bp.
+func NewHeapFile(bp *BufferPool) *HeapFile {
+	return &HeapFile{bp: bp, cur: InvalidPage}
+}
+
+// Insert appends rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > maxInline {
+		return h.insertChain(rec)
+	}
+	// Try the current slotted page.
+	if h.cur != InvalidPage {
+		f, err := h.bp.Fetch(h.cur)
+		if err != nil {
+			return RID{}, err
+		}
+		if rid, ok := insertSlotted(f.Data(), h.cur, rec); ok {
+			h.bp.Unpin(f, true)
+			return rid, nil
+		}
+		h.bp.Unpin(f, false)
+	}
+	// Start a new slotted page.
+	f, id, err := h.bp.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	p := f.Data()
+	binary.LittleEndian.PutUint16(p[2:4], PageSize)
+	rid, ok := insertSlotted(p, id, rec)
+	h.bp.Unpin(f, true)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: record of %d bytes does not fit an empty page", len(rec))
+	}
+	h.cur = id
+	return rid, nil
+}
+
+func insertSlotted(p []byte, id PageID, rec []byte) (RID, bool) {
+	nSlots := binary.LittleEndian.Uint16(p[0:2])
+	freePtr := binary.LittleEndian.Uint16(p[2:4])
+	dirEnd := heapHdr + int(nSlots)*slotBytes
+	if int(freePtr)-dirEnd < len(rec)+slotBytes {
+		return RID{}, false
+	}
+	off := int(freePtr) - len(rec)
+	copy(p[off:], rec)
+	slotOff := dirEnd
+	binary.LittleEndian.PutUint16(p[slotOff:], uint16(off))
+	binary.LittleEndian.PutUint16(p[slotOff+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p[0:2], nSlots+1)
+	binary.LittleEndian.PutUint16(p[2:4], uint16(off))
+	return RID{Page: id, Slot: nSlots}, true
+}
+
+func (h *HeapFile) insertChain(rec []byte) (RID, error) {
+	var head PageID = InvalidPage
+	var prev *Frame
+	remaining := rec
+	total := len(rec)
+	for first := true; first || len(remaining) > 0; first = false {
+		f, id, err := h.bp.NewPage()
+		if err != nil {
+			return RID{}, err
+		}
+		p := f.Data()
+		binary.LittleEndian.PutUint32(p[0:4], uint32(InvalidPage))
+		n := len(remaining)
+		if n > chainPayload {
+			n = chainPayload
+		}
+		if head == InvalidPage {
+			head = id
+			binary.LittleEndian.PutUint32(p[4:8], uint32(total))
+		}
+		binary.LittleEndian.PutUint16(p[8:10], uint16(n))
+		copy(p[chainHdr:], remaining[:n])
+		remaining = remaining[n:]
+		if prev != nil {
+			binary.LittleEndian.PutUint32(prev.Data()[0:4], uint32(id))
+			h.bp.Unpin(prev, true)
+		}
+		prev = f
+	}
+	if prev != nil {
+		h.bp.Unpin(prev, true)
+	}
+	return RID{Page: head, Slot: chainSlot}, nil
+}
+
+// Read returns a copy of the record at rid.
+func (h *HeapFile) Read(rid RID) ([]byte, error) {
+	if rid.IsChain() {
+		return h.readChain(rid.Page)
+	}
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(f, false)
+	p := f.Data()
+	nSlots := binary.LittleEndian.Uint16(p[0:2])
+	if rid.Slot >= nSlots {
+		return nil, fmt.Errorf("storage: %v: slot out of range (%d slots)", rid, nSlots)
+	}
+	slotOff := heapHdr + int(rid.Slot)*slotBytes
+	off := binary.LittleEndian.Uint16(p[slotOff:])
+	length := binary.LittleEndian.Uint16(p[slotOff+2:])
+	out := make([]byte, length)
+	copy(out, p[off:int(off)+int(length)])
+	return out, nil
+}
+
+func (h *HeapFile) readChain(head PageID) ([]byte, error) {
+	f, err := h.bp.Fetch(head)
+	if err != nil {
+		return nil, err
+	}
+	total := binary.LittleEndian.Uint32(f.Data()[4:8])
+	out := make([]byte, 0, total)
+	id := head
+	for id != InvalidPage {
+		if f == nil {
+			if f, err = h.bp.Fetch(id); err != nil {
+				return nil, err
+			}
+		}
+		p := f.Data()
+		next := PageID(binary.LittleEndian.Uint32(p[0:4]))
+		n := binary.LittleEndian.Uint16(p[8:10])
+		out = append(out, p[chainHdr:chainHdr+int(n)]...)
+		h.bp.Unpin(f, false)
+		f = nil
+		id = next
+	}
+	if len(out) != int(total) {
+		return nil, fmt.Errorf("storage: chain at page %d: got %d bytes, header says %d", head, len(out), total)
+	}
+	return out, nil
+}

@@ -1,0 +1,507 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemPagerBasics(t *testing.T) {
+	p := NewMemPager()
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = 0xAB
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := p.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatal("readback mismatch")
+	}
+	if err := p.ReadPage(99, got); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := p.WritePage(99, got); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if p.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", p.NumPages())
+	}
+}
+
+func TestFilePagerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		buf := make([]byte, PageSize)
+		buf[0] = byte(i + 1)
+		if err := p.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify persistence.
+	p2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 5 {
+		t.Fatalf("NumPages after reopen = %d", p2.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if err := p2.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("page %d content = %d", id, buf[0])
+		}
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	p := NewMemPager()
+	bp := NewBufferPool(p, 8*PageSize) // 8 frames
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		f, id, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i)
+		bp.Unpin(f, true)
+		ids = append(ids, id)
+	}
+	// All 16 pages written; only 8 resident. Reading them all back must
+	// produce correct content regardless of eviction order.
+	for i, id := range ids {
+		f, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i) {
+			t.Fatalf("page %d content = %d, want %d", id, f.Data()[0], i)
+		}
+		bp.Unpin(f, false)
+	}
+	st := bp.Stats()
+	if st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("expected physical I/O from eviction, got %v", st)
+	}
+	// Re-fetch a hot page twice: second fetch must be a hit.
+	f, _ := bp.Fetch(ids[15])
+	bp.Unpin(f, false)
+	before := bp.Stats().Hits
+	f, _ = bp.Fetch(ids[15])
+	bp.Unpin(f, false)
+	if bp.Stats().Hits != before+1 {
+		t.Fatal("expected a buffer hit on re-fetch")
+	}
+}
+
+func TestBufferPoolPinPreventsEviction(t *testing.T) {
+	p := NewMemPager()
+	bp := NewBufferPool(p, 8*PageSize)
+	var pinned []*Frame
+	for i := 0; i < 8; i++ {
+		f, _, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+	}
+	// Pool is full of pinned frames: next allocation must fail.
+	if _, _, err := bp.NewPage(); err == nil {
+		t.Fatal("expected pool-exhausted error")
+	}
+	for _, f := range pinned {
+		bp.Unpin(f, false)
+	}
+	if _, _, err := bp.NewPage(); err != nil {
+		t.Fatalf("allocation after unpin failed: %v", err)
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	p := NewMemPager()
+	bp := NewBufferPool(p, 8*PageSize)
+	f, id, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[7] = 0x7E
+	bp.Unpin(f, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, PageSize)
+	if err := p.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[7] != 0x7E {
+		t.Fatal("dirty page not flushed")
+	}
+}
+
+func TestHeapFileSmallRecords(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	h := NewHeapFile(bp)
+	var rids []RID
+	var want [][]byte
+	for i := 0; i < 500; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%50))))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		want = append(want, rec)
+	}
+	for i, rid := range rids {
+		got, err := h.Read(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestHeapFileLargeRecordChain(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	h := NewHeapFile(bp)
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{maxInline + 1, PageSize, 3 * PageSize, 10*PageSize + 17}
+	for _, n := range sizes {
+		rec := make([]byte, n)
+		rng.Read(rec)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rid.IsChain() {
+			t.Fatalf("record of %d bytes should be chained", n)
+		}
+		got, err := h.Read(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("chained record of %d bytes mismatch", n)
+		}
+	}
+}
+
+func TestHeapFileMixedSizesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+		h := NewHeapFile(bp)
+		var rids []RID
+		var want [][]byte
+		for i := 0; i < 80; i++ {
+			n := rng.Intn(2 * maxInline)
+			rec := make([]byte, n)
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				return false
+			}
+			rids = append(rids, rid)
+			want = append(want, rec)
+		}
+		for i, rid := range rids {
+			got, err := h.Read(rid)
+			if err != nil || !bytes.Equal(got, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDEncoding(t *testing.T) {
+	cases := []RID{{0, 0}, {1, 2}, {0xFFFFFFFE, 0xFFFE}, {12345, chainSlot}}
+	for _, r := range cases {
+		if got := DecodeRID(r.Encode()); got != r {
+			t.Fatalf("round trip %v → %v", r, got)
+		}
+	}
+	if !(RID{1, chainSlot}).IsChain() {
+		t.Fatal("IsChain false for chain slot")
+	}
+	if (RID{1, 0}).IsChain() {
+		t.Fatal("IsChain true for normal slot")
+	}
+}
+
+func key32(i uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], i)
+	return b[:]
+}
+
+func TestBTreeInsertGetSequential(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := uint32(0); i < n; i++ {
+		if err := bt.Insert(key32(i), uint64(i)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok, err := bt.Get(key32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != uint64(i)*3 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok, _ := bt.Get(key32(n + 10)); ok {
+		t.Fatal("found a key never inserted")
+	}
+	if ln, _ := bt.Len(); ln != n {
+		t.Fatalf("Len = %d, want %d", ln, n)
+	}
+}
+
+func TestBTreeUpsert(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	if err := bt.Insert([]byte("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]byte("k"), 2); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := bt.Get([]byte("k"))
+	if !ok || v != 2 {
+		t.Fatalf("upsert: got %d,%v", v, ok)
+	}
+	if ln, _ := bt.Len(); ln != 1 {
+		t.Fatalf("Len = %d after upsert", ln)
+	}
+}
+
+func TestBTreeRandomKeysProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+		bt, err := NewBTree(bp)
+		if err != nil {
+			return false
+		}
+		ref := make(map[string]uint64)
+		for i := 0; i < 800; i++ {
+			klen := 1 + rng.Intn(40)
+			k := make([]byte, klen)
+			rng.Read(k)
+			v := rng.Uint64()
+			ref[string(k)] = v
+			if err := bt.Insert(k, v); err != nil {
+				return false
+			}
+		}
+		for k, v := range ref {
+			got, ok, err := bt.Get([]byte(k))
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		// Scan must yield all keys in sorted order.
+		var keys []string
+		err = bt.Scan(nil, func(k []byte, v uint64) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+		if err != nil || len(keys) != len(ref) {
+			return false
+		}
+		if !sort.StringsAreSorted(keys) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeScanFromStart(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	for i := uint32(0); i < 1000; i += 2 { // even keys only
+		if err := bt.Insert(key32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scan from an absent odd key: must start at the next even key.
+	var got []uint64
+	err := bt.Scan(key32(501), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return len(got) < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{502, 504, 506, 508, 510}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("scan results %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeLongKeysAndLimit(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	long := bytes.Repeat([]byte{'z'}, MaxKeyLen)
+	if err := bt.Insert(long, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := bt.Get(long); !ok || v != 9 {
+		t.Fatal("long key not found")
+	}
+	tooLong := bytes.Repeat([]byte{'z'}, MaxKeyLen+1)
+	if err := bt.Insert(tooLong, 1); err == nil {
+		t.Fatal("expected error for oversized key")
+	}
+	// Many long keys force frequent splits of low-fanout nodes.
+	for i := 0; i < 300; i++ {
+		k := append(bytes.Repeat([]byte{'a'}, 400), []byte(fmt.Sprintf("%06d", i))...)
+		if err := bt.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		k := append(bytes.Repeat([]byte{'a'}, 400), []byte(fmt.Sprintf("%06d", i))...)
+		v, ok, _ := bt.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("long key %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestBTreeDescendingInsert(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	const n = 3000
+	for i := n - 1; i >= 0; i-- {
+		if err := bt.Insert(key32(uint32(i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, _ := bt.Get(key32(uint32(i)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) after descending insert = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestBTreeOnFilePagerWithTinyPool(t *testing.T) {
+	// A tiny pool forces eviction during both build and probe, validating
+	// the dirty-page write-back path end to end.
+	path := filepath.Join(t.TempDir(), "bt.db")
+	pg, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	bp := NewBufferPool(pg, 8*PageSize)
+	bt, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for i := uint32(0); i < n; i++ {
+		if err := bt.Insert(key32(i*7%n), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through a fresh pool: all state must come from disk.
+	bp2 := NewBufferPool(pg, 8*PageSize)
+	bt2 := OpenBTree(bp2, bt.Root())
+	count := 0
+	err = bt2.Scan(nil, func(k []byte, v uint64) bool { count++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan after reopen found %d keys, want %d", count, n)
+	}
+	if bp2.Stats().Reads == 0 {
+		t.Fatal("expected physical reads from fresh pool")
+	}
+}
+
+func TestIOStatsSubAndString(t *testing.T) {
+	a := IOStats{Reads: 10, Writes: 5, Hits: 100, Misses: 20}
+	b := IOStats{Reads: 4, Writes: 1, Hits: 40, Misses: 5}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 4 || d.Hits != 60 || d.Misses != 15 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.Logical() != 75 {
+		t.Fatalf("Logical = %d", d.Logical())
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(key32(uint32(i)), uint64(i))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bp := NewBufferPool(NewMemPager(), DefaultPoolBytes)
+	bt, _ := NewBTree(bp)
+	for i := uint32(0); i < 100000; i++ {
+		bt.Insert(key32(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Get(key32(uint32(i) % 100000))
+	}
+}

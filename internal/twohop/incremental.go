@@ -1,0 +1,137 @@
+package twohop
+
+import (
+	"sort"
+
+	"fastmatch/internal/graph"
+)
+
+// Incremental maintains a 2-hop reachability labeling under edge
+// insertions — the 2-hop cover update problem the paper cites as [24]
+// (Schenkel et al., ICDE'05). It seeds from a computed Cover and keeps the
+// invariant that u ⇝ v iff out(u) ∩ in(v) ≠ ∅ (with the compact self
+// convention) after every InsertEdge.
+//
+// The update strategy for a new edge (u, v) follows the classic
+// center-insertion argument: every newly reachable pair (x, y) decomposes
+// as x ⇝ u → v ⇝ y, so electing u as a center and adding
+//
+//	u ∈ out(x) for every x with x ⇝ u
+//	u ∈ in(y)  for every y with v ⇝ y
+//
+// restores the cover. If v ⇝ u held before the insertion the labeling is
+// already complete (the edge closes a cycle whose pairs were reachable),
+// and membership checks skip entries that already exist, so repeated or
+// redundant insertions are cheap.
+//
+// Deletions are out of scope, as in [24]'s incremental part: they require
+// recomputation in general.
+type Incremental struct {
+	fwd, rev [][]graph.NodeID
+	in, out  [][]graph.NodeID
+	size     int
+}
+
+// NewIncremental seeds an updatable labeling from a computed cover and its
+// graph's adjacency.
+func NewIncremental(c *Cover) *Incremental {
+	g := c.Graph()
+	n := g.NumNodes()
+	inc := &Incremental{
+		fwd:  make([][]graph.NodeID, n),
+		rev:  make([][]graph.NodeID, n),
+		in:   make([][]graph.NodeID, n),
+		out:  make([][]graph.NodeID, n),
+		size: c.Size(),
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		inc.fwd[v] = append([]graph.NodeID(nil), g.Successors(v)...)
+		inc.rev[v] = append([]graph.NodeID(nil), g.Predecessors(v)...)
+		inc.in[v] = append([]graph.NodeID(nil), c.In(v)...)
+		inc.out[v] = append([]graph.NodeID(nil), c.Out(v)...)
+	}
+	return inc
+}
+
+// NumNodes returns the number of nodes.
+func (inc *Incremental) NumNodes() int { return len(inc.fwd) }
+
+// Size returns the current labeling size |H| (compact entries).
+func (inc *Incremental) Size() int { return inc.size }
+
+// In returns the compact L_in(v) (sorted; aliases internal storage).
+func (inc *Incremental) In(v graph.NodeID) []graph.NodeID { return inc.in[v] }
+
+// Out returns the compact L_out(v) (sorted; aliases internal storage).
+func (inc *Incremental) Out(v graph.NodeID) []graph.NodeID { return inc.out[v] }
+
+// Reaches reports u ⇝ v under all insertions so far.
+func (inc *Incremental) Reaches(u, v graph.NodeID) bool {
+	if u == v {
+		return true
+	}
+	if intersectSorted(inc.out[u], inc.in[v]) {
+		return true
+	}
+	if containsSorted(inc.in[v], u) {
+		return true
+	}
+	return containsSorted(inc.out[u], v)
+}
+
+// InsertEdge adds the edge u→v and repairs the labeling. It returns the
+// number of label entries added (0 when the edge adds no new reachability).
+func (inc *Incremental) InsertEdge(u, v graph.NodeID) int {
+	alreadyReachable := inc.Reaches(u, v)
+	inc.fwd[u] = append(inc.fwd[u], v)
+	inc.rev[v] = append(inc.rev[v], u)
+	if alreadyReachable {
+		return 0 // no new pairs: x ⇝ u ⇝ v ⇝ y held before
+	}
+	added := 0
+	// u becomes a center: into out(x) for all x reaching u…
+	for _, x := range inc.bfs(inc.rev, u) {
+		if x != u && insertSortedInPlace(&inc.out[x], u) {
+			added++
+		}
+	}
+	// …and into in(y) for all y reachable from v.
+	for _, y := range inc.bfs(inc.fwd, v) {
+		if y != u && insertSortedInPlace(&inc.in[y], u) {
+			added++
+		}
+	}
+	inc.size += added
+	return added
+}
+
+// bfs returns all nodes reachable from start over adj (including start).
+func (inc *Incremental) bfs(adj [][]graph.NodeID, start graph.NodeID) []graph.NodeID {
+	visited := make(map[graph.NodeID]struct{}, 64)
+	visited[start] = struct{}{}
+	queue := []graph.NodeID{start}
+	for i := 0; i < len(queue); i++ {
+		for _, w := range adj[queue[i]] {
+			if _, ok := visited[w]; !ok {
+				visited[w] = struct{}{}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return queue
+}
+
+// insertSortedInPlace inserts v into the sorted slice if absent, reporting
+// whether an insertion happened.
+func insertSortedInPlace(s *[]graph.NodeID, v graph.NodeID) bool {
+	sl := *s
+	i := sort.Search(len(sl), func(i int) bool { return sl[i] >= v })
+	if i < len(sl) && sl[i] == v {
+		return false
+	}
+	sl = append(sl, 0)
+	copy(sl[i+1:], sl[i:])
+	sl[i] = v
+	*s = sl
+	return true
+}

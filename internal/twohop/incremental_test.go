@@ -1,0 +1,137 @@
+package twohop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastmatch/internal/graph"
+)
+
+// TestIncrementalMatchesBFS: starting from a random graph's cover, insert a
+// stream of random edges and verify the labeling agrees with BFS on the
+// mutated graph after every step.
+func TestIncrementalMatchesBFS(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24
+		g := randomGraph(seed, n, 30, 3)
+		inc := NewIncremental(Compute(g, Options{}))
+
+		// Mirror builder to recompute ground truth after each insertion.
+		type edge struct{ u, v graph.NodeID }
+		var extra []edge
+		truth := func() *graph.Graph {
+			b := graph.NewBuilder()
+			for i := 0; i < n; i++ {
+				b.AddNodeLabel(b.Intern(g.LabelNameOf(graph.NodeID(i))))
+			}
+			for v := graph.NodeID(0); int(v) < n; v++ {
+				for _, w := range g.Successors(v) {
+					b.AddEdge(v, w)
+				}
+			}
+			for _, e := range extra {
+				b.AddEdge(e.u, e.v)
+			}
+			return b.Build()
+		}
+
+		for step := 0; step < 8; step++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			extra = append(extra, edge{u, v})
+			inc.InsertEdge(u, v)
+			tg := truth()
+			for x := graph.NodeID(0); int(x) < n; x++ {
+				for y := graph.NodeID(0); int(y) < n; y++ {
+					if inc.Reaches(x, y) != graph.Reaches(tg, x, y) {
+						t.Logf("seed %d step %d: Reaches(%d,%d) wrong after inserting %d->%d",
+							seed, step, x, y, u, v)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRedundantEdgeAddsNothing(t *testing.T) {
+	g := chainGraph(6)
+	inc := NewIncremental(Compute(g, Options{}))
+	// 0 already reaches 4 along the chain.
+	if added := inc.InsertEdge(0, 4); added != 0 {
+		t.Fatalf("redundant edge added %d labels", added)
+	}
+	if !inc.Reaches(0, 4) {
+		t.Fatal("reachability lost")
+	}
+	// A genuinely new edge (backward) must add labels and close a cycle.
+	if added := inc.InsertEdge(5, 0); added == 0 {
+		t.Fatal("cycle-closing edge added no labels")
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		for v := graph.NodeID(0); v < 6; v++ {
+			if !inc.Reaches(u, v) {
+				t.Fatalf("after closing the cycle, Reaches(%d,%d) = false", u, v)
+			}
+		}
+	}
+}
+
+func TestIncrementalSizeAccounting(t *testing.T) {
+	g := chainGraph(8)
+	c := Compute(g, Options{})
+	inc := NewIncremental(c)
+	if inc.Size() != c.Size() {
+		t.Fatalf("seed size %d != cover size %d", inc.Size(), c.Size())
+	}
+	before := inc.Size()
+	added := inc.InsertEdge(7, 3) // backward edge, new pairs
+	if inc.Size() != before+added {
+		t.Fatalf("size %d != %d + %d", inc.Size(), before, added)
+	}
+	// Lists remain sorted and self-free.
+	for v := graph.NodeID(0); v < 8; v++ {
+		for _, l := range [][]graph.NodeID{inc.In(v), inc.Out(v)} {
+			for i := 1; i < len(l); i++ {
+				if l[i-1] >= l[i] {
+					t.Fatalf("list of %d not sorted after update: %v", v, l)
+				}
+			}
+			for _, w := range l {
+				if w == v {
+					t.Fatalf("list of %d contains self after update", v)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalIdempotentInsert(t *testing.T) {
+	g := chainGraph(5)
+	inc := NewIncremental(Compute(g, Options{}))
+	first := inc.InsertEdge(4, 0)
+	if first == 0 {
+		t.Fatal("first insert should add labels")
+	}
+	if again := inc.InsertEdge(4, 0); again != 0 {
+		t.Fatalf("re-inserting the same edge added %d labels", again)
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	g := randomGraph(9, 5000, 6000, 8)
+	inc := NewIncremental(Compute(g, Options{}))
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		inc.InsertEdge(u, v)
+	}
+}

@@ -1,0 +1,316 @@
+// Package xmark generates synthetic XMark-shaped data graphs — the
+// substitute for the XMark XML benchmark generator [25] the paper builds
+// its datasets from (Section 6; see DESIGN.md for the substitution note).
+//
+// Each document is a tree following the XMark DTD skeleton
+// (site/regions/item/person/open_auction/closed_auction/category/…), and
+// ID/IDREF elements (itemref, personref, seller, buyer, author, interest,
+// incategory, watch, catgraph edges) contribute extra edges, exactly as the
+// paper "treats both document-internal links (parent-child) and
+// cross-document links (ID/IDREF) as edges in the same manner".
+//
+// The generator is deterministic for a given Config. In DAG mode, reference
+// edges only target strictly later documents, so the result is acyclic —
+// the "DAG obtained from the XMark dataset" used for the TSD comparison.
+package xmark
+
+import (
+	"math/rand"
+
+	"fastmatch/internal/graph"
+)
+
+// FactorNodes is the approximate node count of XMark factor 1.0 in the
+// paper's Table 2 (dataset 100M: 1,666,315 nodes).
+const FactorNodes = 1666315
+
+// Config parameterises generation.
+type Config struct {
+	// Factor is the XMark scale factor: 1.0 ≈ 1.67M nodes (Table 2's 100M
+	// dataset). The paper's five datasets use 0.2, 0.4, 0.6, 0.8, 1.0.
+	Factor float64
+	// Nodes, when positive, overrides Factor with an approximate node
+	// budget.
+	Nodes int
+	// Seed seeds the generator (default 0 is a valid seed).
+	Seed int64
+	// DAG restricts reference edges to strictly later documents, producing
+	// an acyclic graph (for the TwigStackD comparison).
+	DAG bool
+	// CrossDocFraction is the fraction of references resolved against a
+	// uniformly random document in non-DAG mode; the rest stay in their own
+	// document. XMark is a single document whose IDREFs are uniform over
+	// the whole dataset, so the faithful default is 1.0. Negative disables
+	// cross-document references entirely.
+	CrossDocFraction float64
+}
+
+// Dataset is a generated data graph plus generation metadata.
+type Dataset struct {
+	Graph *graph.Graph
+	// Docs is the number of generated documents.
+	Docs int
+}
+
+// Entity counts per document, scaled from XMark's factor-1.0 proportions
+// (1000 categories : 21750 items : 25500 persons : 12000 open auctions :
+// 9750 closed auctions).
+const (
+	docCategories     = 8
+	docItems          = 22
+	docPersons        = 25
+	docOpenAuctions   = 12
+	docClosedAuctions = 10
+)
+
+// refKind enumerates IDREF targets.
+type refKind int
+
+const (
+	refItem refKind = iota
+	refPerson
+	refCategory
+	refOpenAuction
+)
+
+// pendingRef is an IDREF edge awaiting target resolution.
+type pendingRef struct {
+	src  graph.NodeID
+	kind refKind
+	doc  int
+}
+
+// docEntities records the referencable nodes of one document.
+type docEntities struct {
+	items        []graph.NodeID
+	persons      []graph.NodeID
+	categories   []graph.NodeID
+	openAuctions []graph.NodeID
+}
+
+type generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	b    *graph.Builder
+	docs []docEntities
+	refs []pendingRef
+	doc  int
+}
+
+// Generate builds a dataset.
+func Generate(cfg Config) *Dataset {
+	if cfg.CrossDocFraction == 0 {
+		cfg.CrossDocFraction = 1.0
+	}
+	if cfg.CrossDocFraction < 0 {
+		cfg.CrossDocFraction = 0
+	}
+	budget := cfg.Nodes
+	if budget <= 0 {
+		budget = int(cfg.Factor * FactorNodes)
+	}
+	if budget < 100 {
+		budget = 100
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		b:   graph.NewBuilder(),
+	}
+	for g.b.NumNodes() < budget {
+		g.genDocument()
+		g.doc++
+	}
+	g.resolveRefs()
+	return &Dataset{Graph: g.b.Build(), Docs: g.doc}
+}
+
+// child adds a node labeled name under parent and returns it.
+func (g *generator) child(parent graph.NodeID, name string) graph.NodeID {
+	v := g.b.AddNode(name)
+	g.b.AddEdge(parent, v)
+	return v
+}
+
+// ref adds a reference element under parent whose IDREF edge is resolved
+// later.
+func (g *generator) ref(parent graph.NodeID, name string, kind refKind) {
+	v := g.child(parent, name)
+	g.refs = append(g.refs, pendingRef{src: v, kind: kind, doc: g.doc})
+}
+
+func (g *generator) genDocument() {
+	ents := docEntities{}
+	site := g.b.AddNode("site")
+
+	// Categories.
+	cats := g.child(site, "categories")
+	for i := 0; i < docCategories; i++ {
+		c := g.child(cats, "category")
+		g.child(c, "name")
+		g.child(c, "description")
+		ents.categories = append(ents.categories, c)
+	}
+	// Category graph: sparse edges among this document's categories
+	// (bounded closure). XMark's catgraph is an arbitrary graph, so in the
+	// general (non-DAG) mode one back edge per document keeps the data
+	// graph cyclic, exercising the SCC condensation.
+	catgraph := g.child(site, "catgraph")
+	for i := 0; i+1 < len(ents.categories); i += 2 {
+		e := g.child(catgraph, "edge")
+		g.b.AddEdge(e, ents.categories[i])
+		g.b.AddEdge(ents.categories[i], ents.categories[i+1])
+	}
+	if !g.cfg.DAG && len(ents.categories) >= 2 {
+		g.b.AddEdge(ents.categories[1], ents.categories[0])
+	}
+
+	// Regions and items.
+	regions := g.child(site, "regions")
+	regionNames := [6]string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	var regionNodes [6]graph.NodeID
+	for i, rn := range regionNames {
+		regionNodes[i] = g.child(regions, rn)
+	}
+	for i := 0; i < docItems; i++ {
+		item := g.child(regionNodes[g.rng.Intn(6)], "item")
+		ents.items = append(ents.items, item)
+		g.child(item, "location")
+		g.child(item, "quantity")
+		g.child(item, "name")
+		g.child(item, "payment")
+		g.child(item, "description")
+		g.child(item, "shipping")
+		g.ref(item, "incategory", refCategory)
+		if g.rng.Intn(2) == 0 {
+			g.ref(item, "incategory", refCategory)
+		}
+		mailbox := g.child(item, "mailbox")
+		for m := g.rng.Intn(2); m > 0; m-- {
+			mail := g.child(mailbox, "mail")
+			g.child(mail, "from")
+			g.child(mail, "to")
+			g.child(mail, "date")
+			g.child(mail, "text")
+		}
+	}
+
+	// People.
+	people := g.child(site, "people")
+	for i := 0; i < docPersons; i++ {
+		p := g.child(people, "person")
+		ents.persons = append(ents.persons, p)
+		g.child(p, "name")
+		g.child(p, "emailaddress")
+		if g.rng.Intn(2) == 0 {
+			g.child(p, "phone")
+		}
+		addr := g.child(p, "address")
+		g.child(addr, "street")
+		g.child(addr, "city")
+		g.child(addr, "country")
+		g.child(addr, "zipcode")
+		prof := g.child(p, "profile")
+		g.ref(prof, "interest", refCategory)
+		if g.rng.Intn(3) == 0 {
+			g.ref(prof, "interest", refCategory)
+		}
+		g.child(prof, "education")
+		g.child(prof, "gender")
+		g.child(prof, "business")
+		g.child(prof, "age")
+		// The person → watch → open_auction → personref → person chain is
+		// the one reference loop that can percolate; each open_auction
+		// carries ≈3.5 person references, so the watch probability is kept
+		// at 1/10 to hold the closure branching factor well below 1
+		// (bounded, stable reachability sets — near-critical branching
+		// produces heavy-tailed closure sizes that make result counts
+		// non-monotone across dataset scales).
+		watches := g.child(p, "watches")
+		if g.rng.Intn(10) == 0 {
+			g.ref(watches, "watch", refOpenAuction)
+		}
+	}
+
+	// Open auctions.
+	oas := g.child(site, "open_auctions")
+	for i := 0; i < docOpenAuctions; i++ {
+		oa := g.child(oas, "open_auction")
+		ents.openAuctions = append(ents.openAuctions, oa)
+		g.child(oa, "initial")
+		g.child(oa, "reserve")
+		for bid := 1 + g.rng.Intn(2); bid > 0; bid-- {
+			b := g.child(oa, "bidder")
+			g.child(b, "date")
+			g.child(b, "time")
+			g.ref(b, "personref", refPerson)
+			g.child(b, "increase")
+		}
+		g.child(oa, "current")
+		if g.rng.Intn(5) == 0 { // privacy is optional in the XMark DTD
+			g.child(oa, "privacy")
+		}
+		g.ref(oa, "itemref", refItem)
+		g.ref(oa, "seller", refPerson)
+		g.child(oa, "quantity")
+		g.child(oa, "type")
+		ann := g.child(oa, "annotation")
+		g.ref(ann, "author", refPerson)
+		g.child(ann, "description")
+		g.child(ann, "happiness")
+	}
+
+	// Closed auctions.
+	cas := g.child(site, "closed_auctions")
+	for i := 0; i < docClosedAuctions; i++ {
+		ca := g.child(cas, "closed_auction")
+		g.ref(ca, "seller", refPerson)
+		g.ref(ca, "buyer", refPerson)
+		g.ref(ca, "itemref", refItem)
+		g.child(ca, "price")
+		g.child(ca, "date")
+		g.child(ca, "quantity")
+		g.child(ca, "type")
+		ann := g.child(ca, "annotation")
+		g.ref(ann, "author", refPerson)
+		g.child(ann, "description")
+		g.child(ann, "happiness")
+	}
+
+	g.docs = append(g.docs, ents)
+}
+
+// resolveRefs turns pending references into edges. In DAG mode targets come
+// from strictly later documents (references from the last document are
+// dropped); otherwise most references stay in-document with
+// CrossDocFraction going to a random other document.
+func (g *generator) resolveRefs() {
+	nDocs := len(g.docs)
+	for _, r := range g.refs {
+		targetDoc := r.doc
+		if g.cfg.DAG {
+			if r.doc+1 >= nDocs {
+				continue // drop: no later document to point at
+			}
+			targetDoc = r.doc + 1 + g.rng.Intn(nDocs-r.doc-1)
+		} else if nDocs > 1 && g.rng.Float64() < g.cfg.CrossDocFraction {
+			targetDoc = g.rng.Intn(nDocs)
+		}
+		ents := &g.docs[targetDoc]
+		var pool []graph.NodeID
+		switch r.kind {
+		case refItem:
+			pool = ents.items
+		case refPerson:
+			pool = ents.persons
+		case refCategory:
+			pool = ents.categories
+		case refOpenAuction:
+			pool = ents.openAuctions
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		g.b.AddEdge(r.src, pool[g.rng.Intn(len(pool))])
+	}
+}

@@ -1,0 +1,123 @@
+package xmark
+
+import (
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+func TestGenerateBudget(t *testing.T) {
+	d := Generate(Config{Nodes: 20000, Seed: 1})
+	n := d.Graph.NumNodes()
+	if n < 20000 || n > 22000 {
+		t.Fatalf("nodes = %d, want ≈20000 (one document of slack)", n)
+	}
+	if d.Docs < 15 {
+		t.Fatalf("docs = %d, suspiciously few", d.Docs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Nodes: 5000, Seed: 42})
+	b := Generate(Config{Nodes: 5000, Seed: 42})
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %v vs %v", a.Graph, b.Graph)
+	}
+	c := Generate(Config{Nodes: 5000, Seed: 43})
+	if a.Graph.NumEdges() == c.Graph.NumEdges() && a.Graph.NumNodes() == c.Graph.NumNodes() {
+		t.Log("different seeds gave identical sizes (possible but unusual)")
+	}
+}
+
+func TestEdgeNodeRatio(t *testing.T) {
+	// The paper's Table 2 reports |E|/|V| ≈ 1.18 for all five datasets;
+	// our substitute should be in the same band.
+	d := Generate(Config{Nodes: 30000, Seed: 2})
+	ratio := float64(d.Graph.NumEdges()) / float64(d.Graph.NumNodes())
+	if ratio < 1.0 || ratio > 1.4 {
+		t.Fatalf("|E|/|V| = %.3f, want ≈1.1–1.3", ratio)
+	}
+}
+
+func TestSchemaLabelsPresent(t *testing.T) {
+	d := Generate(Config{Nodes: 10000, Seed: 3})
+	g := d.Graph
+	for _, l := range []string{
+		"site", "regions", "item", "person", "open_auction", "closed_auction",
+		"category", "itemref", "personref", "seller", "buyer", "incategory",
+		"interest", "bidder", "annotation", "author", "address", "city",
+	} {
+		if g.Labels().Lookup(l) == graph.InvalidLabel || g.ExtentSize(g.Labels().Lookup(l)) == 0 {
+			t.Fatalf("label %q missing or empty", l)
+		}
+	}
+}
+
+func TestDAGMode(t *testing.T) {
+	d := Generate(Config{Nodes: 8000, Seed: 4, DAG: true})
+	if !graph.IsDAG(d.Graph) {
+		t.Fatal("DAG mode produced a cyclic graph")
+	}
+}
+
+func TestNonDAGHasCycles(t *testing.T) {
+	// In-document person↔open_auction reference loops make the default
+	// mode cyclic with overwhelming probability at this size.
+	d := Generate(Config{Nodes: 30000, Seed: 5})
+	if graph.IsDAG(d.Graph) {
+		t.Fatal("expected cycles in default mode")
+	}
+}
+
+func TestReachabilityShapes(t *testing.T) {
+	d := Generate(Config{Nodes: 6000, Seed: 6})
+	g := d.Graph
+	// Every site must reach items (own document's at minimum).
+	site := g.Extent(g.Labels().Lookup("site"))[0]
+	reach := graph.ReachableFrom(g, site)
+	foundItem := false
+	itemLbl := g.Labels().Lookup("item")
+	for _, it := range g.Extent(itemLbl) {
+		if reach[it] {
+			foundItem = true
+			break
+		}
+	}
+	if !foundItem {
+		t.Fatal("site does not reach any item")
+	}
+	// Some open_auction reaches a person (via personref/seller).
+	oaLbl := g.Labels().Lookup("open_auction")
+	personLbl := g.Labels().Lookup("person")
+	found := false
+	for _, oa := range g.Extent(oaLbl)[:10] {
+		r := graph.ReachableFrom(g, oa)
+		for _, p := range g.Extent(personLbl) {
+			if r[p] {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no open_auction reaches a person")
+	}
+}
+
+func TestFactorScaling(t *testing.T) {
+	small := Generate(Config{Factor: 0.002, Seed: 7})
+	large := Generate(Config{Factor: 0.004, Seed: 7})
+	ratio := float64(large.Graph.NumNodes()) / float64(small.Graph.NumNodes())
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("doubling the factor scaled nodes by %.2f, want ≈2", ratio)
+	}
+}
+
+func BenchmarkGenerate20K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(Config{Nodes: 20000, Seed: int64(i)})
+	}
+}

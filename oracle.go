@@ -1,0 +1,50 @@
+package fastmatch
+
+import (
+	"sync"
+
+	"fastmatch/internal/twohop"
+)
+
+// ReachabilityOracle answers u ⇝ v questions over a graph that grows by
+// edge insertions, maintaining a 2-hop labeling incrementally (the update
+// problem of the paper's reference [24]). Unlike Engine — which is built
+// once over an immutable graph — the oracle accepts InsertEdge at any time.
+// It answers reachability only; pattern matching over a changed graph
+// requires rebuilding an Engine.
+//
+// Methods are safe for concurrent use.
+type ReachabilityOracle struct {
+	mu  sync.Mutex
+	inc *twohop.Incremental
+}
+
+// NewReachabilityOracle builds the initial labeling for g. Later edge
+// insertions go through InsertEdge and do not affect g itself.
+func NewReachabilityOracle(g *Graph) *ReachabilityOracle {
+	cover := twohop.Compute(g, twohop.Options{})
+	return &ReachabilityOracle{inc: twohop.NewIncremental(cover)}
+}
+
+// Reaches reports u ⇝ v under all insertions so far.
+func (o *ReachabilityOracle) Reaches(u, v NodeID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inc.Reaches(u, v)
+}
+
+// InsertEdge adds the edge u→v and repairs the labeling, returning the
+// number of label entries added (0 when the edge creates no new
+// reachability).
+func (o *ReachabilityOracle) InsertEdge(u, v NodeID) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inc.InsertEdge(u, v)
+}
+
+// LabelEntries returns the current 2-hop labeling size |H|.
+func (o *ReachabilityOracle) LabelEntries() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inc.Size()
+}
