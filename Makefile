@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test test-short verify bench clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# verify is the gating tier: vet plus the full suite under the race
+# detector, so concurrency regressions in the query-serving path cannot
+# land silently.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

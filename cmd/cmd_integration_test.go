@@ -1,13 +1,21 @@
 // Package cmd_test runs the command-line tools end to end via `go run`,
-// checking the generate → query pipeline and the bench harness dispatch.
+// checking the generate → query pipeline, the bench harness dispatch, and
+// the query server over a real socket.
 package cmd_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func run(t *testing.T, args ...string) string {
@@ -52,6 +60,211 @@ func TestGenerateThenQuery(t *testing.T) {
 		"-query", "person->profile; profile->interest", "-analyze", "-limit", "1")
 	if !strings.Contains(out, "step 1") {
 		t.Fatalf("analyze output: %q", out)
+	}
+}
+
+// TestServeQuery boots fgmserve on a real TCP socket, queries it over
+// HTTP, checks load shedding answers 429 and per-request deadlines answer
+// 504, and shuts it down gracefully with SIGTERM.
+func TestServeQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.fgm")
+	// Big enough that the heavy pattern runs tens of milliseconds — past
+	// the runtime's preemption quantum, so concurrent requests genuinely
+	// overlap at the admission gate even on a single-CPU machine.
+	run(t, "run", "./cmd/fgmgen", "-nodes", "20000", "-seed", "7", "-out", graphPath)
+
+	// Build a real binary (not `go run`) so signals reach the server.
+	bin := filepath.Join(dir, "fgmserve")
+	run(t, "build", "-o", bin, "./cmd/fgmserve")
+
+	// One execution slot and a queue timeout shorter than a heavy query:
+	// a concurrent burst must be shed, not absorbed.
+	cmd := exec.Command(bin, "-graph", graphPath, "-addr", "127.0.0.1:0",
+		"-max-inflight", "1", "-queue-timeout", "1ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server prints "listening on 127.0.0.1:PORT" once ready.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server never reported its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := client.Post(base+"/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	resp, body := post(`{"pattern": "site->regions; regions->item", "limit": 5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Cols     []string  `json:"cols"`
+		Rows     [][]int64 `json:"rows"`
+		RowCount int       `json:"row_count"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if qr.RowCount == 0 || len(qr.Cols) != 3 {
+		t.Fatalf("response: %s", body)
+	}
+
+	// Client errors map to 400.
+	if resp, body = post(`{"pattern": "site->x"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown label: %d %s", resp.StatusCode, body)
+	}
+	const heavy = `"person->profile; profile->interest; person->watches; site->person"`
+
+	// Load shedding: burst 12 concurrent heavy queries at the single
+	// execution slot; whatever is not absorbed within the 1ms queue timeout
+	// must be shed with 429, never an error. Scheduling can delay overlap,
+	// so allow a few rounds before declaring shedding broken.
+	type out struct {
+		status int
+		body   string
+	}
+	shed := false
+	for round := 0; round < 3 && !shed; round++ {
+		results := make(chan out, 12)
+		for i := 0; i < 12; i++ {
+			// No t.Fatal in these goroutines: report failures as status 0.
+			go func() {
+				resp, err := client.Post(base+"/query", "application/json",
+					bytes.NewReader([]byte(`{"pattern": `+heavy+`}`)))
+				if err != nil {
+					results <- out{0, err.Error()}
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				results <- out{resp.StatusCode, string(b)}
+			}()
+		}
+		counts := map[int]int{}
+		for i := 0; i < 12; i++ {
+			r := <-results
+			if r.status != http.StatusOK && r.status != http.StatusTooManyRequests {
+				t.Fatalf("burst: unexpected %d: %s", r.status, r.body)
+			}
+			counts[r.status]++
+		}
+		if counts[http.StatusOK] == 0 {
+			t.Fatalf("burst: no query succeeded: %v", counts)
+		}
+		shed = counts[http.StatusTooManyRequests] > 0
+	}
+	if !shed {
+		t.Fatal("burst: nothing was shed with 429 in 3 rounds")
+	}
+	// A rejected client that backs off must succeed once the burst drains.
+	resp, body = post(`{"pattern": ` + heavy + `, "limit": 1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst query: %d %s", resp.StatusCode, body)
+	}
+
+	var stats struct {
+		Queries  int64 `json:"queries"`
+		InFlight int   `json:"in_flight"`
+	}
+	resp, err = client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries < 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+
+	// Deadline honoring: a server whose default per-query budget (-timeout)
+	// is already elapsed by execution's first context poll answers 504 to
+	// every query. This is deterministic, unlike racing a real clock.
+	slow := exec.Command(bin, "-graph", graphPath, "-addr", "127.0.0.1:0", "-timeout", "1ns")
+	slowOut, err := slow.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Stderr = os.Stderr
+	if err := slow.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		slow.Process.Signal(syscall.SIGTERM)
+		slow.Wait()
+	}()
+	base = ""
+	sc = bufio.NewScanner(slowOut)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("slow server never reported its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, slowOut)
+	resp, body = post(`{"pattern": ` + heavy + `}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline: %d %s, want 504", resp.StatusCode, body)
 	}
 }
 

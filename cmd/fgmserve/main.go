@@ -1,0 +1,117 @@
+// Command fgmserve builds a graph database over a data graph and serves
+// pattern queries over HTTP with bounded concurrency.
+//
+// Usage:
+//
+//	fgmserve -graph data.fgm -addr :8080
+//	fgmserve -graph data.fgm -addr :8080 -max-inflight 16 -queue-timeout 50ms
+//
+// Endpoints:
+//
+//	POST /query   — {"pattern": "A->B; B->C", "algorithm": "dps", "timeout_ms": 500, "limit": 10}
+//	GET  /stats   — metrics snapshot (queries, cache hits, rejections, latency quantiles, I/O)
+//	GET  /healthz — liveness
+//
+// Overloaded requests are shed with 429 and a Retry-After header; requests
+// past their deadline answer 504.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastmatch"
+	"fastmatch/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphPath    = flag.String("graph", "", "data graph file (text format; required)")
+		addr         = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		pool         = flag.Int("pool", 0, "buffer pool bytes (default 1 MB)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently executing queries (default 8)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for an execution slot before 429 (default 100ms)")
+		planCache    = flag.Int("plancache", 0, "plan cache entries (default 256; -1 disables)")
+		algo         = flag.String("algo", "dps", "default optimizer: dp, dps, or dps-merged")
+		timeout      = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	g, err := graph.ReadText(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	defaultAlgo := fastmatch.DPS
+	switch *algo {
+	case "dp":
+		defaultAlgo = fastmatch.DP
+	case "dps":
+		defaultAlgo = fastmatch.DPS
+	case "dps-merged", "dpsmerged":
+		defaultAlgo = fastmatch.DPSMerged
+	default:
+		return fmt.Errorf("unknown -algo %q (want dp, dps, or dps-merged)", *algo)
+	}
+
+	build := time.Now()
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	fmt.Printf("indexed %s in %v\n", eng.Stats(), time.Since(build).Round(time.Millisecond))
+
+	svc := eng.Parallel(fastmatch.ServeConfig{
+		MaxInFlight:      *maxInFlight,
+		QueueTimeout:     *queueTimeout,
+		PlanCacheSize:    *planCache,
+		DefaultAlgorithm: defaultAlgo,
+		DefaultTimeout:   *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The integration test parses this line to find the chosen port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("shutting down on %v\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -26,8 +26,9 @@
 package fastmatch
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"net/http"
 
 	"fastmatch/internal/exec"
 	"fastmatch/internal/gdb"
@@ -35,9 +36,17 @@ import (
 	"fastmatch/internal/optimizer"
 	"fastmatch/internal/pattern"
 	"fastmatch/internal/rjoin"
+	"fastmatch/internal/server"
 	"fastmatch/internal/storage"
 	"fastmatch/internal/twohop"
 )
+
+// ErrClosed is returned by Engine and Service methods called after Close.
+var ErrClosed = gdb.ErrClosed
+
+// ErrOverloaded is returned (wrapped in a *server.OverloadError) when a
+// Service sheds a query under admission control; match with errors.Is.
+var ErrOverloaded = server.ErrOverloaded
 
 // NodeID identifies a node of a data graph.
 type NodeID = graph.NodeID
@@ -101,11 +110,14 @@ type Options struct {
 }
 
 // Engine is a queryable graph database built from a data graph. Build
-// once, query many times. Methods are safe for concurrent use: the
-// underlying executor is single-threaded (as in the paper), so calls are
-// serialised by an internal mutex.
+// once, query many times. Methods are safe for concurrent use and queries
+// execute in parallel: the storage engine's buffer pool and caches use
+// sharded locks and every query spills intermediate results to a private
+// scratch area, so no global mutex serialises the read path. (The paper's
+// executor is single-threaded; see DESIGN.md for how the concurrent read
+// path maps onto it.) For serving with admission control, a plan cache,
+// and metrics, wrap the engine with Parallel.
 type Engine struct {
-	mu sync.Mutex
 	db *gdb.DB
 }
 
@@ -139,7 +151,8 @@ func OpenEngine(path string, opt Options) (*Engine, error) {
 	return &Engine{db: db}, nil
 }
 
-// Close releases the engine's storage.
+// Close releases the engine's storage. Close is idempotent; afterwards
+// every query method returns ErrClosed.
 func (e *Engine) Close() error { return e.db.Close() }
 
 // Graph returns the underlying data graph.
@@ -147,52 +160,62 @@ func (e *Engine) Graph() *Graph { return e.db.Graph() }
 
 // Query parses and evaluates a pattern with the DPS optimizer.
 func (e *Engine) Query(patternText string) (*Result, error) {
+	return e.QueryContext(context.Background(), patternText)
+}
+
+// QueryContext is Query honouring ctx: the query is abandoned mid-join
+// (returning ctx's error) once the context is cancelled or past its
+// deadline.
+func (e *Engine) QueryContext(ctx context.Context, patternText string) (*Result, error) {
 	p, err := ParsePattern(patternText)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryPattern(p, DPS)
+	return e.QueryPatternContext(ctx, p, DPS)
 }
 
 // QueryPattern evaluates a parsed pattern with the chosen optimizer.
 func (e *Engine) QueryPattern(p *Pattern, algo Algorithm) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return exec.Query(e.db, p, algo)
+	return e.QueryPatternContext(context.Background(), p, algo)
+}
+
+// QueryPatternContext is QueryPattern honouring ctx for cancellation and
+// deadlines.
+func (e *Engine) QueryPatternContext(ctx context.Context, p *Pattern, algo Algorithm) (*Result, error) {
+	plan, err := e.plan(p, algo)
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunContext(ctx, e.db, plan)
+}
+
+// plan is the single bind-then-optimize step shared by every query and
+// explain path.
+func (e *Engine) plan(p *Pattern, algo Algorithm) (*Plan, error) {
+	if e.db.Closed() {
+		return nil, ErrClosed
+	}
+	return exec.BuildPlan(e.db, p, algo)
 }
 
 // Explain returns the plan the optimizer would choose, without running it.
 func (e *Engine) Explain(p *Pattern, algo Algorithm) (*Plan, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.explainLocked(p, algo)
-}
-
-func (e *Engine) explainLocked(p *Pattern, algo Algorithm) (*Plan, error) {
-	b, err := optimizer.Bind(e.db, p)
-	if err != nil {
-		return nil, err
-	}
-	switch algo {
-	case DP:
-		return optimizer.OptimizeDP(b, optimizer.DefaultCostParams())
-	case DPSMerged:
-		return optimizer.OptimizeDPSMerged(b, optimizer.DefaultCostParams())
-	default:
-		return optimizer.OptimizeDPS(b, optimizer.DefaultCostParams())
-	}
+	return e.plan(p, algo)
 }
 
 // ExplainAnalyze runs a plan and returns the result together with per-step
 // actual row counts, I/O, and timings.
 func (e *Engine) ExplainAnalyze(p *Pattern, algo Algorithm) (*Result, *Plan, []exec.StepTrace, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	plan, err := e.explainLocked(p, algo)
+	return e.ExplainAnalyzeContext(context.Background(), p, algo)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze honouring ctx.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, p *Pattern, algo Algorithm) (*Result, *Plan, []exec.StepTrace, error) {
+	plan, err := e.plan(p, algo)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, traces, err := exec.RunWithTrace(e.db, plan, true)
+	res, traces, err := exec.RunWithTrace(ctx, e.db, plan, true)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -204,23 +227,17 @@ type StepTrace = exec.StepTrace
 
 // Reaches reports u ⇝ v using the engine's 2-hop graph codes.
 func (e *Engine) Reaches(u, v NodeID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.db.Reaches(u, v)
 }
 
 // IOStats returns the accumulated buffer pool counters.
 func (e *Engine) IOStats() IOStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.db.IOStats()
 }
 
 // ResetIOStats zeroes the counters (e.g. after the build, before a
 // measured query).
 func (e *Engine) ResetIOStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.db.ResetIOStats()
 }
 
@@ -271,4 +288,35 @@ func (e *Engine) CoverStats() (twohop.Stats, bool) {
 		return twohop.Stats{}, false
 	}
 	return c.Stats(), true
+}
+
+// Service is a concurrent query server over one engine: a bounded worker
+// pool (admission control with queue timeout), an LRU plan cache keyed by
+// canonical pattern form, and per-server metrics. Obtain one with
+// Engine.Parallel; expose it over HTTP with Serve or Service.Handler.
+type Service = server.Server
+
+// ServeConfig tunes a Service (see the field docs in internal/server); the
+// zero value selects the defaults (8 in-flight, 100ms queue timeout, a
+// 256-entry plan cache).
+type ServeConfig = server.Config
+
+// ServiceStats is a point-in-time snapshot of a Service's counters.
+type ServiceStats = server.Stats
+
+// ServiceResult is one Service query's answer.
+type ServiceResult = server.Result
+
+// Parallel wraps the engine in a Service for concurrent serving. The
+// engine must stay open for the service's lifetime; closing the engine
+// makes the service answer ErrClosed (and its HTTP health check 503).
+func (e *Engine) Parallel(cfg ServeConfig) *Service {
+	return server.New(e.db, cfg)
+}
+
+// Serve runs the engine's HTTP query API on addr until the listener fails
+// (it blocks, like http.ListenAndServe). Endpoints: POST /query,
+// GET /stats, GET /healthz — see cmd/fgmserve and the README.
+func Serve(addr string, e *Engine, cfg ServeConfig) error {
+	return http.ListenAndServe(addr, e.Parallel(cfg).Handler())
 }

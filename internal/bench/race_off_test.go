@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Elapsed-time shape assertions are skipped under -race: the
+// instrumentation slows the systems by different factors, so relative
+// timings no longer reflect the algorithms.
+const raceEnabled = false

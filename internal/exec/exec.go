@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"fastmatch/internal/optimizer"
 	"fastmatch/internal/pattern"
 	"fastmatch/internal/rjoin"
+	"fastmatch/internal/storage"
 )
 
 // StepTrace records one executed plan step for EXPLAIN-style output.
@@ -21,6 +23,8 @@ type StepTrace struct {
 	// Rows is the temporal table size after the step.
 	Rows int
 	// IO is the logical page I/O the step performed (including its spill).
+	// Under concurrent execution the counter is shared, so traffic from
+	// overlapping queries may be attributed to the step.
 	IO int64
 	// ElapsedMS is the step's wall time in milliseconds.
 	ElapsedMS float64
@@ -29,17 +33,33 @@ type StepTrace struct {
 // Run executes a plan and returns the full result table, with one column
 // per pattern node in pattern-node order and duplicate rows removed.
 func Run(db *gdb.DB, plan *optimizer.Plan) (*rjoin.Table, error) {
-	t, _, err := RunWithTrace(db, plan, false)
+	return RunContext(context.Background(), db, plan)
+}
+
+// RunContext is Run honouring ctx: execution is abandoned mid-operator
+// (with ctx.Err()) once the context is cancelled or past its deadline.
+func RunContext(ctx context.Context, db *gdb.DB, plan *optimizer.Plan) (*rjoin.Table, error) {
+	t, _, err := RunWithTrace(ctx, db, plan, false)
 	return t, err
 }
 
-// RunWithTrace is Run that also reports per-step actual row counts, I/O,
-// and elapsed time when trace is true.
-func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, []StepTrace, error) {
+// RunWithTrace is RunContext that also reports per-step actual row counts,
+// I/O, and elapsed time when trace is true.
+func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, []StepTrace, error) {
 	b := plan.Binding
+	// Intermediate results spill through a scratch heap private to this
+	// run: the pages share the database's buffer pool (so their size is
+	// charged as I/O, as in the paper's disk-resident executor) but no
+	// state is shared between concurrent queries, and Release recycles the
+	// pages afterwards.
+	scratch := db.NewScratchHeap()
+	defer scratch.Release()
 	var traces []StepTrace
 	var t *rjoin.Table
 	for si, s := range plan.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		stepStart := time.Now()
 		ioBefore := db.IOStats().Logical()
 		var err error
@@ -48,7 +68,7 @@ func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, [
 			if t != nil {
 				return nil, nil, fmt.Errorf("exec: step %d: HPSJ mid-plan", si+1)
 			}
-			t, err = rjoin.HPSJ(db, b.Conds[s.Edges[0]])
+			t, err = rjoin.HPSJ(ctx, db, b.Conds[s.Edges[0]])
 		case optimizer.StepSemijoinGroup:
 			if t == nil {
 				t = extentTable(db.Graph(), b, s.Node)
@@ -57,24 +77,24 @@ func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, [
 			for i, e := range s.Edges {
 				conds[i] = b.Conds[e]
 			}
-			t, err = rjoin.FilterGroup(db, t, conds, s.Node, s.OutSide)
+			t, err = rjoin.FilterGroup(ctx, db, t, conds, s.Node, s.OutSide)
 		case optimizer.StepFetch:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Fetch(db, t, b.Conds[s.Edges[0]])
+				t, err = rjoin.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepJoinFilterFetch:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Filter(db, t, b.Conds[s.Edges[0]])
+				t, err = rjoin.Filter(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 			if err == nil {
-				t, err = rjoin.Fetch(db, t, b.Conds[s.Edges[0]])
+				t, err = rjoin.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepSelection:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Selection(db, t, b.Conds[s.Edges[0]])
+				t, err = rjoin.Selection(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		default:
 			err = fmt.Errorf("exec: unknown step kind %v", s.Kind)
@@ -85,7 +105,7 @@ func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, [
 		// Materialise the temporal table through the storage engine: the
 		// paper's executor keeps intermediate results in disk-resident
 		// tables, so their size is part of the measured I/O cost.
-		if err := spill(db, t); err != nil {
+		if err := spill(scratch, t); err != nil {
 			return nil, nil, fmt.Errorf("exec: step %d (%v): spill: %w", si+1, s.Kind, err)
 		}
 		if trace {
@@ -108,20 +128,20 @@ func RunWithTrace(db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, [
 	return out, traces, err
 }
 
-// spill writes a temporal table to the database heap and reads it back,
-// replacing the table's rows with the materialised copy. With the paper's
-// 1 MB buffer pool, tables larger than the pool incur real evictions and
-// re-reads — charging intermediate-result size as I/O exactly as a
-// disk-based executor does.
-func spill(db *gdb.DB, t *rjoin.Table) error {
+// spill writes a temporal table to the query's scratch heap and reads it
+// back, replacing the table's rows with the materialised copy. With the
+// paper's 1 MB buffer pool, tables larger than the pool incur real
+// evictions and re-reads — charging intermediate-result size as I/O exactly
+// as a disk-based executor does.
+func spill(scratch *storage.HeapFile, t *rjoin.Table) error {
 	if t == nil || len(t.Rows) == 0 {
 		return nil
 	}
-	rid, err := db.Heap().Insert(t.EncodeRows())
+	rid, err := scratch.Insert(t.EncodeRows())
 	if err != nil {
 		return err
 	}
-	data, err := db.Heap().Read(rid)
+	data, err := scratch.Read(rid)
 	if err != nil {
 		return err
 	}
@@ -169,6 +189,41 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm maps the common spellings ("dp", "dps", "dps-merged") to
+// an Algorithm; empty selects the default (DPS).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "dps", "DPS":
+		return DPS, nil
+	case "dp", "DP":
+		return DP, nil
+	case "dps-merged", "dpsmerged", "DPS-merged":
+		return DPSMerged, nil
+	default:
+		return DPS, fmt.Errorf("exec: unknown algorithm %q (want dp, dps, or dps-merged)", s)
+	}
+}
+
+// BuildPlan binds a pattern against the database and optimizes it with the
+// chosen planner under default cost parameters. It is the single planning
+// entry point shared by Query, the Engine's Explain paths, and the query
+// server's plan cache.
+func BuildPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan, error) {
+	b, err := optimizer.Bind(db, p)
+	if err != nil {
+		return nil, err
+	}
+	params := optimizer.DefaultCostParams()
+	switch algo {
+	case DP:
+		return optimizer.OptimizeDP(b, params)
+	case DPSMerged:
+		return optimizer.OptimizeDPSMerged(b, params)
+	default:
+		return optimizer.OptimizeDPS(b, params)
+	}
+}
+
 // Query binds, optimizes (with default cost parameters), and runs a pattern
 // in one call.
 func Query(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, error) {
@@ -176,22 +231,18 @@ func Query(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, error)
 	return t, err
 }
 
+// QueryContext is Query honouring ctx for cancellation and deadlines.
+func QueryContext(ctx context.Context, db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, error) {
+	plan, err := BuildPlan(db, p, algo)
+	if err != nil {
+		return nil, err
+	}
+	return RunContext(ctx, db, plan)
+}
+
 // QueryWithPlan is Query returning the chosen plan as well.
 func QueryWithPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*rjoin.Table, *optimizer.Plan, error) {
-	b, err := optimizer.Bind(db, p)
-	if err != nil {
-		return nil, nil, err
-	}
-	params := optimizer.DefaultCostParams()
-	var plan *optimizer.Plan
-	switch algo {
-	case DP:
-		plan, err = optimizer.OptimizeDP(b, params)
-	case DPSMerged:
-		plan, err = optimizer.OptimizeDPSMerged(b, params)
-	default:
-		plan, err = optimizer.OptimizeDPS(b, params)
-	}
+	plan, err := BuildPlan(db, p, algo)
 	if err != nil {
 		return nil, nil, err
 	}

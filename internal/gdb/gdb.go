@@ -22,13 +22,19 @@ package gdb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fastmatch/internal/graph"
 	"fastmatch/internal/storage"
 	"fastmatch/internal/twohop"
 )
+
+// ErrClosed is returned by DB (and Engine) methods called after Close.
+var ErrClosed = errors.New("gdb: database is closed")
 
 // Options configures Build.
 type Options struct {
@@ -48,7 +54,11 @@ type Options struct {
 	CodeCacheEntries int
 }
 
-// DB is a built graph database, read-only after Build.
+// DB is a built graph database, read-only after Build. The read path —
+// Centers, GetF/GetT, OutCode/InCode, Reaches, and the memoized statistics
+// — is safe for concurrent use: the buffer pool uses sharded locks, the
+// code cache is sharded, and the W-table and statistics caches are guarded
+// by their own locks, so parallel queries proceed without a global mutex.
 type DB struct {
 	g     *graph.Graph
 	cover *twohop.Cover
@@ -61,13 +71,16 @@ type DB struct {
 	wtable  *storage.BTree                 // (X,Y) → RID of center list
 	cluster *storage.BTree                 // (w, dir, label) → RID of node list
 
-	wcache     map[wKey][]graph.NodeID
-	wcacheOn   bool
-	codeCache  map[graph.NodeID]codes
-	codeCacheN int
+	wmu       sync.RWMutex
+	wcache    map[wKey][]graph.NodeID
+	wcacheOn  bool
+	codeCache *codeCache
+
+	closed atomic.Bool
 
 	numCenters int
 	coverSize  int
+	statMu     sync.Mutex     // guards the three memo maps below
 	joinSizes  map[wKey]int64 // memoized base-table R-join size estimates
 	distFrom   map[wKey]int64 // memoized |π_X(T_X ⋈ T_Y)|
 	distTo     map[wKey]int64 // memoized |π_Y(T_X ⋈ T_Y)|
@@ -76,6 +89,94 @@ type DB struct {
 type wKey struct{ x, y graph.Label }
 
 type codes struct{ in, out []graph.NodeID }
+
+// codeCache is the working cache of decoded graph codes (the paper's
+// getCenters cache, Section 3.3), sharded by node ID so parallel queries
+// sharing hot codes do not serialise on one lock. Each shard is bounded;
+// on overflow an arbitrary entry of the shard is dropped.
+type codeCache struct {
+	disabled bool
+	shardCap int
+	shards   [codeCacheShards]codeCacheShard
+}
+
+type codeCacheShard struct {
+	mu sync.Mutex
+	m  map[graph.NodeID]codes
+}
+
+const codeCacheShards = 16
+
+func newCodeCache(entries int) *codeCache {
+	c := &codeCache{}
+	if entries < 0 {
+		c.disabled = true
+		return c
+	}
+	c.shardCap = entries / codeCacheShards
+	if c.shardCap < 1 {
+		c.shardCap = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[graph.NodeID]codes)
+	}
+	return c
+}
+
+func (c *codeCache) get(x graph.NodeID) (codes, bool) {
+	if c.disabled {
+		return codes{}, false
+	}
+	s := &c.shards[int(x)%codeCacheShards]
+	s.mu.Lock()
+	v, ok := s.m[x]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (c *codeCache) put(x graph.NodeID, v codes) {
+	if c.disabled {
+		return
+	}
+	s := &c.shards[int(x)%codeCacheShards]
+	s.mu.Lock()
+	if len(s.m) >= c.shardCap {
+		// Simple bounded cache: drop an arbitrary entry of the shard.
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[x] = v
+	s.mu.Unlock()
+}
+
+// len returns the total number of cached entries (for white-box tests).
+func (c *codeCache) len() int {
+	if c.disabled {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *codeCache) clear() {
+	if c.disabled {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[graph.NodeID]codes)
+		s.mu.Unlock()
+	}
+}
 
 const (
 	dirF byte = 0
@@ -109,18 +210,17 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		pager = fp
 	}
 	db := &DB{
-		g:          g,
-		cover:      cover,
-		pager:      pager,
-		pool:       storage.NewBufferPool(pager, opt.PoolBytes),
-		base:       make(map[graph.Label]*storage.BTree),
-		wcacheOn:   !opt.DisableWTableCache,
-		wcache:     make(map[wKey][]graph.NodeID),
-		codeCacheN: opt.CodeCacheEntries,
-		codeCache:  make(map[graph.NodeID]codes),
-		joinSizes:  make(map[wKey]int64),
-		distFrom:   make(map[wKey]int64),
-		distTo:     make(map[wKey]int64),
+		g:         g,
+		cover:     cover,
+		pager:     pager,
+		pool:      storage.NewBufferPool(pager, opt.PoolBytes),
+		base:      make(map[graph.Label]*storage.BTree),
+		wcacheOn:  !opt.DisableWTableCache,
+		wcache:    make(map[wKey][]graph.NodeID),
+		codeCache: newCodeCache(opt.CodeCacheEntries),
+		joinSizes: make(map[wKey]int64),
+		distFrom:  make(map[wKey]int64),
+		distTo:    make(map[wKey]int64),
 	}
 	db.heap = storage.NewHeapFile(db.pool)
 	db.coverSize = cover.Size()
@@ -141,8 +241,17 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 	return db, nil
 }
 
-// Close releases the pager.
-func (db *DB) Close() error { return db.pager.Close() }
+// Close releases the pager. Close is idempotent; after the first call
+// every query-path method returns ErrClosed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	return db.pager.Close()
+}
+
+// Closed reports whether Close has been called.
+func (db *DB) Closed() bool { return db.closed.Load() }
 
 // Graph returns the underlying data graph.
 func (db *DB) Graph() *graph.Graph { return db.g }
@@ -166,17 +275,27 @@ func (db *DB) ResetIOStats() { db.pool.ResetStats() }
 // ClearCaches empties the in-memory W-table and graph-code caches so a
 // measured query starts cold.
 func (db *DB) ClearCaches() {
+	db.wmu.Lock()
 	db.wcache = make(map[wKey][]graph.NodeID)
-	db.codeCache = make(map[graph.NodeID]codes)
+	db.wmu.Unlock()
+	db.codeCache.clear()
 }
 
 // NumCenters returns the number of centers in the cluster-based index.
 func (db *DB) NumCenters() int { return db.numCenters }
 
-// Heap exposes the database's record heap. The executor spills temporal
-// tables through it so intermediate-result sizes are charged as I/O, as in
-// the paper's disk-resident (MiniBase) executor.
+// Heap exposes the database's record heap (read-only after Build; reads
+// are safe for concurrent use).
 func (db *DB) Heap() *storage.HeapFile { return db.heap }
+
+// NewScratchHeap returns a fresh single-writer heap on the database's
+// shared buffer pool for one query's intermediate results. Spilled pages
+// share the pool — so intermediate-result sizes are charged as I/O, as in
+// the paper's disk-resident (MiniBase) executor — but are private to the
+// query; callers must Release the heap when done so its pages recycle.
+func (db *DB) NewScratchHeap() *storage.HeapFile {
+	return storage.NewScratchHeap(db.pool)
+}
 
 // SizeBytes returns the database's on-disk size (all allocated pages).
 func (db *DB) SizeBytes() int { return db.pager.NumPages() * storage.PageSize }
@@ -319,9 +438,15 @@ func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
 // Centers returns W(X, Y): the centers whose clusters can produce (X, Y)
 // R-join pairs, sorted ascending. Returns nil when the entry is empty.
 func (db *DB) Centers(x, y graph.Label) ([]graph.NodeID, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	k := wKey{x, y}
 	if db.wcacheOn {
-		if ws, ok := db.wcache[k]; ok {
+		db.wmu.RLock()
+		ws, ok := db.wcache[k]
+		db.wmu.RUnlock()
+		if ok {
 			return ws, nil
 		}
 	}
@@ -338,7 +463,9 @@ func (db *DB) Centers(x, y graph.Label) ([]graph.NodeID, error) {
 		ws = decodeNodeList(rec)
 	}
 	if db.wcacheOn {
+		db.wmu.Lock()
 		db.wcache[k] = ws
+		db.wmu.Unlock()
 	}
 	return ws, nil
 }
@@ -356,6 +483,9 @@ func (db *DB) GetT(w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
 }
 
 func (db *DB) clusterLookup(w graph.NodeID, dir byte, l graph.Label) ([]graph.NodeID, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	v, ok, err := db.cluster.Get(clusterKey(w, dir, l))
 	if err != nil || !ok {
 		return nil, err
@@ -389,8 +519,11 @@ func (db *DB) InCode(x graph.NodeID) ([]graph.NodeID, error) {
 }
 
 func (db *DB) getCodes(x graph.NodeID) (codes, error) {
-	if c, ok := db.codeCache[x]; ok {
+	if c, ok := db.codeCache.get(x); ok {
 		return c, nil
+	}
+	if db.closed.Load() {
+		return codes{}, ErrClosed
 	}
 	v, ok, err := db.base[db.g.LabelOf(x)].Get(nodeKey(x))
 	if err != nil {
@@ -405,16 +538,7 @@ func (db *DB) getCodes(x graph.NodeID) (codes, error) {
 	}
 	in, out := decodeCodes(rec)
 	c := codes{in: insertSorted(in, x), out: insertSorted(out, x)}
-	if db.codeCacheN >= 0 {
-		if len(db.codeCache) >= db.codeCacheN {
-			// Simple bounded cache: drop an arbitrary entry.
-			for k := range db.codeCache {
-				delete(db.codeCache, k)
-				break
-			}
-		}
-		db.codeCache[x] = c
-	}
+	db.codeCache.put(x, c)
 	return c, nil
 }
 
@@ -440,7 +564,10 @@ func (db *DB) Reaches(u, v graph.NodeID) (bool, error) {
 // optimizer.
 func (db *DB) JoinSize(x, y graph.Label) (int64, error) {
 	k := wKey{x, y}
-	if s, ok := db.joinSizes[k]; ok {
+	db.statMu.Lock()
+	s, ok := db.joinSizes[k]
+	db.statMu.Unlock()
+	if ok {
 		return s, nil
 	}
 	ws, err := db.Centers(x, y)
@@ -459,7 +586,9 @@ func (db *DB) JoinSize(x, y graph.Label) (int64, error) {
 		}
 		total += int64(len(f)) * int64(len(t))
 	}
+	db.statMu.Lock()
 	db.joinSizes[k] = total
+	db.statMu.Unlock()
 	return total, nil
 }
 
@@ -468,14 +597,19 @@ func (db *DB) JoinSize(x, y graph.Label) (int64, error) {
 // union of the X-labeled F-subclusters over W(X, Y). Memoized.
 func (db *DB) DistinctFrom(x, y graph.Label) (int64, error) {
 	k := wKey{x, y}
-	if s, ok := db.distFrom[k]; ok {
+	db.statMu.Lock()
+	s, ok := db.distFrom[k]
+	db.statMu.Unlock()
+	if ok {
 		return s, nil
 	}
 	n, err := db.distinctUnion(x, y, dirF, x)
 	if err != nil {
 		return 0, err
 	}
+	db.statMu.Lock()
 	db.distFrom[k] = n
+	db.statMu.Unlock()
 	return n, nil
 }
 
@@ -483,14 +617,19 @@ func (db *DB) DistinctFrom(x, y graph.Label) (int64, error) {
 // reached from at least one X-labeled node. Memoized.
 func (db *DB) DistinctTo(x, y graph.Label) (int64, error) {
 	k := wKey{x, y}
-	if s, ok := db.distTo[k]; ok {
+	db.statMu.Lock()
+	s, ok := db.distTo[k]
+	db.statMu.Unlock()
+	if ok {
 		return s, nil
 	}
 	n, err := db.distinctUnion(x, y, dirT, y)
 	if err != nil {
 		return 0, err
 	}
+	db.statMu.Lock()
 	db.distTo[k] = n
+	db.statMu.Unlock()
 	return n, nil
 }
 

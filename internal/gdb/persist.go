@@ -123,8 +123,7 @@ func Open(path string, opt Options) (*DB, error) {
 		base:       make(map[graph.Label]*storage.BTree),
 		wcacheOn:   !opt.DisableWTableCache,
 		wcache:     make(map[wKey][]graph.NodeID),
-		codeCacheN: opt.CodeCacheEntries,
-		codeCache:  make(map[graph.NodeID]codes),
+		codeCache:  newCodeCache(opt.CodeCacheEntries),
 		joinSizes:  make(map[wKey]int64),
 		distFrom:   make(map[wKey]int64),
 		distTo:     make(map[wKey]int64),

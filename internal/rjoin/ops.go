@@ -1,22 +1,43 @@
 package rjoin
 
 import (
+	"context"
 	"fmt"
 
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
 )
 
+// cancelStride is how many rows an operator processes between context
+// polls: frequent enough that queries abandon work promptly on deadline or
+// cancellation, rare enough to stay off the per-row hot path.
+const cancelStride = 1024
+
+// cancelCheck polls its context every cancelStride ticks.
+type cancelCheck struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *cancelCheck) tick() error {
+	c.n++
+	if c.n%cancelStride == 0 {
+		return c.ctx.Err()
+	}
+	return nil
+}
+
 // HPSJ processes an R-join between two base tables (Algorithm 1): for every
 // center w ∈ W(X, Y) it emits getF(w, X) × getT(w, Y). Pairs covered by
 // several centers are deduplicated. Base tables are never touched — the
 // answer comes entirely from the W-table and the cluster-based index.
-func HPSJ(db *gdb.DB, c Cond) (*Table, error) {
+func HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
 	out := NewTable(c.FromNode, c.ToNode)
 	ws, err := db.Centers(c.FromLabel, c.ToLabel)
 	if err != nil {
 		return nil, err
 	}
+	cc := cancelCheck{ctx: ctx}
 	seen := make(map[[2]graph.NodeID]struct{})
 	for _, w := range ws {
 		xs, err := db.GetF(w, c.FromLabel)
@@ -32,6 +53,9 @@ func HPSJ(db *gdb.DB, c Cond) (*Table, error) {
 		}
 		for _, x := range xs {
 			for _, y := range ys {
+				if err := cc.tick(); err != nil {
+					return nil, err
+				}
 				p := [2]graph.NodeID{x, y}
 				if _, dup := seen[p]; dup {
 					continue
@@ -79,8 +103,8 @@ func centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, forward bool) ([]
 // Filter is the R-semijoin (Algorithm 2, Filter; Eq. 7/8): it keeps the
 // rows of t whose bound value can join some node of the other side's base
 // table, determined from the W-table and graph codes alone.
-func Filter(db *gdb.DB, t *Table, c Cond) (*Table, error) {
-	return FilterMulti(db, t, []Cond{c})
+func Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+	return FilterMulti(ctx, db, t, []Cond{c})
 }
 
 // FilterMulti evaluates several R-semijoins in one scan of t (Remark 3.1).
@@ -88,7 +112,7 @@ func Filter(db *gdb.DB, t *Table, c Cond) (*Table, error) {
 // columns already present in t; a row survives only if every condition's
 // center set is non-empty. Graph codes are fetched once per (row, column)
 // through the database's working cache, sharing the dominant cost.
-func FilterMulti(db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
+func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
@@ -109,8 +133,12 @@ func FilterMulti(db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
 		}
 		plans[i] = plan{col: t.ColIndex(boundNode), forward: forward, ws: ws}
 	}
+	cc := cancelCheck{ctx: ctx}
 	out := NewTable(t.Cols...)
 	for _, row := range t.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		keep := true
 		for _, p := range plans {
 			if len(p.ws) == 0 {
@@ -140,7 +168,7 @@ func FilterMulti(db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
 // so it also accepts conditions whose other endpoint is already bound — the
 // semijoin then still prunes soundly against the other side's base table,
 // with the residual condition left to a later Selection.
-func FilterGroup(db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
+func FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
@@ -163,8 +191,12 @@ func FilterGroup(db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*T
 		}
 		wss[i] = ws
 	}
+	cc := cancelCheck{ctx: ctx}
 	out := NewTable(t.Cols...)
 	for _, row := range t.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		var code []graph.NodeID
 		var err error
 		if outSide {
@@ -202,7 +234,7 @@ func side(out bool) string {
 // T-subclusters (forward) or F-subclusters (reverse). The new pattern-node
 // column is appended. Rows whose center set is empty produce nothing, so
 // Fetch subsumes Filter; running Filter first simply prunes earlier.
-func Fetch(db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
 	boundNode, forward, err := boundSide(t, c)
 	if err != nil {
 		return nil, err
@@ -225,8 +257,12 @@ func Fetch(db *gdb.DB, t *Table, c Cond) (*Table, error) {
 	// subclusters are fetched from the R-join index through the buffer
 	// pool. Repeated accesses for popular centers are served — and counted
 	// — by the pool, matching the paper's per-row cost accounting.
+	cc := cancelCheck{ctx: ctx}
 	seen := make(map[graph.NodeID]struct{})
 	for _, row := range t.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		v := row[col]
 		cs, err := centersFor(db, v, ws, forward)
 		if err != nil {
@@ -254,6 +290,9 @@ func Fetch(db *gdb.DB, t *Table, c Cond) (*Table, error) {
 			}
 		}
 		for _, n := range targets {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			nr := make([]graph.NodeID, len(row)+1)
 			copy(nr, row)
 			nr[len(row)] = n
@@ -266,13 +305,17 @@ func Fetch(db *gdb.DB, t *Table, c Cond) (*Table, error) {
 // Selection processes a self R-join (Eq. 5): both pattern nodes of the
 // condition are already bound in t, so the condition reduces to checking
 // out(x) ∩ in(y) ≠ ∅ per row from graph codes.
-func Selection(db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
 	fi, ti := t.ColIndex(c.FromNode), t.ColIndex(c.ToNode)
 	if fi < 0 || ti < 0 {
 		return nil, fmt.Errorf("rjoin: selection %v needs both sides bound in %v", c, t.Cols)
 	}
+	cc := cancelCheck{ctx: ctx}
 	out := NewTable(t.Cols...)
 	for _, row := range t.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		ok, err := db.Reaches(row[fi], row[ti])
 		if err != nil {
 			return nil, err
@@ -287,11 +330,15 @@ func Selection(db *gdb.DB, t *Table, c Cond) (*Table, error) {
 // NestedLoopJoin is the reference R-join used by tests and as a measurable
 // worst-case baseline: it checks reachability via graph codes for every
 // pair of extents, bypassing the cluster index.
-func NestedLoopJoin(db *gdb.DB, c Cond) (*Table, error) {
+func NestedLoopJoin(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
 	g := db.Graph()
+	cc := cancelCheck{ctx: ctx}
 	out := NewTable(c.FromNode, c.ToNode)
 	for _, x := range g.Extent(c.FromLabel) {
 		for _, y := range g.Extent(c.ToLabel) {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			ok, err := db.Reaches(x, y)
 			if err != nil {
 				return nil, err

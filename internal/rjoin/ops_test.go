@@ -1,6 +1,8 @@
 package rjoin
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -82,7 +84,7 @@ func TestHPSJMatchesTruth(t *testing.T) {
 				if x == y {
 					continue
 				}
-				got, err := HPSJ(db, Cond{0, 1, x, y})
+				got, err := HPSJ(context.Background(), db, Cond{0, 1, x, y})
 				if err != nil {
 					return false
 				}
@@ -108,11 +110,11 @@ func TestHPSJEqualsNestedLoop(t *testing.T) {
 	g := randomGraph(4, 50, 110, 4)
 	db := mustDB(t, g)
 	c := cond(g, "A", "B", 0, 1)
-	a, err := HPSJ(db, c)
+	a, err := HPSJ(context.Background(), db, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NestedLoopJoin(db, c)
+	b, err := NestedLoopJoin(context.Background(), db, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestFilterSemanticsForward(t *testing.T) {
 		for _, x := range g.Extent(a) {
 			tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
 		}
-		got, err := Filter(db, tbl, Cond{0, 1, a, b})
+		got, err := Filter(context.Background(), db, tbl, Cond{0, 1, a, b})
 		if err != nil {
 			return false
 		}
@@ -178,7 +180,7 @@ func TestFilterSemanticsReverse(t *testing.T) {
 	for _, y := range g.Extent(b) {
 		tbl.Rows = append(tbl.Rows, []graph.NodeID{y})
 	}
-	got, err := Filter(db, tbl, Cond{0, 1, a, b})
+	got, err := Filter(context.Background(), db, tbl, Cond{0, 1, a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +212,11 @@ func TestFetchEqualsHPSJ(t *testing.T) {
 	for _, x := range g.Extent(c.FromLabel) {
 		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
 	}
-	fetched, err := Fetch(db, tbl, c)
+	fetched, err := Fetch(context.Background(), db, tbl, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := HPSJ(db, c)
+	want, err := HPSJ(context.Background(), db, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestFetchReverse(t *testing.T) {
 	for _, y := range g.Extent(c.ToLabel) {
 		tbl.Rows = append(tbl.Rows, []graph.NodeID{y})
 	}
-	fetched, err := Fetch(db, tbl, c)
+	fetched, err := Fetch(context.Background(), db, tbl, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +245,7 @@ func TestFetchReverse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := HPSJ(db, c)
+	want, err := HPSJ(context.Background(), db, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,18 +266,18 @@ func TestFilterThenFetchEqualsFetch(t *testing.T) {
 	for _, x := range g.Extent(c.FromLabel) {
 		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
 	}
-	direct, err := Fetch(db, tbl, c)
+	direct, err := Fetch(context.Background(), db, tbl, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	filtered, err := Filter(db, tbl, c)
+	filtered, err := Filter(context.Background(), db, tbl, c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if filtered.Len() > tbl.Len() {
 		t.Fatal("filter grew the table")
 	}
-	two, err := Fetch(db, filtered, c)
+	two, err := Fetch(context.Background(), db, filtered, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,15 +301,15 @@ func TestFilterMultiEqualsSequential(t *testing.T) {
 	for _, x := range g.Extent(cl) {
 		tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
 	}
-	multi, err := FilterMulti(db, tbl, []Cond{cd, ce})
+	multi, err := FilterMulti(context.Background(), db, tbl, []Cond{cd, ce})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Filter(db, tbl, cd)
+	seq, err := Filter(context.Background(), db, tbl, cd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err = Filter(db, seq, ce)
+	seq, err = Filter(context.Background(), db, seq, ce)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,11 +332,11 @@ func TestSelection(t *testing.T) {
 			tbl.Rows = append(tbl.Rows, []graph.NodeID{x, y})
 		}
 	}
-	sel, err := Selection(db, tbl, Cond{0, 1, a, b})
+	sel, err := Selection(context.Background(), db, tbl, Cond{0, 1, a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := HPSJ(db, Cond{0, 1, a, b})
+	want, err := HPSJ(context.Background(), db, Cond{0, 1, a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,6 +347,32 @@ func TestSelection(t *testing.T) {
 	}
 }
 
+// TestOperatorCancellation: a cancelled context aborts operators from
+// inside their row loops (checked every cancelStride rows), so a large
+// join cannot run to completion after its caller gave up.
+func TestOperatorCancellation(t *testing.T) {
+	g := randomGraph(16, 30, 65, 2)
+	db := mustDB(t, g)
+	a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
+	ext := g.Extent(a)
+	if len(ext) == 0 {
+		t.Fatal("no A nodes")
+	}
+	tbl := NewTable(0)
+	for i := 0; i < 3*cancelStride; i++ {
+		tbl.Rows = append(tbl.Rows, []graph.NodeID{ext[i%len(ext)]})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Cond{0, 1, a, b}
+	if _, err := Filter(ctx, db, tbl, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Filter on cancelled ctx: err=%v, want context.Canceled", err)
+	}
+	if _, err := Fetch(ctx, db, tbl, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fetch on cancelled ctx: err=%v, want context.Canceled", err)
+	}
+}
+
 func TestOperatorErrors(t *testing.T) {
 	g := randomGraph(15, 20, 40, 3)
 	db := mustDB(t, g)
@@ -352,18 +380,18 @@ func TestOperatorErrors(t *testing.T) {
 	c := Cond{0, 1, a, b}
 
 	both := NewTable(0, 1)
-	if _, err := Filter(db, both, c); err == nil {
+	if _, err := Filter(context.Background(), db, both, c); err == nil {
 		t.Fatal("Filter with both sides bound should error")
 	}
-	if _, err := Fetch(db, both, c); err == nil {
+	if _, err := Fetch(context.Background(), db, both, c); err == nil {
 		t.Fatal("Fetch with both sides bound should error")
 	}
 	neither := NewTable(7)
-	if _, err := Filter(db, neither, c); err == nil {
+	if _, err := Filter(context.Background(), db, neither, c); err == nil {
 		t.Fatal("Filter with no side bound should error")
 	}
 	one := NewTable(0)
-	if _, err := Selection(db, one, c); err == nil {
+	if _, err := Selection(context.Background(), db, one, c); err == nil {
 		t.Fatal("Selection with one side bound should error")
 	}
 	if _, err := one.Project([]int{5}); err == nil {
@@ -391,7 +419,7 @@ func TestTableHelpers(t *testing.T) {
 		t.Fatal("empty String")
 	}
 	// FilterMulti with no conditions is the identity.
-	got, err := FilterMulti(nil, tbl, nil)
+	got, err := FilterMulti(context.Background(), nil, tbl, nil)
 	if err != nil || got != tbl {
 		t.Fatal("empty FilterMulti should return the input table")
 	}
@@ -407,7 +435,7 @@ func BenchmarkHPSJ(b *testing.B) {
 	c := cond(g, "A", "B", 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := HPSJ(db, c); err != nil {
+		if _, err := HPSJ(context.Background(), db, c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -427,11 +455,11 @@ func BenchmarkFilterFetch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f, err := Filter(db, tbl, c)
+		f, err := Filter(context.Background(), db, tbl, c)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Fetch(db, f, c); err != nil {
+		if _, err := Fetch(context.Background(), db, f, c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -459,7 +487,7 @@ func TestFilterGroupExplicitSides(t *testing.T) {
 		{FromNode: 0, ToNode: 1, FromLabel: cl, ToLabel: dl}, // other side bound
 		{FromNode: 0, ToNode: 2, FromLabel: cl, ToLabel: el}, // other side free
 	}
-	got, err := FilterGroup(db, tbl, conds, 0, true)
+	got, err := FilterGroup(context.Background(), db, tbl, conds, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,16 +546,16 @@ func TestFilterGroupErrors(t *testing.T) {
 	bl := g.Labels().Lookup("B")
 	tbl := NewTable(0)
 	// Bound node not in table.
-	if _, err := FilterGroup(db, tbl, []Cond{{FromNode: 5, ToNode: 6, FromLabel: al, ToLabel: bl}}, 5, true); err == nil {
+	if _, err := FilterGroup(context.Background(), db, tbl, []Cond{{FromNode: 5, ToNode: 6, FromLabel: al, ToLabel: bl}}, 5, true); err == nil {
 		t.Fatal("expected error for unbound group node")
 	}
 	// Condition not incident on the declared side.
 	tbl2 := NewTable(0)
-	if _, err := FilterGroup(db, tbl2, []Cond{{FromNode: 1, ToNode: 0, FromLabel: al, ToLabel: bl}}, 0, true); err == nil {
+	if _, err := FilterGroup(context.Background(), db, tbl2, []Cond{{FromNode: 1, ToNode: 0, FromLabel: al, ToLabel: bl}}, 0, true); err == nil {
 		t.Fatal("expected error for wrong-side condition")
 	}
 	// Empty condition list is the identity.
-	if got, err := FilterGroup(db, tbl2, nil, 0, true); err != nil || got != tbl2 {
+	if got, err := FilterGroup(context.Background(), db, tbl2, nil, 0, true); err != nil || got != tbl2 {
 		t.Fatal("empty FilterGroup should return the input table")
 	}
 }
@@ -542,7 +570,7 @@ func TestFilterGroupImpossibleCondition(t *testing.T) {
 	db := mustDB(t, g)
 	tbl := NewTable(0)
 	tbl.Rows = append(tbl.Rows, []graph.NodeID{x})
-	got, err := FilterGroup(db, tbl, []Cond{{
+	got, err := FilterGroup(context.Background(), db, tbl, []Cond{{
 		FromNode: 0, ToNode: 1,
 		FromLabel: g.Labels().Lookup("X"), ToLabel: g.Labels().Lookup("Y"),
 	}}, 0, true)

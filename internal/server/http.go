@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	// Pattern is the query, e.g. "A->B; B->C".
+	Pattern string `json:"pattern"`
+	// Algorithm selects the planner: "dp", "dps" (default), "dps-merged".
+	Algorithm string `json:"algorithm,omitempty"`
+	// TimeoutMS bounds the query's server-side execution in milliseconds.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Limit truncates the returned rows (0 = all). The full result is still
+	// computed; Truncated reports whether rows were dropped.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the JSON body answering POST /query.
+type QueryResponse struct {
+	Cols       []string         `json:"cols"`
+	Rows       [][]graph.NodeID `json:"rows"`
+	RowCount   int              `json:"row_count"`
+	Truncated  bool             `json:"truncated,omitempty"`
+	PlanCached bool             `json:"plan_cached"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query   — evaluate a pattern (JSON QueryRequest → QueryResponse)
+//	GET  /stats   — metrics snapshot (JSON Stats)
+//	GET  /healthz — liveness ("ok", 503 once the database is closed)
+//
+// Admission-control rejections map to 429 with a Retry-After header,
+// per-request deadline expiry to 504, and a closed database to 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"pattern\""))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Query(ctx, req.Pattern, req.Algorithm)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := QueryResponse{
+		Cols:       res.Cols,
+		Rows:       res.Rows,
+		RowCount:   len(res.Rows),
+		PlanCached: res.PlanCached,
+		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if req.Limit > 0 && len(resp.Rows) > req.Limit {
+		resp.Rows = resp.Rows[:req.Limit]
+		resp.Truncated = true
+	}
+	if resp.Rows == nil {
+		resp.Rows = [][]graph.NodeID{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.db.Closed() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// statusFor maps query errors to HTTP status codes. Pattern parse and
+// planning errors are client errors; overload is 429 so well-behaved
+// clients back off and retry.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, gdb.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

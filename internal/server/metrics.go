@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"fastmatch/internal/storage"
+)
+
+// latencyBuckets is the number of power-of-two microsecond histogram
+// buckets: bucket i counts latencies in [2^(i-1), 2^i) µs, which spans
+// sub-microsecond to ~2^62 µs — far beyond any real query.
+const latencyBuckets = 64
+
+// metrics aggregates per-server counters with atomics so the query hot
+// path never takes a lock.
+type metrics struct {
+	queries    atomic.Int64 // completed successfully
+	errs       atomic.Int64 // failed for any reason
+	rejected   atomic.Int64 // failed with ErrOverloaded
+	deadline   atomic.Int64 // failed with context deadline/cancellation
+	queued     atomic.Int64 // waited for an execution slot
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	rows       atomic.Int64
+
+	latency [latencyBuckets]atomic.Int64
+}
+
+func (m *metrics) recordQuery(elapsed time.Duration, rowCount int, planCached bool) {
+	m.queries.Add(1)
+	m.rows.Add(int64(rowCount))
+	us := elapsed.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	m.latency[bits.Len64(uint64(us))].Add(1)
+}
+
+func (m *metrics) recordError(err error) {
+	m.errs.Add(1)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		m.rejected.Add(1)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		m.deadline.Add(1)
+	}
+}
+
+// quantile returns the approximate q-quantile (0 < q < 1) of recorded
+// latencies in milliseconds: the geometric midpoint of the histogram
+// bucket holding the q-th sample. NaN with no samples.
+func (m *metrics) quantile(q float64) float64 {
+	var total int64
+	var counts [latencyBuckets]int64
+	for i := range m.latency {
+		counts[i] = m.latency[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			// Bucket i covers [2^(i-1), 2^i) µs; use the geometric mid.
+			if i == 0 {
+				return 0.001 / 2
+			}
+			lo := math.Exp2(float64(i - 1))
+			return lo * math.Sqrt2 / 1000
+		}
+	}
+	return math.NaN()
+}
+
+// Stats is a point-in-time snapshot of a Server's counters.
+type Stats struct {
+	// Queries is the number of successfully completed queries.
+	Queries int64 `json:"queries"`
+	// Errors counts failed queries (including rejections and timeouts).
+	Errors int64 `json:"errors"`
+	// Rejections counts admission-control rejections (ErrOverloaded).
+	Rejections int64 `json:"rejections"`
+	// Deadline counts queries abandoned on context deadline/cancellation.
+	Deadline int64 `json:"deadline"`
+	// Queued counts queries that had to wait for an execution slot.
+	Queued int64 `json:"queued"`
+	// InFlight is the number of queries executing right now.
+	InFlight int `json:"in_flight"`
+	// MaxInFlight is the configured concurrency limit.
+	MaxInFlight int `json:"max_in_flight"`
+	// PlanCacheHits/Misses/Size describe the plan cache.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCacheSize   int   `json:"plan_cache_size"`
+	// RowsReturned is the total result rows across completed queries.
+	RowsReturned int64 `json:"rows_returned"`
+	// P50ms and P99ms are approximate latency quantiles in milliseconds
+	// (histogram-bucketed; 0 when no queries completed).
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+	// IO is the database buffer pool's accumulated counters.
+	IO storage.IOStats `json:"io"`
+	// UptimeSeconds is time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats returns a consistent-enough snapshot of the server's counters (each
+// counter is read atomically; the set is not cut at one instant).
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries:         s.met.queries.Load(),
+		Errors:          s.met.errs.Load(),
+		Rejections:      s.met.rejected.Load(),
+		Deadline:        s.met.deadline.Load(),
+		Queued:          s.met.queued.Load(),
+		InFlight:        s.InFlight(),
+		MaxInFlight:     s.cfg.MaxInFlight,
+		PlanCacheHits:   s.met.planHits.Load(),
+		PlanCacheMisses: s.met.planMisses.Load(),
+		PlanCacheSize:   s.plans.len(),
+		RowsReturned:    s.met.rows.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+	if !s.db.Closed() {
+		st.IO = s.db.IOStats()
+	}
+	if p := s.met.quantile(0.50); !math.IsNaN(p) {
+		st.P50ms = p
+	}
+	if p := s.met.quantile(0.99); !math.IsNaN(p) {
+		st.P99ms = p
+	}
+	return st
+}

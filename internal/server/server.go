@@ -1,0 +1,219 @@
+// Package server is the concurrent query-serving subsystem: it wraps a
+// read-only gdb.DB with admission control (a bounded worker-pool semaphore
+// with queue timeout), a plan cache keyed by canonical pattern form, per-
+// server metrics, and an HTTP front-end. The paper's engine is single-
+// threaded; the storage and database layers were made safe for parallel
+// readers (sharded buffer-pool and code-cache locks, per-query scratch
+// heaps), so N queries execute simultaneously with no global engine mutex —
+// this package adds the serving policy on top.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/optimizer"
+	"fastmatch/internal/pattern"
+)
+
+// ErrOverloaded is the sentinel for admission-control rejection; match with
+// errors.Is. The concrete error is *OverloadError.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// OverloadError reports a query rejected because the server was at its
+// in-flight limit and no slot freed within the queue timeout. It matches
+// ErrOverloaded under errors.Is.
+type OverloadError struct {
+	// MaxInFlight is the configured concurrency limit.
+	MaxInFlight int
+	// Waited is how long the query queued before giving up.
+	Waited time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded (%d queries in flight, queued %v)", e.MaxInFlight, e.Waited)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for *OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// MaxInFlight caps concurrently executing queries (default 8).
+	MaxInFlight int
+	// QueueTimeout is how long an admitted-over-capacity query may wait
+	// for a slot before it is rejected with ErrOverloaded (default 100ms).
+	QueueTimeout time.Duration
+	// PlanCacheSize bounds the LRU plan cache in entries (default 256;
+	// negative disables caching).
+	PlanCacheSize int
+	// DefaultAlgorithm is the planner used by Query when the request does
+	// not choose one (default exec.DPS).
+	DefaultAlgorithm exec.Algorithm
+	// DefaultTimeout, when positive, bounds every query whose context has
+	// no explicit deadline.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	return c
+}
+
+// Result is one query's answer: Cols holds the pattern's node labels in
+// result-column order and Rows the matching data-node tuples.
+type Result struct {
+	Cols []string
+	Rows [][]graph.NodeID
+	// PlanCached reports whether planning was skipped via the plan cache.
+	PlanCached bool
+	// Elapsed is the server-side latency (queueing + planning + execution).
+	Elapsed time.Duration
+}
+
+// Server executes pattern queries against one database with bounded
+// concurrency. All methods are safe for concurrent use.
+type Server struct {
+	db    *gdb.DB
+	cfg   Config
+	sem   chan struct{}
+	plans *planCache
+	met   metrics
+	start time.Time
+}
+
+// New wraps db in a query server. The db must not be written to while the
+// server is running (databases are read-only after Build).
+func New(db *gdb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:    db,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		plans: newPlanCache(cfg.PlanCacheSize),
+		start: time.Now(),
+	}
+}
+
+// DB exposes the underlying database (read-only).
+func (s *Server) DB() *gdb.DB { return s.db }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Query parses and evaluates a pattern. algo is a planner name ("dp",
+// "dps", "dps-merged"); empty selects the configured default.
+func (s *Server) Query(ctx context.Context, patternText, algo string) (*Result, error) {
+	p, err := pattern.Parse(patternText)
+	if err != nil {
+		return nil, err
+	}
+	a := s.cfg.DefaultAlgorithm
+	if algo != "" {
+		if a, err = exec.ParseAlgorithm(algo); err != nil {
+			return nil, err
+		}
+	}
+	return s.QueryPattern(ctx, p, a)
+}
+
+// QueryPattern evaluates a parsed pattern under admission control: the
+// query runs once an execution slot is free, honours ctx's deadline and
+// cancellation mid-join, and is rejected with ErrOverloaded when the
+// server stays at MaxInFlight past the queue timeout.
+func (s *Server) QueryPattern(ctx context.Context, p *pattern.Pattern, algo exec.Algorithm) (*Result, error) {
+	if s.db.Closed() {
+		return nil, gdb.ErrClosed
+	}
+	start := time.Now()
+	if s.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.met.recordError(err)
+		return nil, err
+	}
+	defer func() { <-s.sem }()
+
+	plan, cached, err := s.plan(p, algo)
+	if err != nil {
+		s.met.recordError(err)
+		return nil, err
+	}
+	t, err := exec.RunContext(ctx, s.db, plan)
+	if err != nil {
+		s.met.recordError(err)
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s.met.recordQuery(elapsed, len(t.Rows), cached)
+	// Column labels come from the plan's own pattern: a cache hit may have
+	// been planned for an equivalent pattern whose nodes were declared in
+	// a different order.
+	return &Result{
+		Cols:       append([]string(nil), plan.Binding.Pattern.Nodes...),
+		Rows:       t.Rows,
+		PlanCached: cached,
+		Elapsed:    elapsed,
+	}, nil
+}
+
+// acquire claims an execution slot, queueing up to the queue timeout.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// At capacity: queue with a bound so overload sheds instead of piling
+	// waiters ("fail fast and shallow" admission control).
+	s.met.queued.Add(1)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return &OverloadError{MaxInFlight: s.cfg.MaxInFlight, Waited: s.cfg.QueueTimeout}
+	}
+}
+
+// plan returns the execution plan for (p, algo), consulting the LRU plan
+// cache keyed by the pattern's canonical form so repeated patterns skip
+// DP/DPS planning entirely.
+func (s *Server) plan(p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
+	key := algo.String() + "|" + p.Canonical()
+	if e, ok := s.plans.get(key); ok {
+		s.met.planHits.Add(1)
+		return e, true, nil
+	}
+	s.met.planMisses.Add(1)
+	built, err := exec.BuildPlan(s.db, p, algo)
+	if err != nil {
+		return nil, false, err
+	}
+	s.plans.put(key, built)
+	return built, false, nil
+}
+
+// InFlight reports the number of queries currently executing.
+func (s *Server) InFlight() int { return len(s.sem) }

@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // IOStats counts page traffic through a buffer pool. Logical accesses are
@@ -34,22 +36,62 @@ type Frame struct {
 	data  [PageSize]byte
 	pins  int
 	dirty bool
-	lru   *list.Element // position in the unpinned-LRU, nil while pinned
+	lru   *list.Element // position in the shard's unpinned-LRU, nil while pinned
 }
 
-// BufferPool caches pages of a Pager with LRU replacement of unpinned
-// frames. Not safe for concurrent use (the engine is single-threaded per
-// query, as in the paper's setting).
-type BufferPool struct {
-	pager  Pager
+// poolShard is one independently locked partition of the pool. Pages map to
+// shards by ID, so concurrent readers of different pages rarely contend.
+type poolShard struct {
+	mu     sync.Mutex
 	frames map[PageID]*Frame
 	lru    *list.List // of *Frame, front = most recently unpinned
 	cap    int
-	stats  IOStats
+}
+
+const (
+	// maxPoolShards bounds lock sharding.
+	maxPoolShards = 16
+	// framesPerShard is the target shard granularity: pools smaller than
+	// this stay single-sharded and so keep exact global-LRU behavior.
+	framesPerShard = 32
+)
+
+// BufferPool caches pages of a Pager with LRU replacement of unpinned
+// frames. It is safe for concurrent use: the frame table is partitioned
+// into independently locked shards (page ID modulo shard count), so
+// parallel queries reading disjoint pages proceed without contention.
+// Frame data may be read while the frame is pinned; pages are written only
+// by their single owner (the storage engine is read-only after build except
+// for per-query scratch heaps, which are single-writer).
+type BufferPool struct {
+	pager   Pager
+	shards  []*poolShard
+	nframes int
+
+	statReads  atomic.Int64
+	statWrites atomic.Int64
+	statHits   atomic.Int64
+	statMisses atomic.Int64
+
+	// freeIDs holds page IDs released by FreePage for reuse by NewPage, so
+	// per-query scratch allocations do not grow the page file forever.
+	freeMu  sync.Mutex
+	freeIDs []PageID
 }
 
 // DefaultPoolBytes is 1 MB — the buffer size the paper uses in Section 6.
 const DefaultPoolBytes = 1 << 20
+
+func shardCount(nframes int) int {
+	n := nframes / framesPerShard
+	if n < 1 {
+		n = 1
+	}
+	if n > maxPoolShards {
+		n = maxPoolShards
+	}
+	return n
+}
 
 // NewBufferPool wraps pager with a pool of poolBytes/PageSize frames
 // (minimum 8).
@@ -58,59 +100,113 @@ func NewBufferPool(pager Pager, poolBytes int) *BufferPool {
 	if n < 8 {
 		n = 8
 	}
-	return &BufferPool{
-		pager:  pager,
-		frames: make(map[PageID]*Frame, n),
-		lru:    list.New(),
-		cap:    n,
+	bp := &BufferPool{pager: pager, nframes: n}
+	ns := shardCount(n)
+	bp.shards = make([]*poolShard, ns)
+	for i := range bp.shards {
+		bp.shards[i] = &poolShard{frames: make(map[PageID]*Frame), lru: list.New()}
+	}
+	bp.setShardCaps(n)
+	return bp
+}
+
+// setShardCaps distributes a total frame budget across the shards.
+func (bp *BufferPool) setShardCaps(n int) {
+	ns := len(bp.shards)
+	base, rem := n/ns, n%ns
+	for i, s := range bp.shards {
+		s.cap = base
+		if i < rem {
+			s.cap++
+		}
 	}
 }
 
+func (bp *BufferPool) shard(id PageID) *poolShard {
+	return bp.shards[int(id)%len(bp.shards)]
+}
+
 // Stats returns the accumulated I/O counters.
-func (bp *BufferPool) Stats() IOStats { return bp.stats }
+func (bp *BufferPool) Stats() IOStats {
+	return IOStats{
+		Reads:  bp.statReads.Load(),
+		Writes: bp.statWrites.Load(),
+		Hits:   bp.statHits.Load(),
+		Misses: bp.statMisses.Load(),
+	}
+}
 
 // ResetStats zeroes the I/O counters.
-func (bp *BufferPool) ResetStats() { bp.stats = IOStats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.statReads.Store(0)
+	bp.statWrites.Store(0)
+	bp.statHits.Store(0)
+	bp.statMisses.Store(0)
+}
 
 // Capacity returns the number of frames.
-func (bp *BufferPool) Capacity() int { return bp.cap }
+func (bp *BufferPool) Capacity() int { return bp.nframes }
 
 // Pager exposes the underlying pager.
 func (bp *BufferPool) Pager() Pager { return bp.pager }
 
 // Fetch pins page id and returns its Frame data. The caller must Unpin it.
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
-	if f, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
-		bp.pin(f)
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		bp.statHits.Add(1)
+		s.pin(f)
 		return f, nil
 	}
-	bp.stats.Misses++
-	f, err := bp.victim()
+	bp.statMisses.Add(1)
+	f, err := s.victim(bp)
 	if err != nil {
 		return nil, err
 	}
 	if err := bp.pager.ReadPage(id, f.data[:]); err != nil {
 		// The victim frame was already detached from the map and LRU; drop
-		// it — the pool re-grows lazily while under capacity.
+		// it — the shard re-grows lazily while under capacity.
 		return nil, err
 	}
-	bp.stats.Reads++
+	bp.statReads.Add(1)
 	f.id = id
 	f.pins = 1
 	f.dirty = false
-	bp.frames[id] = f
+	s.frames[id] = f
 	return f, nil
 }
 
-// NewPage allocates a fresh page, pins it, and returns the Frame and ID.
+// NewPage allocates a fresh zeroed page, pins it, and returns the Frame and
+// ID. Pages released with FreePage are reused before the pager grows.
 func (bp *BufferPool) NewPage() (*Frame, PageID, error) {
-	id, err := bp.pager.Allocate()
-	if err != nil {
-		return nil, InvalidPage, err
+	bp.freeMu.Lock()
+	var id PageID
+	reused := false
+	if n := len(bp.freeIDs); n > 0 {
+		id = bp.freeIDs[n-1]
+		bp.freeIDs = bp.freeIDs[:n-1]
+		reused = true
 	}
-	f, err := bp.victim()
+	bp.freeMu.Unlock()
+	if !reused {
+		var err error
+		id, err = bp.pager.Allocate()
+		if err != nil {
+			return nil, InvalidPage, err
+		}
+	}
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.victim(bp)
 	if err != nil {
+		if reused {
+			bp.freeMu.Lock()
+			bp.freeIDs = append(bp.freeIDs, id)
+			bp.freeMu.Unlock()
+		}
 		return nil, InvalidPage, err
 	}
 	for i := range f.data {
@@ -119,12 +215,37 @@ func (bp *BufferPool) NewPage() (*Frame, PageID, error) {
 	f.id = id
 	f.pins = 1
 	f.dirty = true
-	bp.frames[id] = f
+	s.frames[id] = f
 	return f, id, nil
+}
+
+// FreePage returns an unpinned page to the pool's free list for reuse by a
+// later NewPage. A resident frame is dropped without flushing (the content
+// is dead). Freeing a pinned page is an error.
+func (bp *BufferPool) FreePage(id PageID) error {
+	s := bp.shard(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		if f.pins > 0 {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: FreePage of pinned page %d", id)
+		}
+		s.lru.Remove(f.lru)
+		f.lru = nil
+		delete(s.frames, id)
+	}
+	s.mu.Unlock()
+	bp.freeMu.Lock()
+	bp.freeIDs = append(bp.freeIDs, id)
+	bp.freeMu.Unlock()
+	return nil
 }
 
 // Unpin releases one pin on f, marking it dirty if the caller modified it.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	s := bp.shard(f.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f.pins <= 0 {
 		panic("storage: Unpin of unpinned Frame")
 	}
@@ -133,8 +254,8 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	}
 	f.pins--
 	if f.pins == 0 {
-		bp.lru.PushFront(f)
-		f.lru = bp.lru.Front()
+		s.lru.PushFront(f)
+		f.lru = s.lru.Front()
 	}
 }
 
@@ -144,82 +265,105 @@ func (f *Frame) Data() []byte { return f.data[:] }
 // ID returns the page ID held by the Frame.
 func (f *Frame) ID() PageID { return f.id }
 
-// pin re-pins a resident Frame.
-func (bp *BufferPool) pin(f *Frame) {
+// pin re-pins a resident Frame. Caller holds the shard lock.
+func (s *poolShard) pin(f *Frame) {
 	if f.pins == 0 && f.lru != nil {
-		bp.lru.Remove(f.lru)
+		s.lru.Remove(f.lru)
 		f.lru = nil
 	}
 	f.pins++
 }
 
-// victim returns an unpinned Frame to reuse, evicting the LRU page (and
-// flushing it if dirty), or a brand-new Frame while under capacity.
-func (bp *BufferPool) victim() (*Frame, error) {
-	if len(bp.frames) < bp.cap {
+// victim returns an unpinned Frame to reuse, evicting the shard's LRU page
+// (and flushing it if dirty), or a brand-new Frame while under capacity.
+// Caller holds the shard lock.
+func (s *poolShard) victim(bp *BufferPool) (*Frame, error) {
+	if len(s.frames) < s.cap {
 		return &Frame{}, nil
 	}
-	el := bp.lru.Back()
+	el := s.lru.Back()
 	if el == nil {
-		return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames all pinned)", bp.cap)
+		return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames all pinned)", len(s.frames))
 	}
 	f := el.Value.(*Frame)
-	bp.lru.Remove(el)
+	s.lru.Remove(el)
 	f.lru = nil
-	delete(bp.frames, f.id)
+	delete(s.frames, f.id)
 	if f.dirty {
 		if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
 			return nil, err
 		}
-		bp.stats.Writes++
+		bp.statWrites.Add(1)
 		f.dirty = false
 	}
 	return f, nil
 }
 
 // Resize changes the pool's capacity to poolBytes/PageSize frames (minimum
-// 8), flushing and evicting unpinned pages as needed. Used to measure
-// queries under a buffer-to-data ratio matching the paper's setting after
-// building with a larger pool.
+// 8), flushing and evicting unpinned pages as needed. The shard count is
+// fixed at construction; Resize redistributes the frame budget across the
+// existing shards. Used to measure queries under a buffer-to-data ratio
+// matching the paper's setting after building with a larger pool.
 func (bp *BufferPool) Resize(poolBytes int) error {
 	n := poolBytes / PageSize
 	if n < 8 {
 		n = 8
 	}
-	bp.cap = n
-	for len(bp.frames) > bp.cap {
-		el := bp.lru.Back()
-		if el == nil {
-			return fmt.Errorf("storage: cannot shrink pool below %d pinned frames", len(bp.frames))
-		}
-		f := el.Value.(*Frame)
-		bp.lru.Remove(el)
-		f.lru = nil
-		delete(bp.frames, f.id)
-		if f.dirty {
-			if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
-				return err
+	bp.nframes = n
+	bp.setShardCaps(n)
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		for len(s.frames) > s.cap {
+			el := s.lru.Back()
+			if el == nil {
+				pinned := len(s.frames)
+				s.mu.Unlock()
+				return fmt.Errorf("storage: cannot shrink pool below %d pinned frames", pinned)
 			}
-			bp.stats.Writes++
-			f.dirty = false
+			f := el.Value.(*Frame)
+			s.lru.Remove(el)
+			f.lru = nil
+			delete(s.frames, f.id)
+			if f.dirty {
+				if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				bp.statWrites.Add(1)
+				f.dirty = false
+			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // FlushAll writes every dirty resident page back to the pager.
 func (bp *BufferPool) FlushAll() error {
-	for _, f := range bp.frames {
-		if f.dirty {
-			if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
-				return err
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := bp.pager.WritePage(f.id, f.data[:]); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				bp.statWrites.Add(1)
+				f.dirty = false
 			}
-			bp.stats.Writes++
-			f.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // lruLen is exported for white-box tests.
-func (bp *BufferPool) lruLen() int { return bp.lru.Len() }
+func (bp *BufferPool) lruLen() int {
+	n := 0
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -50,17 +50,55 @@ const (
 
 // HeapFile stores variable-length records in pages of a buffer pool and
 // returns stable RIDs. Records are append-only (the graph database is built
-// once and then queried, as in the paper).
+// once and then queried, as in the paper). Read is safe for concurrent use;
+// Insert is single-writer.
 type HeapFile struct {
 	bp *BufferPool
 	// cur is the current slotted page being filled, InvalidPage before the
 	// first small-record insert.
 	cur PageID
+	// track records allocated page IDs so Release can return them to the
+	// pool's free list (scratch heaps for per-query intermediate results).
+	track bool
+	owned []PageID
 }
 
 // NewHeapFile creates an empty heap file on bp.
 func NewHeapFile(bp *BufferPool) *HeapFile {
 	return &HeapFile{bp: bp, cur: InvalidPage}
+}
+
+// NewScratchHeap creates a heap file that tracks its page allocations so
+// Release can recycle them. Queries spill temporal tables through scratch
+// heaps: the pages share the pool (and its I/O accounting) but are private
+// to one query, and Release keeps long-running servers from growing the
+// page file per query.
+func NewScratchHeap(bp *BufferPool) *HeapFile {
+	return &HeapFile{bp: bp, cur: InvalidPage, track: true}
+}
+
+// Release returns every page this heap allocated to the pool's free list.
+// Only valid for heaps created with NewScratchHeap; a no-op otherwise.
+// The heap is reusable (empty) afterwards.
+func (h *HeapFile) Release() error {
+	var first error
+	for _, id := range h.owned {
+		if err := h.bp.FreePage(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	h.owned = h.owned[:0]
+	h.cur = InvalidPage
+	return first
+}
+
+// newPage allocates a page via the pool, recording it when tracking.
+func (h *HeapFile) newPage() (*Frame, PageID, error) {
+	f, id, err := h.bp.NewPage()
+	if err == nil && h.track {
+		h.owned = append(h.owned, id)
+	}
+	return f, id, err
 }
 
 // Insert appends rec and returns its RID.
@@ -81,7 +119,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		h.bp.Unpin(f, false)
 	}
 	// Start a new slotted page.
-	f, id, err := h.bp.NewPage()
+	f, id, err := h.newPage()
 	if err != nil {
 		return RID{}, err
 	}
@@ -119,7 +157,7 @@ func (h *HeapFile) insertChain(rec []byte) (RID, error) {
 	remaining := rec
 	total := len(rec)
 	for first := true; first || len(remaining) > 0; first = false {
-		f, id, err := h.bp.NewPage()
+		f, id, err := h.newPage()
 		if err != nil {
 			return RID{}, err
 		}

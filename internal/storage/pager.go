@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // PageSize is the fixed page size in bytes.
@@ -44,8 +45,11 @@ type Pager interface {
 var errPageRange = errors.New("storage: page id out of range")
 
 // MemPager is an in-memory Pager, used for tests and for in-memory graph
-// databases. The zero value is ready to use.
+// databases. The zero value is ready to use. Methods are safe for
+// concurrent use; distinct pages may be read and written in parallel (the
+// buffer pool guarantees a single writer per page).
 type MemPager struct {
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
@@ -54,6 +58,8 @@ func NewMemPager() *MemPager { return &MemPager{} }
 
 // ReadPage implements Pager.
 func (p *MemPager) ReadPage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if int(id) >= len(p.pages) {
 		return fmt.Errorf("%w: read %d of %d", errPageRange, id, len(p.pages))
 	}
@@ -63,6 +69,8 @@ func (p *MemPager) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Pager.
 func (p *MemPager) WritePage(id PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if int(id) >= len(p.pages) {
 		return fmt.Errorf("%w: write %d of %d", errPageRange, id, len(p.pages))
 	}
@@ -72,20 +80,29 @@ func (p *MemPager) WritePage(id PageID, buf []byte) error {
 
 // Allocate implements Pager.
 func (p *MemPager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.pages = append(p.pages, make([]byte, PageSize))
 	return PageID(len(p.pages) - 1), nil
 }
 
 // NumPages implements Pager.
-func (p *MemPager) NumPages() int { return len(p.pages) }
+func (p *MemPager) NumPages() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pages)
+}
 
 // Close implements Pager.
 func (p *MemPager) Close() error { return nil }
 
-// FilePager is a file-backed Pager.
+// FilePager is a file-backed Pager. Methods are safe for concurrent use:
+// page I/O uses positional reads/writes and the page count is guarded by a
+// mutex.
 type FilePager struct {
-	f *os.File
-	n int
+	f  *os.File
+	mu sync.RWMutex
+	n  int
 }
 
 // OpenFilePager creates or opens path as a page file. An existing file's
@@ -109,8 +126,11 @@ func OpenFilePager(path string) (*FilePager, error) {
 
 // ReadPage implements Pager.
 func (p *FilePager) ReadPage(id PageID, buf []byte) error {
-	if int(id) >= p.n {
-		return fmt.Errorf("%w: read %d of %d", errPageRange, id, p.n)
+	p.mu.RLock()
+	n := p.n
+	p.mu.RUnlock()
+	if int(id) >= n {
+		return fmt.Errorf("%w: read %d of %d", errPageRange, id, n)
 	}
 	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	return err
@@ -118,8 +138,11 @@ func (p *FilePager) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Pager.
 func (p *FilePager) WritePage(id PageID, buf []byte) error {
-	if int(id) >= p.n {
-		return fmt.Errorf("%w: write %d of %d", errPageRange, id, p.n)
+	p.mu.RLock()
+	n := p.n
+	p.mu.RUnlock()
+	if int(id) >= n {
+		return fmt.Errorf("%w: write %d of %d", errPageRange, id, n)
 	}
 	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
 	return err
@@ -127,6 +150,8 @@ func (p *FilePager) WritePage(id PageID, buf []byte) error {
 
 // Allocate implements Pager.
 func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id := PageID(p.n)
 	var zero [PageSize]byte
 	if _, err := p.f.WriteAt(zero[:], int64(p.n)*PageSize); err != nil {
@@ -137,7 +162,11 @@ func (p *FilePager) Allocate() (PageID, error) {
 }
 
 // NumPages implements Pager.
-func (p *FilePager) NumPages() int { return p.n }
+func (p *FilePager) NumPages() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.n
+}
 
 // Close implements Pager.
 func (p *FilePager) Close() error { return p.f.Close() }
