@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench clean
+.PHONY: build test test-short verify bench bench-baseline bench-compare clean
+
+# Benchmarks covered by bench-baseline/bench-compare: the sorted-set
+# kernels and the parallel operator suite — the hot paths a perf PR must
+# not regress.
+BENCH_PKGS   = ./internal/gdb ./internal/rjoin
+BENCH_FILTER = 'BenchmarkIntersect|BenchmarkOperatorParallel'
+BENCH_BASE   = bench-baseline.txt
 
 build:
 	$(GO) build ./...
@@ -20,6 +27,24 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-baseline records the kernel benchmarks (10 runs, for benchstat
+# confidence intervals) into $(BENCH_BASE); run it on the commit you want
+# to compare against, then run bench-compare on your change.
+bench-baseline:
+	$(GO) test -run XXX -bench $(BENCH_FILTER) -benchmem -count 10 $(BENCH_PKGS) | tee $(BENCH_BASE)
+
+# bench-compare reruns the same benchmarks and diffs them against the
+# stored baseline with benchstat when it is installed (golang.org/x/perf);
+# without benchstat it leaves both files for manual inspection.
+bench-compare:
+	@test -f $(BENCH_BASE) || { echo "no $(BENCH_BASE); run 'make bench-baseline' on the base commit first" >&2; exit 1; }
+	$(GO) test -run XXX -bench $(BENCH_FILTER) -benchmem -count 10 $(BENCH_PKGS) | tee bench-head.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASE) bench-head.txt; \
+	else \
+		echo "benchstat not installed; compare $(BENCH_BASE) vs bench-head.txt by hand" >&2; \
+	fi
 
 clean:
 	$(GO) clean ./...

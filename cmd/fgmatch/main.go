@@ -116,8 +116,8 @@ func run() error {
 		}
 		fmt.Print(plan)
 		for i, tr := range traces {
-			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d %.2fms\n",
-				i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.ElapsedMS)
+			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d workers=%-2d chits=%-6d %.2fms\n",
+				i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.Workers, tr.CenterCacheHits, tr.ElapsedMS)
 		}
 	} else {
 		res, err = eng.QueryPattern(p, algorithm)

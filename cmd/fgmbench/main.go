@@ -7,10 +7,12 @@
 //	fgmbench -exp all                # every experiment
 //	fgmbench -exp table2             # one experiment
 //	fgmbench -exp fig6a -mult 0.5    # half-size datasets
+//	fgmbench -exp rjoin              # operator micros + BENCH_rjoin.json
 //	fgmbench -list                   # list experiment IDs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ var experimentIDs = []string{
 	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b", "fig7c", "iocost",
 	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
+	"rjoin",
 }
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 		seed = flag.Int64("seed", 1, "data generation seed")
 		reps = flag.Int("reps", 2, "timed repetitions per query (minimum reported)")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
+		out  = flag.String("out", "BENCH_rjoin.json", "machine-readable output path for -exp rjoin")
 	)
 	flag.Parse()
 	if *list {
@@ -63,6 +67,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *exp == "rjoin" {
+		// The operator micros also emit a machine-readable file so
+		// bench-compare and CI can diff runs without parsing the table.
+		rep, results, err := r.RJoinMicro()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgmbench:", err)
+			os.Exit(1)
+		}
+		rep.Print(os.Stdout)
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgmbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fgmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *out, len(results))
 		return
 	}
 	rep, err := r.ByID(*exp)

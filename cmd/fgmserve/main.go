@@ -48,6 +48,7 @@ func run() error {
 		planCache    = flag.Int("plancache", 0, "plan cache entries (default 256; -1 disables)")
 		algo         = flag.String("algo", "dps", "default optimizer: dp, dps, or dps-merged")
 		timeout      = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+		parallelism  = flag.Int("parallelism", 0, "intra-query operator workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -90,6 +91,7 @@ func run() error {
 		PlanCacheSize:    *planCache,
 		DefaultAlgorithm: defaultAlgo,
 		DefaultTimeout:   *timeout,
+		QueryParallelism: *parallelism,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

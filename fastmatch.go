@@ -107,6 +107,12 @@ type Options struct {
 	// CodeCacheEntries bounds the working cache of decoded graph codes
 	// (default 65536; negative disables).
 	CodeCacheEntries int
+	// Parallelism is the intra-query parallelism degree: each R-join /
+	// R-semijoin operator partitions its work (HPSJ's center list, the
+	// other operators' row ranges) across up to this many goroutines.
+	// <= 0 selects GOMAXPROCS; 1 forces the serial reference path. Results
+	// are identical, row for row, at every degree.
+	Parallelism int
 }
 
 // Engine is a queryable graph database built from a data graph. Build
@@ -119,6 +125,8 @@ type Options struct {
 // and metrics, wrap the engine with Parallel.
 type Engine struct {
 	db *gdb.DB
+	// parallelism is the per-query operator worker degree (Options.Parallelism).
+	parallelism int
 }
 
 // NewEngine indexes g: it computes the 2-hop cover, writes base tables,
@@ -134,7 +142,7 @@ func NewEngine(g *Graph, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db}, nil
+	return &Engine{db: db, parallelism: opt.Parallelism}, nil
 }
 
 // OpenEngine reattaches to a database previously created by NewEngine with
@@ -148,7 +156,7 @@ func OpenEngine(path string, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db}, nil
+	return &Engine{db: db, parallelism: opt.Parallelism}, nil
 }
 
 // Close releases the engine's storage. Close is idempotent; afterwards
@@ -186,7 +194,7 @@ func (e *Engine) QueryPatternContext(ctx context.Context, p *Pattern, algo Algor
 	if err != nil {
 		return nil, err
 	}
-	return exec.RunContext(ctx, e.db, plan)
+	return exec.RunContextConfig(ctx, e.db, plan, exec.RunConfig{Workers: e.parallelism})
 }
 
 // plan is the single bind-then-optimize step shared by every query and
@@ -215,7 +223,7 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, p *Pattern, algo Alg
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, traces, err := exec.RunWithTrace(ctx, e.db, plan, true)
+	res, traces, err := exec.RunWithTraceConfig(ctx, e.db, plan, true, exec.RunConfig{Workers: e.parallelism})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -310,7 +318,12 @@ type ServiceResult = server.Result
 // Parallel wraps the engine in a Service for concurrent serving. The
 // engine must stay open for the service's lifetime; closing the engine
 // makes the service answer ErrClosed (and its HTTP health check 503).
+// When cfg.QueryParallelism is unset the engine's Options.Parallelism
+// carries over.
 func (e *Engine) Parallel(cfg ServeConfig) *Service {
+	if cfg.QueryParallelism == 0 {
+		cfg.QueryParallelism = e.parallelism
+	}
 	return server.New(e.db, cfg)
 }
 

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/rjoin"
+)
+
+// RJoinResult is one machine-readable operator micro-measurement, the row
+// schema of BENCH_rjoin.json.
+type RJoinResult struct {
+	// Op is the operator name (HPSJ, Filter, Fetch, Selection).
+	Op string `json:"op"`
+	// Dataset is the ladder dataset name the operator ran on.
+	Dataset string `json:"dataset"`
+	// Workers is the runtime's worker-pool degree.
+	Workers int `json:"workers"`
+	// Rows is the operator's output cardinality (sanity anchor: identical
+	// across worker degrees by the determinism contract).
+	Rows int `json:"rows"`
+	// NsPerOp and AllocsPerOp come from testing.Benchmark.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// rjoinWorkload fixes the operator inputs for one database: the label pair
+// with the largest R-join (compute-bound, not setup-bound), a bound input
+// table over the from-extent, and a candidate pair table for Selection.
+type rjoinWorkload struct {
+	c     rjoin.Cond
+	bound *rjoin.Table
+	pairs *rjoin.Table
+}
+
+func buildRJoinWorkload(db *gdb.DB, g *graph.Graph) (*rjoinWorkload, error) {
+	var c rjoin.Cond
+	var best int64 = -1
+	for x := graph.Label(0); int(x) < g.Labels().Len(); x++ {
+		for y := graph.Label(0); int(y) < g.Labels().Len(); y++ {
+			if x == y {
+				continue
+			}
+			sz, err := db.JoinSize(x, y)
+			if err != nil {
+				return nil, err
+			}
+			if sz > best {
+				best = sz
+				c = rjoin.Cond{FromNode: 0, ToNode: 1, FromLabel: x, ToLabel: y}
+			}
+		}
+	}
+	if best <= 0 {
+		return nil, fmt.Errorf("bench: no non-empty R-join in dataset")
+	}
+	w := &rjoinWorkload{c: c, bound: rjoin.NewTable(0), pairs: rjoin.NewTable(0, 1)}
+	for _, x := range g.Extent(c.FromLabel) {
+		w.bound.Rows = append(w.bound.Rows, []graph.NodeID{x})
+	}
+	ys := g.Extent(c.ToLabel)
+	for _, x := range g.Extent(c.FromLabel) {
+		for k := 0; k < 4 && k < len(ys); k++ {
+			w.pairs.Rows = append(w.pairs.Rows, []graph.NodeID{x, ys[k]})
+		}
+	}
+	return w, nil
+}
+
+// RJoinMicro benchmarks the four R-join operators on the ladder's smallest
+// dataset at serial and parallel worker degrees, via testing.Benchmark so
+// ns/op and allocs/op come from the standard machinery. It returns the
+// paper-style report plus the machine-readable rows for BENCH_rjoin.json.
+func (r *Runner) RJoinMicro() (*Report, []RJoinResult, error) {
+	s := Scales(r.Mult)[0]
+	db, err := r.db(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := r.dataset(s).Graph
+	w, err := buildRJoinWorkload(db, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := context.Background()
+
+	ops := []struct {
+		name string
+		run  func(rt *rjoin.Runtime) (*rjoin.Table, error)
+	}{
+		{"HPSJ", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.HPSJ(ctx, db, w.c) }},
+		{"Filter", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Filter(ctx, db, w.bound, w.c) }},
+		{"Fetch", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Fetch(ctx, db, w.bound, w.c) }},
+		{"Selection", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Selection(ctx, db, w.pairs, w.c) }},
+	}
+
+	rep := &Report{
+		ID:    "rjoin",
+		Title: fmt.Sprintf("R-join operator microbenchmarks (%s, best label pair)", s.Name),
+		PaperClaim: "operator kernels dominate query time; parallel partitions " +
+			"and sorted-set kernels cut per-operator cost",
+		Header: []string{"op", "workers", "rows", "ns/op", "allocs/op", "B/op"},
+	}
+	var results []RJoinResult
+	for _, o := range ops {
+		for _, workers := range []int{1, 4} {
+			o, workers := o, workers
+			var rows int
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := o.run(rjoin.NewRuntime(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = out.Len()
+				}
+			})
+			res := RJoinResult{
+				Op:          o.name,
+				Dataset:     s.Name,
+				Workers:     workers,
+				Rows:        rows,
+				NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+				AllocsPerOp: br.AllocsPerOp(),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+			}
+			results = append(results, res)
+			rep.AddRow(o.name, fmt.Sprint(workers), fmt.Sprint(rows),
+				fmt.Sprintf("%.0f", res.NsPerOp), fmt.Sprint(res.AllocsPerOp), fmt.Sprint(res.BytesPerOp))
+		}
+	}
+	return rep, results, nil
+}

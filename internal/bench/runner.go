@@ -305,6 +305,9 @@ func (r *Runner) ByID(id string) (*Report, error) {
 		return r.AblationDPSMerged()
 	case "ablation-naive":
 		return r.AblationNaive()
+	case "rjoin":
+		rep, _, err := r.RJoinMicro()
+		return rep, err
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)
 	}

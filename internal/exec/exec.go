@@ -28,6 +28,31 @@ type StepTrace struct {
 	IO int64
 	// ElapsedMS is the step's wall time in milliseconds.
 	ElapsedMS float64
+	// Workers is the intra-operator parallelism degree the step ran under.
+	Workers int
+	// CenterCacheHits is how many getCenters computations the step skipped
+	// via the per-query center cache (e.g. a Fetch reusing its Filter's
+	// center sets).
+	CenterCacheHits int64
+}
+
+// RunConfig tunes one plan execution.
+type RunConfig struct {
+	// Workers is the intra-operator parallelism degree: operators partition
+	// their center lists / row ranges across up to Workers goroutines
+	// (<= 0 selects GOMAXPROCS; 1 is the serial reference path).
+	Workers int
+	// Runtime, when non-nil, supplies a preconstructed operator runtime
+	// (overriding Workers); callers use this to read the runtime's
+	// counters after the run.
+	Runtime *rjoin.Runtime
+}
+
+func (cfg RunConfig) runtime() *rjoin.Runtime {
+	if cfg.Runtime != nil {
+		return cfg.Runtime
+	}
+	return rjoin.NewRuntime(cfg.Workers)
 }
 
 // Run executes a plan and returns the full result table, with one column
@@ -43,9 +68,25 @@ func RunContext(ctx context.Context, db *gdb.DB, plan *optimizer.Plan) (*rjoin.T
 	return t, err
 }
 
+// RunContextConfig is RunContext with explicit execution configuration.
+func RunContextConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, cfg RunConfig) (*rjoin.Table, error) {
+	t, _, err := RunWithTraceConfig(ctx, db, plan, false, cfg)
+	return t, err
+}
+
 // RunWithTrace is RunContext that also reports per-step actual row counts,
-// I/O, and elapsed time when trace is true.
+// I/O, and elapsed time when trace is true. It runs under the default
+// configuration (GOMAXPROCS intra-operator workers).
 func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace bool) (*rjoin.Table, []StepTrace, error) {
+	return RunWithTraceConfig(ctx, db, plan, trace, RunConfig{})
+}
+
+// RunWithTraceConfig executes a plan under cfg: one rjoin.Runtime — the
+// worker-pool degree and the per-query center cache — is shared by all
+// steps of the plan, so a JoinFilterFetch's Fetch reuses the center sets
+// its Filter computed.
+func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace bool, cfg RunConfig) (*rjoin.Table, []StepTrace, error) {
+	rt := cfg.runtime()
 	b := plan.Binding
 	// Intermediate results spill through a scratch heap private to this
 	// run: the pages share the database's buffer pool (so their size is
@@ -62,13 +103,14 @@ func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace b
 		}
 		stepStart := time.Now()
 		ioBefore := db.IOStats().Logical()
+		hitsBefore := rt.Stats().CenterCacheHits
 		var err error
 		switch s.Kind {
 		case optimizer.StepHPSJ:
 			if t != nil {
 				return nil, nil, fmt.Errorf("exec: step %d: HPSJ mid-plan", si+1)
 			}
-			t, err = rjoin.HPSJ(ctx, db, b.Conds[s.Edges[0]])
+			t, err = rt.HPSJ(ctx, db, b.Conds[s.Edges[0]])
 		case optimizer.StepSemijoinGroup:
 			if t == nil {
 				t = extentTable(db.Graph(), b, s.Node)
@@ -77,24 +119,24 @@ func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace b
 			for i, e := range s.Edges {
 				conds[i] = b.Conds[e]
 			}
-			t, err = rjoin.FilterGroup(ctx, db, t, conds, s.Node, s.OutSide)
+			t, err = rt.FilterGroup(ctx, db, t, conds, s.Node, s.OutSide)
 		case optimizer.StepFetch:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
+				t, err = rt.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepJoinFilterFetch:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Filter(ctx, db, t, b.Conds[s.Edges[0]])
+				t, err = rt.Filter(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 			if err == nil {
-				t, err = rjoin.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
+				t, err = rt.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepSelection:
 			t, err = requireTable(t, si)
 			if err == nil {
-				t, err = rjoin.Selection(ctx, db, t, b.Conds[s.Edges[0]])
+				t, err = rt.Selection(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		default:
 			err = fmt.Errorf("exec: unknown step kind %v", s.Kind)
@@ -110,10 +152,12 @@ func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace b
 		}
 		if trace {
 			traces = append(traces, StepTrace{
-				Step:      s,
-				Rows:      t.Len(),
-				IO:        db.IOStats().Logical() - ioBefore,
-				ElapsedMS: float64(time.Since(stepStart).Microseconds()) / 1000,
+				Step:            s,
+				Rows:            t.Len(),
+				IO:              db.IOStats().Logical() - ioBefore,
+				ElapsedMS:       float64(time.Since(stepStart).Microseconds()) / 1000,
+				Workers:         rt.Workers(),
+				CenterCacheHits: rt.Stats().CenterCacheHits - hitsBefore,
 			})
 		}
 	}

@@ -3,67 +3,132 @@ package rjoin
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
 )
 
-// cancelStride is how many rows an operator processes between context
-// polls: frequent enough that queries abandon work promptly on deadline or
-// cancellation, rare enough to stay off the per-row hot path.
+// cancelStride is how many work units (rows emitted or scanned) an operator
+// processes between context polls: frequent enough that queries abandon
+// work promptly on deadline or cancellation, rare enough to stay off the
+// per-row hot path.
 const cancelStride = 1024
 
-// cancelCheck polls its context every cancelStride ticks.
+// cancelCheck polls its context every cancelStride work units, counting
+// down instead of taking a modulo so the per-tick cost is one decrement.
 type cancelCheck struct {
-	ctx context.Context
-	n   int
+	ctx  context.Context
+	left int
 }
 
-func (c *cancelCheck) tick() error {
-	c.n++
-	if c.n%cancelStride == 0 {
-		return c.ctx.Err()
+func newCancelCheck(ctx context.Context) cancelCheck {
+	return cancelCheck{ctx: ctx, left: cancelStride}
+}
+
+func (c *cancelCheck) tick() error { return c.tickN(1) }
+
+// tickN charges n work units at once (e.g. a whole center's Cartesian
+// product, or a row plus everything it emitted), polling the context at
+// most once per stride.
+func (c *cancelCheck) tickN(n int) error {
+	c.left -= n
+	if c.left > 0 {
+		return nil
 	}
-	return nil
+	c.left = cancelStride
+	return c.ctx.Err()
+}
+
+// Package-level operator functions are the serial reference path: they run
+// single-threaded with no per-query state, exactly reproducing what a
+// Runtime with one worker computes. Parallel execution goes through
+// Runtime's methods of the same names.
+
+// HPSJ processes an R-join between two base tables (Algorithm 1). See
+// Runtime.HPSJ.
+func HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
+	return serial().HPSJ(ctx, db, c)
+}
+
+// Filter is the R-semijoin (Algorithm 2, Filter). See Runtime.Filter.
+func Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+	return serial().Filter(ctx, db, t, c)
+}
+
+// FilterMulti evaluates several R-semijoins in one scan of t (Remark 3.1).
+// See Runtime.FilterMulti.
+func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
+	return serial().FilterMulti(ctx, db, t, conds)
+}
+
+// FilterGroup applies a group of R-semijoins sharing one bound column and
+// code side. See Runtime.FilterGroup.
+func FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
+	return serial().FilterGroup(ctx, db, t, conds, node, outSide)
+}
+
+// Fetch completes an HPSJ+ R-join (Algorithm 2, Fetch). See Runtime.Fetch.
+func Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+	return serial().Fetch(ctx, db, t, c)
+}
+
+// Selection processes a self R-join (Eq. 5). See Runtime.Selection.
+func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+	return serial().Selection(ctx, db, t, c)
 }
 
 // HPSJ processes an R-join between two base tables (Algorithm 1): for every
 // center w ∈ W(X, Y) it emits getF(w, X) × getT(w, Y). Pairs covered by
-// several centers are deduplicated. Base tables are never touched — the
-// answer comes entirely from the W-table and the cluster-based index.
-func HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
+// several centers are deduplicated by sorting the packed pair keys, so the
+// result is ordered by (from, to) — a deterministic order identical across
+// worker degrees. Base tables are never touched — the answer comes entirely
+// from the W-table and the cluster-based index. The center list is
+// partitioned across the runtime's workers; each partition sorts and
+// deduplicates locally and the sorted runs merge in partition order.
+func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
 	out := NewTable(c.FromNode, c.ToNode)
 	ws, err := db.Centers(c.FromLabel, c.ToLabel)
 	if err != nil {
 		return nil, err
 	}
-	cc := cancelCheck{ctx: ctx}
-	seen := make(map[[2]graph.NodeID]struct{})
-	for _, w := range ws {
-		xs, err := db.GetF(w, c.FromLabel)
-		if err != nil {
-			return nil, err
-		}
-		if len(xs) == 0 {
-			continue
-		}
-		ys, err := db.GetT(w, c.ToLabel)
-		if err != nil {
-			return nil, err
-		}
-		for _, x := range xs {
-			for _, y := range ys {
-				if err := cc.tick(); err != nil {
-					return nil, err
+	parts := rt.split(len(ws), centerGrain)
+	bufs := make([][]uint64, parts)
+	err = rt.runParts(ctx, len(ws), parts, func(ctx context.Context, part, lo, hi int) error {
+		cc := newCancelCheck(ctx)
+		var pairs []uint64
+		for _, w := range ws[lo:hi] {
+			xs, err := db.GetF(w, c.FromLabel)
+			if err != nil {
+				return err
+			}
+			if len(xs) == 0 {
+				continue
+			}
+			ys, err := db.GetT(w, c.ToLabel)
+			if err != nil {
+				return err
+			}
+			if err := cc.tickN(len(xs) * len(ys)); err != nil {
+				return err
+			}
+			for _, x := range xs {
+				for _, y := range ys {
+					pairs = append(pairs, pairKey(x, y))
 				}
-				p := [2]graph.NodeID{x, y}
-				if _, dup := seen[p]; dup {
-					continue
-				}
-				seen[p] = struct{}{}
-				out.Rows = append(out.Rows, []graph.NodeID{x, y})
 			}
 		}
+		slices.Sort(pairs)
+		bufs[part] = slices.Compact(pairs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range mergeUniqueU64(bufs) {
+		row := out.NewRow()
+		row[0], row[1] = pairNodes(k)
+		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
@@ -103,20 +168,25 @@ func centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, forward bool) ([]
 // Filter is the R-semijoin (Algorithm 2, Filter; Eq. 7/8): it keeps the
 // rows of t whose bound value can join some node of the other side's base
 // table, determined from the W-table and graph codes alone.
-func Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
-	return FilterMulti(ctx, db, t, []Cond{c})
+func (rt *Runtime) Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+	return rt.FilterMulti(ctx, db, t, []Cond{c})
 }
 
 // FilterMulti evaluates several R-semijoins in one scan of t (Remark 3.1).
 // All conditions must bind the same temporal column or, more generally,
 // columns already present in t; a row survives only if every condition's
 // center set is non-empty. Graph codes are fetched once per (row, column)
-// through the database's working cache, sharing the dominant cost.
-func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
+// through the database's working cache, sharing the dominant cost; computed
+// center sets go through the per-query center cache, so a later Fetch on
+// the same condition reuses them. The row range is partitioned across the
+// runtime's workers; partitions keep input order, so concatenating them in
+// partition order reproduces the serial output.
+func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
 	type plan struct {
+		cond    Cond
 		col     int
 		forward bool
 		ws      []graph.NodeID
@@ -131,33 +201,44 @@ func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Tabl
 		if err != nil {
 			return nil, err
 		}
-		plans[i] = plan{col: t.ColIndex(boundNode), forward: forward, ws: ws}
+		plans[i] = plan{cond: c, col: t.ColIndex(boundNode), forward: forward, ws: ws}
 	}
-	cc := cancelCheck{ctx: ctx}
+	parts := rt.split(len(t.Rows), rowGrain)
+	kept := make([][][]graph.NodeID, parts)
+	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
+		cc := newCancelCheck(ctx)
+		var rows [][]graph.NodeID
+		for _, row := range t.Rows[lo:hi] {
+			if err := cc.tick(); err != nil {
+				return err
+			}
+			keep := true
+			for _, p := range plans {
+				if len(p.ws) == 0 {
+					keep = false
+					break
+				}
+				cs, err := rt.centersFor(db, row[p.col], p.ws, p.cond, p.forward)
+				if err != nil {
+					return err
+				}
+				if len(cs) == 0 {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				rows = append(rows, row)
+			}
+		}
+		kept[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := NewTable(t.Cols...)
-	for _, row := range t.Rows {
-		if err := cc.tick(); err != nil {
-			return nil, err
-		}
-		keep := true
-		for _, p := range plans {
-			if len(p.ws) == 0 {
-				keep = false
-				break
-			}
-			cs, err := centersFor(db, row[p.col], p.ws, p.forward)
-			if err != nil {
-				return nil, err
-			}
-			if len(cs) == 0 {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out.Rows = append(out.Rows, row)
-		}
-	}
+	out.Rows = concatRows(kept)
 	return out, nil
 }
 
@@ -167,8 +248,9 @@ func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Tabl
 // (conditions X→node). Unlike FilterMulti it does not infer the bound side,
 // so it also accepts conditions whose other endpoint is already bound — the
 // semijoin then still prunes soundly against the other side's base table,
-// with the residual condition left to a later Selection.
-func FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
+// with the residual condition left to a later Selection. Rows partition
+// across the runtime's workers in input order.
+func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
@@ -191,33 +273,44 @@ func FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node i
 		}
 		wss[i] = ws
 	}
-	cc := cancelCheck{ctx: ctx}
-	out := NewTable(t.Cols...)
-	for _, row := range t.Rows {
-		if err := cc.tick(); err != nil {
-			return nil, err
-		}
-		var code []graph.NodeID
-		var err error
-		if outSide {
-			code, err = db.OutCode(row[col])
-		} else {
-			code, err = db.InCode(row[col])
-		}
-		if err != nil {
-			return nil, err
-		}
-		keep := true
-		for _, ws := range wss {
-			if !gdb.IntersectNonEmpty(code, ws) {
-				keep = false
-				break
+	parts := rt.split(len(t.Rows), rowGrain)
+	kept := make([][][]graph.NodeID, parts)
+	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
+		cc := newCancelCheck(ctx)
+		var rows [][]graph.NodeID
+		for _, row := range t.Rows[lo:hi] {
+			if err := cc.tick(); err != nil {
+				return err
+			}
+			var code []graph.NodeID
+			var err error
+			if outSide {
+				code, err = db.OutCode(row[col])
+			} else {
+				code, err = db.InCode(row[col])
+			}
+			if err != nil {
+				return err
+			}
+			keep := true
+			for _, ws := range wss {
+				if !gdb.IntersectNonEmpty(code, ws) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				rows = append(rows, row)
 			}
 		}
-		if keep {
-			out.Rows = append(out.Rows, row)
-		}
+		kept[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := NewTable(t.Cols...)
+	out.Rows = concatRows(kept)
 	return out, nil
 }
 
@@ -229,12 +322,17 @@ func side(out bool) string {
 }
 
 // Fetch completes an HPSJ+ R-join (Algorithm 2, Fetch): for each row of t
-// it recomputes the row's center set (cheap after Filter primed the code
-// cache) and expands the row with every matching node from the centers'
-// T-subclusters (forward) or F-subclusters (reverse). The new pattern-node
-// column is appended. Rows whose center set is empty produce nothing, so
-// Fetch subsumes Filter; running Filter first simply prunes earlier.
-func Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+// it computes the row's center set (served by the per-query cache when
+// Filter already computed it) and expands the row with every matching node
+// from the centers' T-subclusters (forward) or F-subclusters (reverse). The
+// new pattern-node column is appended; each row's expansion nodes are
+// emitted in ascending order (the sorted-set union of the subcluster
+// lists), giving a deterministic order identical across worker degrees.
+// Rows whose center set is empty produce nothing, so Fetch subsumes Filter;
+// running Filter first simply prunes earlier. The row range partitions
+// across the runtime's workers; output rows are drawn from per-partition
+// arenas and concatenated in partition order.
+func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
 	boundNode, forward, err := boundSide(t, c)
 	if err != nil {
 		return nil, err
@@ -250,81 +348,130 @@ func Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
 		return nil, err
 	}
 	col := t.ColIndex(boundNode)
-	out := NewTable(append(append([]int(nil), t.Cols...), newNode)...)
+	cols := append(append([]int(nil), t.Cols...), newNode)
 
-	// Per-row expansion, as in Algorithm 2's Fetch loop: each row's center
-	// set is recomputed (cheap when Filter primed the code cache) and its
+	// Per-row expansion, as in Algorithm 2's Fetch loop: the row's
 	// subclusters are fetched from the R-join index through the buffer
 	// pool. Repeated accesses for popular centers are served — and counted
 	// — by the pool, matching the paper's per-row cost accounting.
-	cc := cancelCheck{ctx: ctx}
-	seen := make(map[graph.NodeID]struct{})
-	for _, row := range t.Rows {
-		if err := cc.tick(); err != nil {
-			return nil, err
-		}
-		v := row[col]
-		cs, err := centersFor(db, v, ws, forward)
-		if err != nil {
-			return nil, err
-		}
-		var targets []graph.NodeID
-		for k := range seen {
-			delete(seen, k)
-		}
-		for _, w := range cs {
-			var nodes []graph.NodeID
-			if forward {
-				nodes, err = db.GetT(w, fetchLabel)
-			} else {
-				nodes, err = db.GetF(w, fetchLabel)
-			}
+	parts := rt.split(len(t.Rows), rowGrain)
+	outs := make([]*Table, parts)
+	err = rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
+		cc := newCancelCheck(ctx)
+		out := NewTable(cols...)
+		// targets/scratch are the partition's reusable union buffers: the
+		// row under expansion never keeps a reference into them (NewRow
+		// copies), so they recycle across rows.
+		var targets, scratch []graph.NodeID
+		for _, row := range t.Rows[lo:hi] {
+			v := row[col]
+			cs, err := rt.centersFor(db, v, ws, c, forward)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for _, n := range nodes {
-				if _, dup := seen[n]; !dup {
-					seen[n] = struct{}{}
-					targets = append(targets, n)
+			targets = targets[:0]
+			for _, w := range cs {
+				var nodes []graph.NodeID
+				if forward {
+					nodes, err = db.GetT(w, fetchLabel)
+				} else {
+					nodes, err = db.GetF(w, fetchLabel)
 				}
+				if err != nil {
+					return err
+				}
+				if len(nodes) == 0 {
+					continue
+				}
+				if len(targets) == 0 {
+					targets = append(targets, nodes...)
+					continue
+				}
+				scratch = mergeUnion(scratch, targets, nodes)
+				targets, scratch = scratch, targets
+			}
+			// One cancellation charge per row unit: the scan itself plus
+			// every row it emitted (the old code ticked the center loop and
+			// the emit loop separately, double-counting each output row).
+			if err := cc.tickN(1 + len(targets)); err != nil {
+				return err
+			}
+			for _, n := range targets {
+				nr := out.NewRow()
+				copy(nr, row)
+				nr[len(row)] = n
+				out.Rows = append(out.Rows, nr)
 			}
 		}
-		for _, n := range targets {
-			if err := cc.tick(); err != nil {
-				return nil, err
-			}
-			nr := make([]graph.NodeID, len(row)+1)
-			copy(nr, row)
-			nr[len(row)] = n
-			out.Rows = append(out.Rows, nr)
-		}
+		outs[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(cols...)
+	for _, p := range outs {
+		out.Rows = append(out.Rows, p.Rows...)
 	}
 	return out, nil
 }
 
 // Selection processes a self R-join (Eq. 5): both pattern nodes of the
 // condition are already bound in t, so the condition reduces to checking
-// out(x) ∩ in(y) ≠ ∅ per row from graph codes.
-func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+// out(x) ∩ in(y) ≠ ∅ per row from graph codes. Rows partition across the
+// runtime's workers in input order.
+func (rt *Runtime) Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
 	fi, ti := t.ColIndex(c.FromNode), t.ColIndex(c.ToNode)
 	if fi < 0 || ti < 0 {
 		return nil, fmt.Errorf("rjoin: selection %v needs both sides bound in %v", c, t.Cols)
 	}
-	cc := cancelCheck{ctx: ctx}
-	out := NewTable(t.Cols...)
-	for _, row := range t.Rows {
-		if err := cc.tick(); err != nil {
-			return nil, err
+	parts := rt.split(len(t.Rows), rowGrain)
+	kept := make([][][]graph.NodeID, parts)
+	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
+		cc := newCancelCheck(ctx)
+		var rows [][]graph.NodeID
+		for _, row := range t.Rows[lo:hi] {
+			if err := cc.tick(); err != nil {
+				return err
+			}
+			ok, err := db.Reaches(row[fi], row[ti])
+			if err != nil {
+				return err
+			}
+			if ok {
+				rows = append(rows, row)
+			}
 		}
-		ok, err := db.Reaches(row[fi], row[ti])
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.Rows = append(out.Rows, row)
-		}
+		kept[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := NewTable(t.Cols...)
+	out.Rows = concatRows(kept)
 	return out, nil
+}
+
+// concatRows flattens per-partition row buffers in partition order,
+// reusing the first non-empty buffer as the base to avoid a copy in the
+// single-partition case.
+func concatRows(parts [][][]graph.NodeID) [][]graph.NodeID {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	rows := make([][]graph.NodeID, 0, total)
+	for _, p := range parts {
+		rows = append(rows, p...)
+	}
+	return rows
 }
 
 // NestedLoopJoin is the reference R-join used by tests and as a measurable
@@ -332,7 +479,7 @@ func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error
 // pair of extents, bypassing the cluster index.
 func NestedLoopJoin(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
 	g := db.Graph()
-	cc := cancelCheck{ctx: ctx}
+	cc := newCancelCheck(ctx)
 	out := NewTable(c.FromNode, c.ToNode)
 	for _, x := range g.Extent(c.FromLabel) {
 		for _, y := range g.Extent(c.ToLabel) {
@@ -344,7 +491,9 @@ func NestedLoopJoin(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
 				return nil, err
 			}
 			if ok {
-				out.Rows = append(out.Rows, []graph.NodeID{x, y})
+				row := out.NewRow()
+				row[0], row[1] = x, y
+				out.Rows = append(out.Rows, row)
 			}
 		}
 	}

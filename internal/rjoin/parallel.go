@@ -1,0 +1,302 @@
+package rjoin
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+// Partition grains: a partition is only split off when it would hold at
+// least this many work units, so small inputs run inline and the goroutine
+// overhead stays off the fast path. Centers are far coarser work units than
+// rows (each center expands a Cartesian product), hence the smaller grain.
+const (
+	centerGrain = 8
+	rowGrain    = 256
+)
+
+// Runtime carries one query's intra-operator execution resources: the
+// worker-pool degree shared by all operators of the query and the per-query
+// center cache memoizing getCenters results across Filter and Fetch steps.
+// A Runtime is scoped to a single query against a single database — reusing
+// one across databases would serve stale center sets. All methods are safe
+// for concurrent use (a query's operators run one at a time, but the
+// partitions of one operator run on many goroutines).
+type Runtime struct {
+	workers int
+	centers *centerCache
+
+	ops         atomic.Int64
+	parallelOps atomic.Int64
+	tasks       atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// NewRuntime returns a Runtime executing each operator on up to workers
+// goroutines (workers <= 0 selects GOMAXPROCS) with the per-query center
+// cache enabled.
+func NewRuntime(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runtime{workers: workers, centers: newCenterCache(defaultCenterCacheEntries)}
+}
+
+// serial returns a zero-overhead single-worker runtime with no center
+// cache; it backs the package-level operator functions, which predate the
+// Runtime API and must stay independent across calls (they may be used
+// against many databases).
+func serial() *Runtime { return &Runtime{workers: 1} }
+
+// Workers returns the resolved parallelism degree.
+func (rt *Runtime) Workers() int {
+	if rt.workers <= 0 {
+		return 1
+	}
+	return rt.workers
+}
+
+// RuntimeStats are cumulative counters of one Runtime's activity.
+type RuntimeStats struct {
+	// Ops is the number of operator executions.
+	Ops int64
+	// ParallelOps counts operators that split into more than one partition.
+	ParallelOps int64
+	// Tasks is the total number of partition tasks executed (Tasks/Ops is
+	// the achieved fan-out; compare against the configured worker degree
+	// for utilisation).
+	Tasks int64
+	// CenterCacheHits/Misses count per-query center cache lookups.
+	CenterCacheHits   int64
+	CenterCacheMisses int64
+}
+
+// Stats snapshots the runtime's counters.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		Ops:               rt.ops.Load(),
+		ParallelOps:       rt.parallelOps.Load(),
+		Tasks:             rt.tasks.Load(),
+		CenterCacheHits:   rt.cacheHits.Load(),
+		CenterCacheMisses: rt.cacheMisses.Load(),
+	}
+}
+
+// split decides how many partitions n work units of the given grain get.
+func (rt *Runtime) split(n, grain int) int {
+	parts := rt.Workers()
+	if grain > 0 && n/grain < parts {
+		parts = n / grain
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// runParts executes f over parts contiguous ranges of [0, n). Partition
+// boundaries are deterministic, so per-partition results concatenated in
+// partition order reproduce the serial output exactly. The first failing
+// partition cancels the others through the shared sub-context; its error is
+// returned (a real error is preferred over the context.Canceled the
+// cancellation induces in sibling partitions).
+func (rt *Runtime) runParts(ctx context.Context, n, parts int, f func(ctx context.Context, part, lo, hi int) error) error {
+	rt.ops.Add(1)
+	rt.tasks.Add(int64(parts))
+	if parts <= 1 {
+		return f(ctx, 0, 0, n)
+	}
+	rt.parallelOps.Add(1)
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			if err := f(pctx, p, lo, hi); err != nil {
+				errs[p] = err
+				cancel()
+			}
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Per-query center cache: getCenters(v, X, Y) = out(v) ∩ W(X, Y) is a pure
+// function of the (read-only) database, so within one query its results are
+// memoized across operators — a JoinFilterFetch's Fetch step reuses the
+// center sets its Filter step just computed instead of re-intersecting.
+
+const (
+	defaultCenterCacheEntries = 1 << 16
+	centerCacheShards         = 8
+)
+
+type centerKey struct {
+	v    graph.NodeID
+	x, y graph.Label
+	fwd  bool
+}
+
+type centerCache struct {
+	shardCap int
+	shards   [centerCacheShards]centerCacheShard
+}
+
+type centerCacheShard struct {
+	mu sync.Mutex
+	m  map[centerKey][]graph.NodeID
+}
+
+func newCenterCache(entries int) *centerCache {
+	c := &centerCache{shardCap: entries / centerCacheShards}
+	if c.shardCap < 1 {
+		c.shardCap = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[centerKey][]graph.NodeID)
+	}
+	return c
+}
+
+func (c *centerCache) get(k centerKey) ([]graph.NodeID, bool) {
+	s := &c.shards[int(uint32(k.v))%centerCacheShards]
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (c *centerCache) put(k centerKey, v []graph.NodeID) {
+	s := &c.shards[int(uint32(k.v))%centerCacheShards]
+	s.mu.Lock()
+	if len(s.m) >= c.shardCap {
+		// Bounded like the database's code cache: drop an arbitrary entry.
+		for dk := range s.m {
+			delete(s.m, dk)
+			break
+		}
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// centersFor computes getCenters for one bound value — out(v) ∩ W(X, Y)
+// forward, in(v) ∩ W(X, Y) reverse — through the per-query cache when the
+// runtime has one.
+func (rt *Runtime) centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, c Cond, forward bool) ([]graph.NodeID, error) {
+	if rt.centers == nil {
+		return centersFor(db, v, ws, forward)
+	}
+	k := centerKey{v: v, x: c.FromLabel, y: c.ToLabel, fwd: forward}
+	if cs, ok := rt.centers.get(k); ok {
+		rt.cacheHits.Add(1)
+		return cs, nil
+	}
+	rt.cacheMisses.Add(1)
+	cs, err := centersFor(db, v, ws, forward)
+	if err != nil {
+		return nil, err
+	}
+	rt.centers.put(k, cs)
+	return cs, nil
+}
+
+// Sorted-set kernels shared by the operators.
+
+// pairKey packs an (x, y) node pair into one ordered uint64, so pair sets
+// sort and deduplicate as flat integer slices instead of hash maps.
+func pairKey(x, y graph.NodeID) uint64 {
+	return uint64(uint32(x))<<32 | uint64(uint32(y))
+}
+
+func pairNodes(k uint64) (x, y graph.NodeID) {
+	return graph.NodeID(uint32(k >> 32)), graph.NodeID(uint32(k))
+}
+
+// mergeUniqueU64 merges ascending duplicate-free slices into one ascending
+// duplicate-free slice (duplicates across inputs are emitted once), by
+// repeated pairwise merging.
+func mergeUniqueU64(lists [][]uint64) []uint64 {
+	for len(lists) > 1 {
+		merged := lists[:0]
+		for i := 0; i < len(lists); i += 2 {
+			if i+1 == len(lists) {
+				merged = append(merged, lists[i])
+				break
+			}
+			merged = append(merged, mergePairU64(lists[i], lists[i+1]))
+		}
+		lists = merged
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	return lists[0]
+}
+
+func mergePairU64(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeUnion appends the sorted-set union of two ascending duplicate-free
+// slices to dst[:0]; it backs Fetch's per-row cluster-expansion dedup.
+func mergeUnion(dst, a, b []graph.NodeID) []graph.NodeID {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}

@@ -32,6 +32,32 @@ type Table struct {
 	Cols []int
 	// Rows holds tuples of data nodes, aligned with Cols.
 	Rows [][]graph.NodeID
+
+	// arena is the append-only backing store NewRow carves rows from, so
+	// bulk row production (Fetch, HPSJ) allocates one chunk per
+	// arenaChunkRows rows instead of one slice per row.
+	arena []graph.NodeID
+}
+
+// arenaChunkRows is how many rows one arena chunk holds.
+const arenaChunkRows = 1024
+
+// NewRow returns a fresh zeroed row of len(Cols) carved from the table's
+// append-only arena. The row is NOT added to Rows — fill it and append it.
+// Rows are full-capacity slices, so appending to one never bleeds into its
+// arena neighbours. Not safe for concurrent use; parallel operators give
+// each partition its own table and merge the Rows slices afterwards.
+func (t *Table) NewRow() []graph.NodeID {
+	w := len(t.Cols)
+	if w == 0 {
+		return nil
+	}
+	if cap(t.arena)-len(t.arena) < w {
+		t.arena = make([]graph.NodeID, 0, arenaChunkRows*w)
+	}
+	n := len(t.arena)
+	t.arena = t.arena[: n+w : cap(t.arena)]
+	return t.arena[n : n+w : n+w]
 }
 
 // NewTable creates an empty table with the given columns.

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"math"
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 	"time"
 
+	"fastmatch/internal/rjoin"
 	"fastmatch/internal/storage"
 )
 
@@ -28,7 +30,24 @@ type metrics struct {
 	planMisses atomic.Int64
 	rows       atomic.Int64
 
+	// Intra-query operator parallelism (aggregated rjoin.RuntimeStats).
+	operatorOps   atomic.Int64 // operator executions
+	parallelOps   atomic.Int64 // operators that split across >1 worker
+	operatorTasks atomic.Int64 // partition tasks executed
+	centerHits    atomic.Int64 // per-query center cache hits
+	centerMisses  atomic.Int64 // per-query center cache misses
+
 	latency [latencyBuckets]atomic.Int64
+}
+
+// recordRuntime folds one query's operator-runtime counters into the
+// server-wide utilisation metrics.
+func (m *metrics) recordRuntime(rs rjoin.RuntimeStats) {
+	m.operatorOps.Add(rs.Ops)
+	m.parallelOps.Add(rs.ParallelOps)
+	m.operatorTasks.Add(rs.Tasks)
+	m.centerHits.Add(rs.CenterCacheHits)
+	m.centerMisses.Add(rs.CenterCacheMisses)
 }
 
 func (m *metrics) recordQuery(elapsed time.Duration, rowCount int, planCached bool) {
@@ -105,6 +124,23 @@ type Stats struct {
 	PlanCacheSize   int   `json:"plan_cache_size"`
 	// RowsReturned is the total result rows across completed queries.
 	RowsReturned int64 `json:"rows_returned"`
+	// QueryParallelism is the configured intra-query worker degree
+	// (0 = GOMAXPROCS).
+	QueryParallelism int `json:"query_parallelism"`
+	// OperatorOps counts R-join/R-semijoin operator executions;
+	// OperatorParallelOps those that split across more than one worker;
+	// OperatorTasks the partition tasks executed. OperatorTasks/OperatorOps
+	// is the achieved fan-out — compare against QueryParallelism for
+	// worker-pool utilisation.
+	OperatorOps         int64 `json:"operator_ops"`
+	OperatorParallelOps int64 `json:"operator_parallel_ops"`
+	OperatorTasks       int64 `json:"operator_tasks"`
+	// WorkerUtilization is OperatorTasks/(OperatorOps × resolved degree):
+	// 1.0 means every operator filled every worker slot.
+	WorkerUtilization float64 `json:"worker_utilization"`
+	// CenterCacheHits/Misses aggregate the per-query center caches.
+	CenterCacheHits   int64 `json:"center_cache_hits"`
+	CenterCacheMisses int64 `json:"center_cache_misses"`
 	// P50ms and P99ms are approximate latency quantiles in milliseconds
 	// (histogram-bucketed; 0 when no queries completed).
 	P50ms float64 `json:"p50_ms"`
@@ -119,18 +155,31 @@ type Stats struct {
 // counter is read atomically; the set is not cut at one instant).
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries:         s.met.queries.Load(),
-		Errors:          s.met.errs.Load(),
-		Rejections:      s.met.rejected.Load(),
-		Deadline:        s.met.deadline.Load(),
-		Queued:          s.met.queued.Load(),
-		InFlight:        s.InFlight(),
-		MaxInFlight:     s.cfg.MaxInFlight,
-		PlanCacheHits:   s.met.planHits.Load(),
-		PlanCacheMisses: s.met.planMisses.Load(),
-		PlanCacheSize:   s.plans.len(),
-		RowsReturned:    s.met.rows.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Queries:             s.met.queries.Load(),
+		Errors:              s.met.errs.Load(),
+		Rejections:          s.met.rejected.Load(),
+		Deadline:            s.met.deadline.Load(),
+		Queued:              s.met.queued.Load(),
+		InFlight:            s.InFlight(),
+		MaxInFlight:         s.cfg.MaxInFlight,
+		PlanCacheHits:       s.met.planHits.Load(),
+		PlanCacheMisses:     s.met.planMisses.Load(),
+		PlanCacheSize:       s.plans.len(),
+		RowsReturned:        s.met.rows.Load(),
+		QueryParallelism:    s.cfg.QueryParallelism,
+		OperatorOps:         s.met.operatorOps.Load(),
+		OperatorParallelOps: s.met.parallelOps.Load(),
+		OperatorTasks:       s.met.operatorTasks.Load(),
+		CenterCacheHits:     s.met.centerHits.Load(),
+		CenterCacheMisses:   s.met.centerMisses.Load(),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+	}
+	if st.OperatorOps > 0 {
+		degree := s.cfg.QueryParallelism
+		if degree <= 0 {
+			degree = runtime.GOMAXPROCS(0)
+		}
+		st.WorkerUtilization = float64(st.OperatorTasks) / (float64(st.OperatorOps) * float64(degree))
 	}
 	if !s.db.Closed() {
 		st.IO = s.db.IOStats()

@@ -19,6 +19,7 @@ import (
 	"fastmatch/internal/graph"
 	"fastmatch/internal/optimizer"
 	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
 )
 
 // ErrOverloaded is the sentinel for admission-control rejection; match with
@@ -58,6 +59,11 @@ type Config struct {
 	// DefaultTimeout, when positive, bounds every query whose context has
 	// no explicit deadline.
 	DefaultTimeout time.Duration
+	// QueryParallelism is the intra-query operator worker degree: each
+	// R-join/R-semijoin partitions its centers/rows across up to this many
+	// goroutines (<= 0 selects GOMAXPROCS; 1 is the serial path). Total
+	// operator goroutines are bounded by MaxInFlight × QueryParallelism.
+	QueryParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,7 +163,11 @@ func (s *Server) QueryPattern(ctx context.Context, p *pattern.Pattern, algo exec
 		s.met.recordError(err)
 		return nil, err
 	}
-	t, err := exec.RunContext(ctx, s.db, plan)
+	// One operator runtime per query: the worker-pool degree plus the
+	// per-query center cache, whose counters feed the server metrics.
+	rt := rjoin.NewRuntime(s.cfg.QueryParallelism)
+	t, err := exec.RunContextConfig(ctx, s.db, plan, exec.RunConfig{Runtime: rt})
+	s.met.recordRuntime(rt.Stats())
 	if err != nil {
 		s.met.recordError(err)
 		return nil, err
