@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,16 +31,18 @@ func main() {
 
 func run() error {
 	var (
-		graphPath = flag.String("graph", "", "data graph file (text format; required)")
-		query     = flag.String("query", "", "pattern, e.g. \"A->C; B->C\"")
-		algo      = flag.String("algo", "dps", "optimizer: dp or dps")
-		explain   = flag.Bool("explain", false, "print the chosen plan instead of running it")
-		analyze   = flag.Bool("analyze", false, "run and print per-step rows/IO/time")
-		stats     = flag.Bool("stats", false, "print index statistics")
-		limit     = flag.Int("limit", 20, "max result rows to print (0 = all)")
-		pool      = flag.Int("pool", 0, "buffer pool bytes (default 1 MB)")
-		dot       = flag.String("dot", "", "write the data graph in Graphviz DOT format to this file and exit")
-		dotMax    = flag.Int("dotmax", 200, "max nodes in -dot output (0 = all)")
+		graphPath   = flag.String("graph", "", "data graph file (text format; required)")
+		query       = flag.String("query", "", "pattern, e.g. \"A->C; B->C\"")
+		algo        = flag.String("algo", "dps", "optimizer: dp or dps")
+		explain     = flag.Bool("explain", false, "print the chosen plan instead of running it")
+		analyze     = flag.Bool("analyze", false, "run and print per-step rows/IO/time")
+		stats       = flag.Bool("stats", false, "print index statistics")
+		limit       = flag.Int("limit", 20, "max result rows to print (0 = all)")
+		budgetRows  = flag.Int("budget-rows", 0, "kill the query once an intermediate table exceeds this many rows (0 = unbounded)")
+		budgetBytes = flag.Int64("budget-bytes", 0, "kill the query once intermediate results exceed this many bytes (0 = unbounded)")
+		pool        = flag.Int("pool", 0, "buffer pool bytes (default 1 MB)")
+		dot         = flag.String("dot", "", "write the data graph in Graphviz DOT format to this file and exit")
+		dotMax      = flag.Int("dotmax", 200, "max nodes in -dot output (0 = all)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -118,6 +121,12 @@ func run() error {
 		for i, tr := range traces {
 			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d workers=%-2d chits=%-6d %.2fms\n",
 				i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.Workers, tr.CenterCacheHits, tr.ElapsedMS)
+		}
+	} else if *budgetRows > 0 || *budgetBytes > 0 {
+		b := &fastmatch.Budget{MaxTableRows: *budgetRows, MaxBytes: *budgetBytes}
+		res, err = eng.QueryPatternBudget(context.Background(), p, algorithm, b)
+		if err != nil {
+			return err
 		}
 	} else {
 		res, err = eng.QueryPattern(p, algorithm)

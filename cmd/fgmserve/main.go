@@ -13,7 +13,9 @@
 //	GET  /healthz — liveness
 //
 // Overloaded requests are shed with 429 and a Retry-After header; requests
-// past their deadline answer 504.
+// past their deadline answer 504; queries killed by the -max-table-rows /
+// -max-intermediate-bytes resource budgets answer 422; request bodies over
+// -max-request-bytes answer 413.
 package main
 
 import (
@@ -49,6 +51,9 @@ func run() error {
 		algo         = flag.String("algo", "dps", "default optimizer: dp, dps, or dps-merged")
 		timeout      = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
 		parallelism  = flag.Int("parallelism", 0, "intra-query operator workers (0 = GOMAXPROCS, 1 = serial)")
+		maxTableRows = flag.Int("max-table-rows", 0, "per-query intermediate-table row budget (0 = unbounded; exceeding answers 422)")
+		maxIMBytes   = flag.Int64("max-intermediate-bytes", 0, "per-query intermediate-result byte budget (0 = unbounded; exceeding answers 422)")
+		maxReqBytes  = flag.Int64("max-request-bytes", 0, "max /query request body bytes (default 1 MB; larger answers 413)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -86,12 +91,15 @@ func run() error {
 	fmt.Printf("indexed %s in %v\n", eng.Stats(), time.Since(build).Round(time.Millisecond))
 
 	svc := eng.Parallel(fastmatch.ServeConfig{
-		MaxInFlight:      *maxInFlight,
-		QueueTimeout:     *queueTimeout,
-		PlanCacheSize:    *planCache,
-		DefaultAlgorithm: defaultAlgo,
-		DefaultTimeout:   *timeout,
-		QueryParallelism: *parallelism,
+		MaxInFlight:          *maxInFlight,
+		QueueTimeout:         *queueTimeout,
+		PlanCacheSize:        *planCache,
+		DefaultAlgorithm:     defaultAlgo,
+		DefaultTimeout:       *timeout,
+		QueryParallelism:     *parallelism,
+		MaxTableRows:         *maxTableRows,
+		MaxIntermediateBytes: *maxIMBytes,
+		MaxRequestBytes:      *maxReqBytes,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

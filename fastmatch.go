@@ -48,6 +48,22 @@ var ErrClosed = gdb.ErrClosed
 // Service sheds a query under admission control; match with errors.Is.
 var ErrOverloaded = server.ErrOverloaded
 
+// ErrRowLimit and ErrBudgetExceeded are the typed resource-governor
+// failures: a query exceeded its Budget's intermediate-row or byte
+// allowance and was killed mid-execution. Match with errors.Is.
+var (
+	ErrRowLimit       = rjoin.ErrRowLimit
+	ErrBudgetExceeded = rjoin.ErrBudgetExceeded
+)
+
+// Budget is a per-query resource governor: a result-row limit (pushed
+// into plan execution, so rows past it are never materialised) and hard
+// caps on intermediate table rows and bytes that kill a runaway query
+// with ErrRowLimit / ErrBudgetExceeded. The zero value imposes no
+// bounds. A Budget is single-use: it also accumulates the query's
+// accounting (Bytes, PeakRows, Truncated), so pass a fresh one per query.
+type Budget = rjoin.Budget
+
 // NodeID identifies a node of a data graph.
 type NodeID = graph.NodeID
 
@@ -195,6 +211,19 @@ func (e *Engine) QueryPatternContext(ctx context.Context, p *Pattern, algo Algor
 		return nil, err
 	}
 	return exec.RunContextConfig(ctx, e.db, plan, exec.RunConfig{Workers: e.parallelism})
+}
+
+// QueryPatternBudget is QueryPatternContext under a resource budget: b's
+// result-row limit is pushed into execution (check b.Truncated() for a
+// cut result) and its row/byte caps kill the query with ErrRowLimit /
+// ErrBudgetExceeded. b may be nil for an unbudgeted run; a non-nil b must
+// be fresh (it accumulates this query's accounting).
+func (e *Engine) QueryPatternBudget(ctx context.Context, p *Pattern, algo Algorithm, b *Budget) (*Result, error) {
+	plan, err := e.plan(p, algo)
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunContextConfig(ctx, e.db, plan, exec.RunConfig{Workers: e.parallelism, Budget: b})
 }
 
 // plan is the single bind-then-optimize step shared by every query and

@@ -46,13 +46,25 @@ type RunConfig struct {
 	// (overriding Workers); callers use this to read the runtime's
 	// counters after the run.
 	Runtime *rjoin.Runtime
+	// Budget, when non-nil, is the query's resource governor: its
+	// ResultRows limit is pushed into the plan's final operator (the run
+	// returns a truncated prefix, with Budget.Truncated set, instead of
+	// materialising the full result), its MaxTableRows/MaxBytes caps fail
+	// the run with the typed rjoin.ErrRowLimit/rjoin.ErrBudgetExceeded,
+	// and its counters (Bytes, PeakRows) report what the run used.
+	// Deadlines stay on the context.
+	Budget *rjoin.Budget
 }
 
 func (cfg RunConfig) runtime() *rjoin.Runtime {
-	if cfg.Runtime != nil {
-		return cfg.Runtime
+	rt := cfg.Runtime
+	if rt == nil {
+		rt = rjoin.NewRuntime(cfg.Workers)
 	}
-	return rjoin.NewRuntime(cfg.Workers)
+	if cfg.Budget != nil {
+		rt.SetBudget(cfg.Budget)
+	}
+	return rt
 }
 
 // Run executes a plan and returns the full result table, with one column
@@ -95,11 +107,24 @@ func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, t
 	// pages afterwards.
 	scratch := db.NewScratchHeap()
 	defer scratch.Release()
+	bdg := cfg.Budget
 	var traces []StepTrace
 	var t *rjoin.Table
+	last := len(plan.Steps) - 1
 	for si, s := range plan.Steps {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
+		}
+		// Limit pushdown: the plan's final operator stops producing once
+		// the result-row limit is exceeded and truncates its merged
+		// output, so rows past the limit are never materialised. For a
+		// JoinFilterFetch the limit is armed only after its Filter phase —
+		// truncating the filtered input would drop rows the Fetch still
+		// needs.
+		pushLimit := func() {
+			if si == last && bdg != nil && bdg.ResultRows > 0 {
+				rt.PushLimit(bdg.ResultRows)
+			}
 		}
 		stepStart := time.Now()
 		ioBefore := db.IOStats().Logical()
@@ -110,19 +135,25 @@ func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, t
 			if t != nil {
 				return nil, nil, fmt.Errorf("exec: step %d: HPSJ mid-plan", si+1)
 			}
+			pushLimit()
 			t, err = rt.HPSJ(ctx, db, b.Conds[s.Edges[0]])
 		case optimizer.StepSemijoinGroup:
 			if t == nil {
 				t = extentTable(db.Graph(), b, s.Node)
+				if err := bdg.ChargeBytes(int64(t.Len()) * 4); err != nil {
+					return nil, nil, fmt.Errorf("exec: step %d (%v): %w", si+1, s.Kind, err)
+				}
 			}
 			conds := make([]rjoin.Cond, len(s.Edges))
 			for i, e := range s.Edges {
 				conds[i] = b.Conds[e]
 			}
+			pushLimit()
 			t, err = rt.FilterGroup(ctx, db, t, conds, s.Node, s.OutSide)
 		case optimizer.StepFetch:
 			t, err = requireTable(t, si)
 			if err == nil {
+				pushLimit()
 				t, err = rt.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepJoinFilterFetch:
@@ -131,17 +162,29 @@ func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, t
 				t, err = rt.Filter(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 			if err == nil {
+				pushLimit()
 				t, err = rt.Fetch(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		case optimizer.StepSelection:
 			t, err = requireTable(t, si)
 			if err == nil {
+				pushLimit()
 				t, err = rt.Selection(ctx, db, t, b.Conds[s.Edges[0]])
 			}
 		default:
 			err = fmt.Errorf("exec: unknown step kind %v", s.Kind)
 		}
 		if err != nil {
+			return nil, nil, fmt.Errorf("exec: step %d (%v): %w", si+1, s.Kind, err)
+		}
+		// Per-step budget checkpoint: operators check at their own merge
+		// points; this additionally covers tables the executor builds
+		// itself (extent tables) and keeps the peak-rows statistic exact.
+		bdg.NoteRows(t.Len())
+		if err := bdg.CheckRows(t.Len()); err != nil {
+			return nil, nil, fmt.Errorf("exec: step %d (%v): %w", si+1, s.Kind, err)
+		}
+		if err := bdg.CheckBytes(); err != nil {
 			return nil, nil, fmt.Errorf("exec: step %d (%v): %w", si+1, s.Kind, err)
 		}
 		// Materialise the temporal table through the storage engine: the
@@ -169,6 +212,13 @@ func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, t
 		nodes[i] = i
 	}
 	out, err := t.Project(nodes)
+	// Safety net for the result-row limit after projection. Operators
+	// already truncated at their merge points, so this only fires if a
+	// future operator forgets the pushdown.
+	if err == nil && bdg != nil && bdg.ResultRows > 0 && out.Len() > bdg.ResultRows {
+		out.Rows = out.Rows[:bdg.ResultRows]
+		bdg.MarkTruncated()
+	}
 	return out, traces, err
 }
 

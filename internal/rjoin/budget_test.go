@@ -1,0 +1,187 @@
+package rjoin
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestBudgetNilSafety: every method is a no-op / pass on a nil *Budget, so
+// unbudgeted operator paths need no guards.
+func TestBudgetNilSafety(t *testing.T) {
+	var b *Budget
+	b.AddBytes(1 << 30)
+	if err := b.ChargeBytes(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckBytes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckRows(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	b.NoteRows(7)
+	b.MarkTruncated()
+	if b.Truncated() || b.Bytes() != 0 || b.PeakRows() != 0 {
+		t.Fatalf("nil budget reported state: truncated=%v bytes=%d peak=%d",
+			b.Truncated(), b.Bytes(), b.PeakRows())
+	}
+}
+
+func TestBudgetChecks(t *testing.T) {
+	b := &Budget{MaxTableRows: 10, MaxBytes: 100}
+	if err := b.CheckRows(10); err != nil {
+		t.Fatalf("at the row cap: %v", err)
+	}
+	if err := b.CheckRows(11); !errors.Is(err, ErrRowLimit) {
+		t.Fatalf("over the row cap: got %v, want ErrRowLimit", err)
+	}
+	b.AddBytes(100)
+	if err := b.CheckBytes(); err != nil {
+		t.Fatalf("at the byte cap: %v", err)
+	}
+	if err := b.ChargeBytes(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over the byte cap: got %v, want ErrBudgetExceeded", err)
+	}
+	if b.Bytes() != 101 {
+		t.Fatalf("Bytes() = %d, want 101", b.Bytes())
+	}
+	b.NoteRows(3)
+	b.NoteRows(9)
+	b.NoteRows(4)
+	if b.PeakRows() != 9 {
+		t.Fatalf("PeakRows() = %d, want 9", b.PeakRows())
+	}
+	if b.Truncated() {
+		t.Fatal("Truncated() before MarkTruncated")
+	}
+	b.MarkTruncated()
+	if !b.Truncated() {
+		t.Fatal("Truncated() after MarkTruncated")
+	}
+}
+
+// TestOperatorBudgetKill: each operator dies with the typed error once its
+// output exceeds the budget, at serial and parallel degrees.
+func TestOperatorBudgetKill(t *testing.T) {
+	g := randomGraph(11, 60, 150, 3)
+	db := mustDB(t, g)
+	ctx := context.Background()
+	c := cond(g, "A", "B", 0, 1)
+
+	full, err := HPSJ(ctx, db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 4 {
+		t.Fatalf("graph too sparse for the test: %d join rows", full.Len())
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run("rows", func(t *testing.T) {
+			rt := NewRuntime(workers)
+			rt.SetBudget(&Budget{MaxTableRows: full.Len() - 1})
+			if _, err := rt.HPSJ(ctx, db, c); !errors.Is(err, ErrRowLimit) {
+				t.Fatalf("workers=%d: got %v, want ErrRowLimit", workers, err)
+			}
+		})
+		t.Run("bytes", func(t *testing.T) {
+			rt := NewRuntime(workers)
+			rt.SetBudget(&Budget{MaxBytes: 16})
+			if _, err := rt.HPSJ(ctx, db, c); !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("workers=%d: got %v, want ErrBudgetExceeded", workers, err)
+			}
+		})
+		t.Run("fetch-rows", func(t *testing.T) {
+			rt := NewRuntime(workers)
+			rt.SetBudget(&Budget{MaxTableRows: full.Len() - 1})
+			in := extentOf(g, c.FromLabel, 0, 1)
+			if _, err := rt.Fetch(ctx, db, in, c); !errors.Is(err, ErrRowLimit) {
+				t.Fatalf("workers=%d: got %v, want ErrRowLimit", workers, err)
+			}
+		})
+	}
+
+	// A budget the query fits inside leaves the result untouched and
+	// accumulates accounting.
+	rt := NewRuntime(2)
+	b := &Budget{MaxTableRows: full.Len() + 10, MaxBytes: 1 << 30}
+	rt.SetBudget(b)
+	got, err := rt.HPSJ(ctx, db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != full.Len() {
+		t.Fatalf("budgeted rows %d != unbudgeted %d", got.Len(), full.Len())
+	}
+	if b.Bytes() <= 0 || b.PeakRows() != int64(full.Len()) {
+		t.Fatalf("accounting: bytes=%d peak=%d (want >0, %d)", b.Bytes(), b.PeakRows(), full.Len())
+	}
+	if b.Truncated() {
+		t.Fatal("Truncated set without a row limit")
+	}
+}
+
+// TestLimitPushdownPrefix: with a pushed-down result limit each operator
+// returns exactly the first n rows of its unlimited output — identical at
+// every worker degree — and marks the budget truncated.
+func TestLimitPushdownPrefix(t *testing.T) {
+	g := randomGraph(12, 60, 150, 3)
+	db := mustDB(t, g)
+	ctx := context.Background()
+	c := cond(g, "A", "B", 0, 1)
+
+	full, err := HPSJ(ctx, db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 5 {
+		t.Fatalf("graph too sparse for the test: %d join rows", full.Len())
+	}
+	in := extentOf(g, c.FromLabel, 0, 1)
+	fullFetch, err := Fetch(ctx, db, in, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 7} {
+		for _, n := range []int{1, 2, full.Len() - 1, full.Len(), full.Len() + 5} {
+			rt := NewRuntime(workers)
+			b := &Budget{ResultRows: n}
+			rt.SetBudget(b)
+			rt.PushLimit(n)
+			got, err := rt.HPSJ(ctx, db, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := min(n, full.Len())
+			if got.Len() != wantLen {
+				t.Fatalf("workers=%d limit=%d: %d rows, want %d", workers, n, got.Len(), wantLen)
+			}
+			if !reflect.DeepEqual(got.Rows, full.Rows[:wantLen]) {
+				t.Fatalf("workers=%d limit=%d: rows are not the unlimited prefix", workers, n)
+			}
+			if wantTrunc := n < full.Len(); b.Truncated() != wantTrunc {
+				t.Fatalf("workers=%d limit=%d: Truncated=%v, want %v", workers, n, b.Truncated(), wantTrunc)
+			}
+		}
+
+		// Fetch: same prefix property over its row-range partitioning.
+		for _, n := range []int{1, 3, fullFetch.Len()} {
+			rt := NewRuntime(workers)
+			b := &Budget{ResultRows: n}
+			rt.SetBudget(b)
+			rt.PushLimit(n)
+			got, err := rt.Fetch(ctx, db, in, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := min(n, fullFetch.Len())
+			if got.Len() != wantLen || !reflect.DeepEqual(got.Rows, fullFetch.Rows[:wantLen]) {
+				t.Fatalf("Fetch workers=%d limit=%d: not the unlimited prefix (%d rows, want %d)",
+					workers, n, got.Len(), wantLen)
+			}
+		}
+	}
+}

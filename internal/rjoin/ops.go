@@ -15,15 +15,24 @@ import (
 // per-row hot path.
 const cancelStride = 1024
 
-// cancelCheck polls its context every cancelStride work units, counting
-// down instead of taking a modulo so the per-tick cost is one decrement.
+// cancelCheck polls its context — and, when the query is budgeted, the
+// byte budget — every cancelStride work units, counting down instead of
+// taking a modulo so the per-tick cost is one decrement.
 type cancelCheck struct {
 	ctx  context.Context
+	b    *Budget
 	left int
 }
 
 func newCancelCheck(ctx context.Context) cancelCheck {
 	return cancelCheck{ctx: ctx, left: cancelStride}
+}
+
+// check is newCancelCheck carrying the runtime's budget, so a partition
+// that blows the byte budget fails at its next poll and cancels its
+// siblings through runParts' shared sub-context.
+func (rt *Runtime) check(ctx context.Context) cancelCheck {
+	return cancelCheck{ctx: ctx, b: rt.budget, left: cancelStride}
 }
 
 func (c *cancelCheck) tick() error { return c.tickN(1) }
@@ -37,7 +46,10 @@ func (c *cancelCheck) tickN(n int) error {
 		return nil
 	}
 	c.left = cancelStride
-	return c.ctx.Err()
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	return c.b.CheckBytes()
 }
 
 // Package-level operator functions are the serial reference path: they run
@@ -87,7 +99,7 @@ func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error
 // partitioned across the runtime's workers; each partition sorts and
 // deduplicates locally and the sorted runs merge in partition order.
 func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
-	out := NewTable(c.FromNode, c.ToNode)
+	out := rt.newTable(c.FromNode, c.ToNode)
 	ws, err := db.Centers(c.FromLabel, c.ToLabel)
 	if err != nil {
 		return nil, err
@@ -95,7 +107,7 @@ func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error)
 	parts := rt.split(len(ws), centerGrain)
 	bufs := make([][]uint64, parts)
 	err = rt.runParts(ctx, len(ws), parts, func(ctx context.Context, part, lo, hi int) error {
-		cc := newCancelCheck(ctx)
+		cc := rt.check(ctx)
 		var pairs []uint64
 		for _, w := range ws[lo:hi] {
 			xs, err := db.GetF(w, c.FromLabel)
@@ -107,6 +119,15 @@ func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error)
 			}
 			ys, err := db.GetT(w, c.ToLabel)
 			if err != nil {
+				return err
+			}
+			// Pre-flight the center's cross product against the budget:
+			// a blow-up fails here, before the pairs are materialised,
+			// and cancels the sibling partitions.
+			if err := rt.budget.ChargeBytes(int64(len(xs)) * int64(len(ys)) * 8); err != nil {
+				return err
+			}
+			if err := rt.budget.CheckRows(len(pairs) + len(xs)*len(ys)); err != nil {
 				return err
 			}
 			if err := cc.tickN(len(xs) * len(ys)); err != nil {
@@ -125,12 +146,20 @@ func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error)
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range mergeUniqueU64(bufs) {
+	merged := mergeUniqueU64(bufs)
+	// The merge is globally sorted and duplicate-free, so under a pushed-
+	// down limit the prefix is already the final answer's prefix — rows
+	// beyond it are never built.
+	if rt.rowTarget > 0 && len(merged) > rt.rowTarget {
+		merged = merged[:rt.rowTarget]
+		rt.budget.MarkTruncated()
+	}
+	for _, k := range merged {
 		row := out.NewRow()
 		row[0], row[1] = pairNodes(k)
 		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return rt.finishOp(out)
 }
 
 // boundSide resolves which side of cond is bound in t. Exactly one side
@@ -205,8 +234,9 @@ func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds 
 	}
 	parts := rt.split(len(t.Rows), rowGrain)
 	kept := make([][][]graph.NodeID, parts)
+	limit := rt.rowTarget
 	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
-		cc := newCancelCheck(ctx)
+		cc := rt.check(ctx)
 		var rows [][]graph.NodeID
 		for _, row := range t.Rows[lo:hi] {
 			if err := cc.tick(); err != nil {
@@ -229,6 +259,13 @@ func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds 
 			}
 			if keep {
 				rows = append(rows, row)
+				// Pushed-down limit: limit+1 rows prove truncation, and
+				// each partition either completes its range or alone
+				// covers the whole limit — so the merged prefix equals
+				// the serial prefix at every worker degree.
+				if limit > 0 && len(rows) > limit {
+					break
+				}
 			}
 		}
 		kept[part] = rows
@@ -239,7 +276,7 @@ func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds 
 	}
 	out := NewTable(t.Cols...)
 	out.Rows = concatRows(kept)
-	return out, nil
+	return rt.finishOp(out)
 }
 
 // FilterGroup applies a group of R-semijoins that all read the same code
@@ -275,8 +312,9 @@ func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds 
 	}
 	parts := rt.split(len(t.Rows), rowGrain)
 	kept := make([][][]graph.NodeID, parts)
+	limit := rt.rowTarget
 	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
-		cc := newCancelCheck(ctx)
+		cc := rt.check(ctx)
 		var rows [][]graph.NodeID
 		for _, row := range t.Rows[lo:hi] {
 			if err := cc.tick(); err != nil {
@@ -301,6 +339,9 @@ func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds 
 			}
 			if keep {
 				rows = append(rows, row)
+				if limit > 0 && len(rows) > limit {
+					break
+				}
 			}
 		}
 		kept[part] = rows
@@ -311,7 +352,7 @@ func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds 
 	}
 	out := NewTable(t.Cols...)
 	out.Rows = concatRows(kept)
-	return out, nil
+	return rt.finishOp(out)
 }
 
 func side(out bool) string {
@@ -356,9 +397,10 @@ func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Ta
 	// — by the pool, matching the paper's per-row cost accounting.
 	parts := rt.split(len(t.Rows), rowGrain)
 	outs := make([]*Table, parts)
+	limit := rt.rowTarget
 	err = rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
-		cc := newCancelCheck(ctx)
-		out := NewTable(cols...)
+		cc := rt.check(ctx)
+		out := rt.newTable(cols...)
 		// targets/scratch are the partition's reusable union buffers: the
 		// row under expansion never keeps a reference into them (NewRow
 		// copies), so they recycle across rows.
@@ -402,6 +444,15 @@ func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Ta
 				nr[len(row)] = n
 				out.Rows = append(out.Rows, nr)
 			}
+			if err := rt.budget.CheckRows(len(out.Rows)); err != nil {
+				return err
+			}
+			// Pushed-down limit: stop after limit+1 rows (whole-row
+			// expansions keep the output a prefix of this range's serial
+			// output, so the merged prefix is degree-independent).
+			if limit > 0 && len(out.Rows) > limit {
+				break
+			}
 		}
 		outs[part] = out
 		return nil
@@ -413,7 +464,7 @@ func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Ta
 	for _, p := range outs {
 		out.Rows = append(out.Rows, p.Rows...)
 	}
-	return out, nil
+	return rt.finishOp(out)
 }
 
 // Selection processes a self R-join (Eq. 5): both pattern nodes of the
@@ -427,8 +478,9 @@ func (rt *Runtime) Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) 
 	}
 	parts := rt.split(len(t.Rows), rowGrain)
 	kept := make([][][]graph.NodeID, parts)
+	limit := rt.rowTarget
 	err := rt.runParts(ctx, len(t.Rows), parts, func(ctx context.Context, part, lo, hi int) error {
-		cc := newCancelCheck(ctx)
+		cc := rt.check(ctx)
 		var rows [][]graph.NodeID
 		for _, row := range t.Rows[lo:hi] {
 			if err := cc.tick(); err != nil {
@@ -440,6 +492,9 @@ func (rt *Runtime) Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) 
 			}
 			if ok {
 				rows = append(rows, row)
+				if limit > 0 && len(rows) > limit {
+					break
+				}
 			}
 		}
 		kept[part] = rows
@@ -450,7 +505,7 @@ func (rt *Runtime) Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) 
 	}
 	out := NewTable(t.Cols...)
 	out.Rows = concatRows(kept)
-	return out, nil
+	return rt.finishOp(out)
 }
 
 // concatRows flattens per-partition row buffers in partition order,

@@ -31,6 +31,15 @@ type Runtime struct {
 	workers int
 	centers *centerCache
 
+	// budget is the query's resource governor (nil = unbudgeted). Set it
+	// with SetBudget before the first operator runs.
+	budget *Budget
+	// rowTarget, when > 0, is a pushed-down result-row limit: the next
+	// operators stop producing once the limit is definitively exceeded and
+	// truncate their merged output to it (see PushLimit). The executor
+	// sets it only for a plan's final step.
+	rowTarget int
+
 	ops         atomic.Int64
 	parallelOps atomic.Int64
 	tasks       atomic.Int64
@@ -60,6 +69,53 @@ func (rt *Runtime) Workers() int {
 		return 1
 	}
 	return rt.workers
+}
+
+// SetBudget attaches a per-query resource budget to the runtime: operators
+// charge intermediate-row allocation to it and check it at their
+// cancellation polls and partition-merge points. Call it before the first
+// operator runs (it is not synchronised against in-flight operators).
+func (rt *Runtime) SetBudget(b *Budget) { rt.budget = b }
+
+// Budget returns the attached budget (nil when unbudgeted).
+func (rt *Runtime) Budget() *Budget { return rt.budget }
+
+// PushLimit sets a result-row limit for subsequent operator calls
+// (0 clears it). With a limit n, each partition of a row-order-preserving
+// operator stops after producing n+1 rows and the merged output truncates
+// to n — so the first n rows are exactly the unlimited run's prefix at
+// every worker degree, rows beyond the limit are never materialised, and
+// the truncation is marked on the runtime's budget only when rows were
+// really dropped. HPSJ (which sorts its output globally) materialises its
+// pairs and truncates after the merge. The executor calls this only for a
+// plan's final operator; like SetBudget it must not race an in-flight
+// operator.
+func (rt *Runtime) PushLimit(n int) { rt.rowTarget = n }
+
+// newTable is NewTable with the runtime's budget attached, so rows carved
+// from the table's arena are charged to the query.
+func (rt *Runtime) newTable(cols ...int) *Table {
+	t := NewTable(cols...)
+	t.budget = rt.budget
+	return t
+}
+
+// finishOp is the partition-merge checkpoint every operator returns
+// through: it applies the pushed-down row limit to the merged output and
+// validates the merged table against the budget's row and byte caps.
+func (rt *Runtime) finishOp(t *Table) (*Table, error) {
+	if rt.rowTarget > 0 && len(t.Rows) > rt.rowTarget {
+		t.Rows = t.Rows[:rt.rowTarget]
+		rt.budget.MarkTruncated()
+	}
+	rt.budget.NoteRows(len(t.Rows))
+	if err := rt.budget.CheckRows(len(t.Rows)); err != nil {
+		return nil, err
+	}
+	if err := rt.budget.CheckBytes(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // RuntimeStats are cumulative counters of one Runtime's activity.

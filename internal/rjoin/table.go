@@ -37,10 +37,19 @@ type Table struct {
 	// bulk row production (Fetch, HPSJ) allocates one chunk per
 	// arenaChunkRows rows instead of one slice per row.
 	arena []graph.NodeID
+
+	// budget, when non-nil, is charged for every row carved from the
+	// arena; the query's operators check it at their cancellation polls
+	// and partition-merge points. Runtime.newTable attaches it.
+	budget *Budget
 }
 
 // arenaChunkRows is how many rows one arena chunk holds.
 const arenaChunkRows = 1024
+
+// nodeIDBytes is the in-memory size of one graph.NodeID (int32), used for
+// intermediate-byte accounting.
+const nodeIDBytes = 4
 
 // NewRow returns a fresh zeroed row of len(Cols) carved from the table's
 // append-only arena. The row is NOT added to Rows — fill it and append it.
@@ -51,6 +60,9 @@ func (t *Table) NewRow() []graph.NodeID {
 	w := len(t.Cols)
 	if w == 0 {
 		return nil
+	}
+	if t.budget != nil {
+		t.budget.AddBytes(int64(w) * nodeIDBytes)
 	}
 	if cap(t.arena)-len(t.arena) < w {
 		t.arena = make([]graph.NodeID, 0, arenaChunkRows*w)

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/rjoin"
+)
+
+// TestStatusFor: client faults map to 4xx, budget kills to 422, and —
+// the bug this PR fixes — anything unclassified is a server fault (500),
+// not a blanket 400.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrOverloaded, http.StatusTooManyRequests},
+		{fmt.Errorf("wrapped: %w", ErrOverloaded), http.StatusTooManyRequests},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, 499},
+		{gdb.ErrClosed, http.StatusServiceUnavailable},
+		{badQuery(errors.New("no such label")), http.StatusBadRequest},
+		{rjoin.ErrRowLimit, http.StatusUnprocessableEntity},
+		{rjoin.ErrBudgetExceeded, http.StatusUnprocessableEntity},
+		{fmt.Errorf("exec: step 2 (Fetch): %w", rjoin.ErrRowLimit), http.StatusUnprocessableEntity},
+		// Internal faults must NOT leak out as client errors.
+		{errors.New("storage: page checksum mismatch"), http.StatusInternalServerError},
+		{io.ErrUnexpectedEOF, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRequestBodyLimits: oversized bodies answer 413 and bodies with
+// unknown fields 400, both before any planning or execution.
+func TestRequestBodyLimits(t *testing.T) {
+	s := testServer(t, Config{MaxRequestBytes: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	big := `{"pattern": "A->B", "algorithm": "` + strings.Repeat("x", 256) + `"}`
+	if got := post(big); got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", got)
+	}
+	if got := post(`{"pattern": "A->B", "bogus_field": 1}`); got != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", got)
+	}
+	if got := post(`{"pattern": "A->B", "limit": -1}`); got != http.StatusBadRequest {
+		t.Fatalf("negative limit: %d, want 400", got)
+	}
+	if got := post(`{"pattern": "A->B", "limit": 2}`); got != http.StatusOK {
+		t.Fatalf("healthy query: %d, want 200", got)
+	}
+	if s.Stats().Queries != 1 {
+		t.Fatalf("rejected bodies reached execution: %+v", s.Stats())
+	}
+}
+
+// TestPlanSingleflight: concurrent misses for the same pattern run DP/DPS
+// once; the rest coalesce onto the leader's in-flight planning.
+func TestPlanSingleflight(t *testing.T) {
+	const waiters = 8
+	s := testServer(t, Config{MaxInFlight: waiters + 1})
+
+	// The hook parks the planning leader until every other goroutine has
+	// had time to reach the flight map, making the race deterministic.
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	s.planBuildHook = func() {
+		close(leaderIn)
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[waiters] = s.Query(context.Background(), "A->B; B->C", "")
+	}()
+	<-leaderIn
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Query(context.Background(), "A->B; B->C", "")
+		}(i)
+	}
+	// Let every waiter either coalesce or (losing a tiny race with the
+	// leader's registration) miss the flight map; then free the leader.
+	for s.met.planCoalesced.Load() < waiters {
+		if s.met.planMisses.Load() > 1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.PlanCacheMisses != 1 {
+		t.Fatalf("plan built %d times, want 1 (coalesced=%d hits=%d)",
+			st.PlanCacheMisses, st.PlanCoalesced, st.PlanCacheHits)
+	}
+	if st.PlanCoalesced != waiters {
+		t.Fatalf("coalesced %d, want %d", st.PlanCoalesced, waiters)
+	}
+}
+
+// TestPlanSingleflightError: a failed build is shared with coalesced
+// waiters and never cached, and classifies as a client fault.
+func TestPlanSingleflightError(t *testing.T) {
+	s := testServer(t, Config{})
+	_, err := s.Query(context.Background(), "A->Z; Z->B", "")
+	if !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("unknown label: %v, want ErrBadQuery", err)
+	}
+	if statusFor(err) != http.StatusBadRequest {
+		t.Fatalf("unknown label status %d, want 400", statusFor(err))
+	}
+	if n := s.plans.len(); n != 0 {
+		t.Fatalf("failed plan cached: %d entries", n)
+	}
+}
+
+// TestPlanCacheZeroCapacity: newPlanCache treats zero capacity as disabled
+// (Config maps 0 to the 256 default before it gets here, so only an
+// explicit negative — or a direct zero — disables).
+func TestPlanCacheZeroCapacity(t *testing.T) {
+	c := newPlanCache(0)
+	c.put("k", nil)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0", c.len())
+	}
+	if cfg := (Config{}).withDefaults(); cfg.PlanCacheSize != 256 {
+		t.Fatalf("Config zero PlanCacheSize → %d, want 256", cfg.PlanCacheSize)
+	}
+	if cfg := (Config{PlanCacheSize: -1}).withDefaults(); cfg.PlanCacheSize != -1 {
+		t.Fatalf("Config negative PlanCacheSize → %d, want -1 (disabled)", cfg.PlanCacheSize)
+	}
+}
+
+// TestBudgetEndToEnd is the PR's acceptance test: a pattern whose full
+// result exceeds the row budget comes back Truncated without the full
+// table ever materialising, a table-row cap kills the query with 422, and
+// /stats exposes the governor counters.
+func TestBudgetEndToEnd(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, QueryResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var qr QueryResponse
+		json.Unmarshal(raw, &qr)
+		return resp.StatusCode, qr
+	}
+
+	// Reference: the full result, to size the budgets below.
+	code, full := post(`{"pattern": "A->B; B->C"}`)
+	if code != http.StatusOK || full.Truncated || full.RowCount < 3 {
+		t.Fatalf("full query: %d %+v", code, full)
+	}
+
+	// Row-limit pushdown: the truncated result is the full run's prefix.
+	code, cut := post(`{"pattern": "A->B; B->C", "limit": 2}`)
+	if code != http.StatusOK || !cut.Truncated || cut.RowCount != 2 {
+		t.Fatalf("limited query: %d %+v", code, cut)
+	}
+	for i, row := range cut.Rows {
+		if fmt.Sprint(row) != fmt.Sprint(full.Rows[i]) {
+			t.Fatalf("row %d: %v != full prefix %v", i, row, full.Rows[i])
+		}
+	}
+	// A limit the result fits inside must not set Truncated.
+	code, all := post(fmt.Sprintf(`{"pattern": "A->B; B->C", "limit": %d}`, full.RowCount))
+	if code != http.StatusOK || all.Truncated || all.RowCount != full.RowCount {
+		t.Fatalf("fitting limit: %d %+v", code, all)
+	}
+
+	st := s.Stats()
+	if st.TruncatedQueries != 1 {
+		t.Fatalf("truncated_queries = %d, want 1", st.TruncatedQueries)
+	}
+	if st.IntermediateBytes <= 0 || st.PeakIntermediateBytes <= 0 || st.PeakIntermediateRows < int64(full.RowCount) {
+		t.Fatalf("governor accounting missing from stats: %+v", st)
+	}
+	if st.BudgetKills != 0 {
+		t.Fatalf("budget_kills = %d before any kill", st.BudgetKills)
+	}
+
+	// The truncated run materialised strictly less than the full run:
+	// two fresh servers over the same (deterministic) graph, one serving
+	// only the limited query, compared on the /stats high-water marks.
+	sFull, sCut := testServer(t, Config{}), testServer(t, Config{})
+	if _, err := sFull.Query(context.Background(), "A->B; B->C", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sCut.QueryOpts(context.Background(), "A->B; B->C", "", QueryOptions{Limit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fullPeak, cutPeak := sFull.Stats(), sCut.Stats()
+	if cutPeak.PeakIntermediateRows >= fullPeak.PeakIntermediateRows {
+		t.Fatalf("pushdown did not cut materialisation: peak rows %d (limit 2) vs %d (full)",
+			cutPeak.PeakIntermediateRows, fullPeak.PeakIntermediateRows)
+	}
+	if cutPeak.PeakIntermediateBytes >= fullPeak.PeakIntermediateBytes {
+		t.Fatalf("pushdown did not cut allocation: peak bytes %d (limit 2) vs %d (full)",
+			cutPeak.PeakIntermediateBytes, fullPeak.PeakIntermediateBytes)
+	}
+
+	// A server whose table-row budget is below the query's needs kills it
+	// with 422 and counts the kill.
+	tight := testServer(t, Config{MaxTableRows: 1})
+	tts := httptest.NewServer(tight.Handler())
+	defer tts.Close()
+	resp, err := http.Post(tts.URL+"/query", "application/json",
+		bytes.NewReader([]byte(`{"pattern": "A->B; B->C"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("budget kill: %d %s, want 422", resp.StatusCode, raw)
+	}
+	if ks := tight.Stats().BudgetKills; ks != 1 {
+		t.Fatalf("budget_kills = %d, want 1", ks)
+	}
+
+	// Same for the byte budget, through the library API.
+	tightB := testServer(t, Config{MaxIntermediateBytes: 8})
+	_, err = tightB.Query(context.Background(), "A->B; B->C", "")
+	if !errors.Is(err, rjoin.ErrBudgetExceeded) {
+		t.Fatalf("byte budget: %v, want ErrBudgetExceeded", err)
+	}
+	if ks := tightB.Stats().BudgetKills; ks != 1 {
+		t.Fatalf("byte budget_kills = %d, want 1", ks)
+	}
+}

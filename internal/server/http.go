@@ -9,6 +9,7 @@ import (
 
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
+	"fastmatch/internal/rjoin"
 )
 
 // QueryRequest is the JSON body of POST /query.
@@ -19,8 +20,9 @@ type QueryRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// TimeoutMS bounds the query's server-side execution in milliseconds.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// Limit truncates the returned rows (0 = all). The full result is still
-	// computed; Truncated reports whether rows were dropped.
+	// Limit truncates the returned rows (0 = all). The limit is pushed
+	// into plan execution — rows beyond it are never materialised;
+	// Truncated reports whether rows were dropped.
 	Limit int `json:"limit,omitempty"`
 }
 
@@ -45,7 +47,10 @@ type errorResponse struct {
 //	GET  /healthz — liveness ("ok", 503 once the database is closed)
 //
 // Admission-control rejections map to 429 with a Retry-After header,
-// per-request deadline expiry to 504, and a closed database to 503.
+// per-request deadline expiry to 504, resource-budget kills to 422, a
+// closed database to 503, and oversized request bodies to 413. Malformed
+// requests and unanswerable patterns are 400; anything unclassified is a
+// server fault and answers 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -55,13 +60,28 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Bound and strictly decode the body before any work happens: an
+	// oversized or garbage payload must not balloon memory ahead of
+	// admission control.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Pattern == "" {
 		writeError(w, http.StatusBadRequest, errors.New("missing \"pattern\""))
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("negative \"limit\""))
 		return
 	}
 	ctx := r.Context()
@@ -70,7 +90,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := s.Query(ctx, req.Pattern, req.Algorithm)
+	res, err := s.QueryOpts(ctx, req.Pattern, req.Algorithm, QueryOptions{Limit: req.Limit})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -79,12 +99,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cols:       res.Cols,
 		Rows:       res.Rows,
 		RowCount:   len(res.Rows),
+		Truncated:  res.Truncated,
 		PlanCached: res.PlanCached,
 		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
-	}
-	if req.Limit > 0 && len(resp.Rows) > req.Limit {
-		resp.Rows = resp.Rows[:req.Limit]
-		resp.Truncated = true
 	}
 	if resp.Rows == nil {
 		resp.Rows = [][]graph.NodeID{}
@@ -105,9 +122,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-// statusFor maps query errors to HTTP status codes. Pattern parse and
-// planning errors are client errors; overload is 429 so well-behaved
-// clients back off and retry.
+// statusFor maps query errors to HTTP status codes. Only errors the client
+// caused classify as 4xx: malformed/unanswerable queries (ErrBadQuery),
+// overload (429, so well-behaved clients back off and retry), deadline and
+// cancellation, and resource-budget kills (422). Everything unrecognised —
+// storage I/O failures, executor invariants — is a server fault: 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -118,8 +137,12 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, gdb.ErrClosed):
 		return http.StatusServiceUnavailable
-	default:
+	case errors.Is(err, rjoin.ErrRowLimit), errors.Is(err, rjoin.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrBadQuery):
 		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

@@ -21,14 +21,22 @@ const latencyBuckets = 64
 // metrics aggregates per-server counters with atomics so the query hot
 // path never takes a lock.
 type metrics struct {
-	queries    atomic.Int64 // completed successfully
-	errs       atomic.Int64 // failed for any reason
-	rejected   atomic.Int64 // failed with ErrOverloaded
-	deadline   atomic.Int64 // failed with context deadline/cancellation
-	queued     atomic.Int64 // waited for an execution slot
-	planHits   atomic.Int64
-	planMisses atomic.Int64
-	rows       atomic.Int64
+	queries       atomic.Int64 // completed successfully
+	errs          atomic.Int64 // failed for any reason
+	rejected      atomic.Int64 // failed with ErrOverloaded
+	deadline      atomic.Int64 // failed with context deadline/cancellation
+	budgetKills   atomic.Int64 // failed with ErrRowLimit/ErrBudgetExceeded
+	queued        atomic.Int64 // waited for an execution slot
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	planCoalesced atomic.Int64 // misses that waited on another's planning
+	rows          atomic.Int64
+
+	// Per-query resource-budget accounting (see rjoin.Budget).
+	truncated   atomic.Int64 // queries whose result was cut at the limit
+	imBytes     atomic.Int64 // cumulative intermediate bytes
+	peakImBytes atomic.Int64 // high-water intermediate bytes of one query
+	peakImRows  atomic.Int64 // high-water intermediate table rows
 
 	// Intra-query operator parallelism (aggregated rjoin.RuntimeStats).
 	operatorOps   atomic.Int64 // operator executions
@@ -65,8 +73,33 @@ func (m *metrics) recordError(err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		m.rejected.Add(1)
+	case errors.Is(err, rjoin.ErrRowLimit), errors.Is(err, rjoin.ErrBudgetExceeded):
+		m.budgetKills.Add(1)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		m.deadline.Add(1)
+	}
+}
+
+// recordBudget folds one query's budget accounting (successful or killed)
+// into the server-wide counters.
+func (m *metrics) recordBudget(b *rjoin.Budget) {
+	if b == nil {
+		return
+	}
+	if b.Truncated() {
+		m.truncated.Add(1)
+	}
+	m.imBytes.Add(b.Bytes())
+	atomicMax(&m.peakImBytes, b.Bytes())
+	atomicMax(&m.peakImRows, b.PeakRows())
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -112,15 +145,29 @@ type Stats struct {
 	Rejections int64 `json:"rejections"`
 	// Deadline counts queries abandoned on context deadline/cancellation.
 	Deadline int64 `json:"deadline"`
+	// BudgetKills counts queries killed by their resource budget (typed
+	// rjoin.ErrRowLimit / rjoin.ErrBudgetExceeded → HTTP 422).
+	BudgetKills int64 `json:"budget_kills"`
+	// TruncatedQueries counts results cut at a pushed-down row limit.
+	TruncatedQueries int64 `json:"truncated_queries"`
+	// IntermediateBytes is the cumulative intermediate-result allocation
+	// across queries; PeakIntermediateBytes/Rows are the largest a single
+	// query charged (high-water marks, including killed queries).
+	IntermediateBytes     int64 `json:"intermediate_bytes"`
+	PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
+	PeakIntermediateRows  int64 `json:"peak_intermediate_rows"`
 	// Queued counts queries that had to wait for an execution slot.
 	Queued int64 `json:"queued"`
 	// InFlight is the number of queries executing right now.
 	InFlight int `json:"in_flight"`
 	// MaxInFlight is the configured concurrency limit.
 	MaxInFlight int `json:"max_in_flight"`
-	// PlanCacheHits/Misses/Size describe the plan cache.
+	// PlanCacheHits/Misses/Size describe the plan cache; PlanCoalesced
+	// counts misses that waited on another request's in-flight planning
+	// instead of running DP/DPS themselves (single-flight).
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCoalesced   int64 `json:"plan_coalesced"`
 	PlanCacheSize   int   `json:"plan_cache_size"`
 	// RowsReturned is the total result rows across completed queries.
 	RowsReturned int64 `json:"rows_returned"`
@@ -155,24 +202,30 @@ type Stats struct {
 // counter is read atomically; the set is not cut at one instant).
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries:             s.met.queries.Load(),
-		Errors:              s.met.errs.Load(),
-		Rejections:          s.met.rejected.Load(),
-		Deadline:            s.met.deadline.Load(),
-		Queued:              s.met.queued.Load(),
-		InFlight:            s.InFlight(),
-		MaxInFlight:         s.cfg.MaxInFlight,
-		PlanCacheHits:       s.met.planHits.Load(),
-		PlanCacheMisses:     s.met.planMisses.Load(),
-		PlanCacheSize:       s.plans.len(),
-		RowsReturned:        s.met.rows.Load(),
-		QueryParallelism:    s.cfg.QueryParallelism,
-		OperatorOps:         s.met.operatorOps.Load(),
-		OperatorParallelOps: s.met.parallelOps.Load(),
-		OperatorTasks:       s.met.operatorTasks.Load(),
-		CenterCacheHits:     s.met.centerHits.Load(),
-		CenterCacheMisses:   s.met.centerMisses.Load(),
-		UptimeSeconds:       time.Since(s.start).Seconds(),
+		Queries:               s.met.queries.Load(),
+		Errors:                s.met.errs.Load(),
+		Rejections:            s.met.rejected.Load(),
+		Deadline:              s.met.deadline.Load(),
+		BudgetKills:           s.met.budgetKills.Load(),
+		TruncatedQueries:      s.met.truncated.Load(),
+		IntermediateBytes:     s.met.imBytes.Load(),
+		PeakIntermediateBytes: s.met.peakImBytes.Load(),
+		PeakIntermediateRows:  s.met.peakImRows.Load(),
+		Queued:                s.met.queued.Load(),
+		InFlight:              s.InFlight(),
+		MaxInFlight:           s.cfg.MaxInFlight,
+		PlanCacheHits:         s.met.planHits.Load(),
+		PlanCacheMisses:       s.met.planMisses.Load(),
+		PlanCoalesced:         s.met.planCoalesced.Load(),
+		PlanCacheSize:         s.plans.len(),
+		RowsReturned:          s.met.rows.Load(),
+		QueryParallelism:      s.cfg.QueryParallelism,
+		OperatorOps:           s.met.operatorOps.Load(),
+		OperatorParallelOps:   s.met.parallelOps.Load(),
+		OperatorTasks:         s.met.operatorTasks.Load(),
+		CenterCacheHits:       s.met.centerHits.Load(),
+		CenterCacheMisses:     s.met.centerMisses.Load(),
+		UptimeSeconds:         time.Since(s.start).Seconds(),
 	}
 	if st.OperatorOps > 0 {
 		degree := s.cfg.QueryParallelism

@@ -23,8 +23,10 @@ type planCacheEntry struct {
 	plan *optimizer.Plan
 }
 
-// newPlanCache returns a cache bounded to capacity entries; capacity < 0
-// disables caching (every get misses).
+// newPlanCache returns a cache bounded to capacity entries; capacity <= 0
+// disables caching (every get misses). Note the distinction from
+// Config.PlanCacheSize, where 0 means "use the default size" — only an
+// explicitly negative Config value reaches here as disabled.
 func newPlanCache(capacity int) *planCache {
 	c := &planCache{cap: capacity}
 	if capacity > 0 {

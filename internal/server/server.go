@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"fastmatch/internal/exec"
@@ -43,6 +44,18 @@ func (e *OverloadError) Error() string {
 // Is makes errors.Is(err, ErrOverloaded) true for *OverloadError.
 func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
+// ErrBadQuery marks client faults — pattern parse, algorithm, bind, and
+// plan errors. The HTTP layer maps it to 400; everything not explicitly
+// classified (storage I/O, executor invariants) is a server fault and maps
+// to 500. Match with errors.Is.
+var ErrBadQuery = errors.New("server: invalid query")
+
+// badQuery wraps a parse/bind/plan error so it classifies as a client
+// fault while keeping the original message.
+func badQuery(err error) error {
+	return fmt.Errorf("%w: %v", ErrBadQuery, err)
+}
+
 // Config tunes a Server. The zero value selects sensible defaults.
 type Config struct {
 	// MaxInFlight caps concurrently executing queries (default 8).
@@ -64,6 +77,16 @@ type Config struct {
 	// goroutines (<= 0 selects GOMAXPROCS; 1 is the serial path). Total
 	// operator goroutines are bounded by MaxInFlight × QueryParallelism.
 	QueryParallelism int
+	// MaxTableRows, when > 0, caps any intermediate temporal table's rows
+	// per query; exceeding it fails the query with rjoin.ErrRowLimit
+	// (HTTP 422) and cancels its sibling partitions.
+	MaxTableRows int
+	// MaxIntermediateBytes, when > 0, caps the cumulative bytes of
+	// intermediate rows one query may allocate; exceeding it fails the
+	// query with rjoin.ErrBudgetExceeded (HTTP 422).
+	MaxIntermediateBytes int64
+	// MaxRequestBytes bounds the /query request body (default 1 MB).
+	MaxRequestBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 256
 	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
 	return c
 }
 
@@ -84,10 +110,28 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	Cols []string
 	Rows [][]graph.NodeID
-	// PlanCached reports whether planning was skipped via the plan cache.
+	// PlanCached reports whether planning was skipped via the plan cache
+	// (or coalesced onto another request's in-flight planning).
 	PlanCached bool
+	// Truncated reports that Rows was cut at the request's row limit; the
+	// rows beyond it were never materialised.
+	Truncated bool
+	// IntermediateBytes is the intermediate-result allocation the query
+	// charged against its budget; PeakRows the largest temporal table it
+	// held.
+	IntermediateBytes int64
+	PeakRows          int64
 	// Elapsed is the server-side latency (queueing + planning + execution).
 	Elapsed time.Duration
+}
+
+// QueryOptions carries per-request execution options.
+type QueryOptions struct {
+	// Limit, when > 0, caps the result rows. The limit is pushed into plan
+	// execution: the final operator stops early and the full result table
+	// is never materialised; Result.Truncated reports whether rows were
+	// dropped.
+	Limit int
 }
 
 // Server executes pattern queries against one database with bounded
@@ -99,6 +143,23 @@ type Server struct {
 	plans *planCache
 	met   metrics
 	start time.Time
+
+	// flight coalesces concurrent plan-cache misses on one canonical key:
+	// one goroutine plans, the rest wait for its result (single-flight).
+	flightMu sync.Mutex
+	flight   map[string]*planCall
+	// planBuildHook, when non-nil, runs on the planning goroutine after it
+	// claims the flight slot and before it builds — a test seam for
+	// forcing misses to overlap.
+	planBuildHook func()
+}
+
+// planCall is one in-flight planning computation; done closes once plan
+// and err are set.
+type planCall struct {
+	done chan struct{}
+	plan *optimizer.Plan
+	err  error
 }
 
 // New wraps db in a query server. The db must not be written to while the
@@ -106,11 +167,12 @@ type Server struct {
 func New(db *gdb.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		db:    db,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		plans: newPlanCache(cfg.PlanCacheSize),
-		start: time.Now(),
+		db:     db,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		plans:  newPlanCache(cfg.PlanCacheSize),
+		flight: make(map[string]*planCall),
+		start:  time.Now(),
 	}
 }
 
@@ -123,17 +185,23 @@ func (s *Server) Config() Config { return s.cfg }
 // Query parses and evaluates a pattern. algo is a planner name ("dp",
 // "dps", "dps-merged"); empty selects the configured default.
 func (s *Server) Query(ctx context.Context, patternText, algo string) (*Result, error) {
+	return s.QueryOpts(ctx, patternText, algo, QueryOptions{})
+}
+
+// QueryOpts is Query with per-request options (e.g. a pushed-down row
+// limit).
+func (s *Server) QueryOpts(ctx context.Context, patternText, algo string, opts QueryOptions) (*Result, error) {
 	p, err := pattern.Parse(patternText)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	a := s.cfg.DefaultAlgorithm
 	if algo != "" {
 		if a, err = exec.ParseAlgorithm(algo); err != nil {
-			return nil, err
+			return nil, badQuery(err)
 		}
 	}
-	return s.QueryPattern(ctx, p, a)
+	return s.QueryPatternOpts(ctx, p, a, opts)
 }
 
 // QueryPattern evaluates a parsed pattern under admission control: the
@@ -141,6 +209,14 @@ func (s *Server) Query(ctx context.Context, patternText, algo string) (*Result, 
 // cancellation mid-join, and is rejected with ErrOverloaded when the
 // server stays at MaxInFlight past the queue timeout.
 func (s *Server) QueryPattern(ctx context.Context, p *pattern.Pattern, algo exec.Algorithm) (*Result, error) {
+	return s.QueryPatternOpts(ctx, p, algo, QueryOptions{})
+}
+
+// QueryPatternOpts is QueryPattern with per-request options. The query
+// runs under a resource budget combining the request's row limit with the
+// server's intermediate-table caps; budget kills surface as the typed
+// rjoin.ErrRowLimit / rjoin.ErrBudgetExceeded.
+func (s *Server) QueryPatternOpts(ctx context.Context, p *pattern.Pattern, algo exec.Algorithm, opts QueryOptions) (*Result, error) {
 	if s.db.Closed() {
 		return nil, gdb.ErrClosed
 	}
@@ -158,16 +234,23 @@ func (s *Server) QueryPattern(ctx context.Context, p *pattern.Pattern, algo exec
 	}
 	defer func() { <-s.sem }()
 
-	plan, cached, err := s.plan(p, algo)
+	plan, cached, err := s.plan(ctx, p, algo)
 	if err != nil {
 		s.met.recordError(err)
 		return nil, err
 	}
 	// One operator runtime per query: the worker-pool degree plus the
-	// per-query center cache, whose counters feed the server metrics.
+	// per-query center cache, whose counters feed the server metrics; the
+	// budget governs what the query may materialise.
 	rt := rjoin.NewRuntime(s.cfg.QueryParallelism)
-	t, err := exec.RunContextConfig(ctx, s.db, plan, exec.RunConfig{Runtime: rt})
+	bdg := &rjoin.Budget{
+		ResultRows:   opts.Limit,
+		MaxTableRows: s.cfg.MaxTableRows,
+		MaxBytes:     s.cfg.MaxIntermediateBytes,
+	}
+	t, err := exec.RunContextConfig(ctx, s.db, plan, exec.RunConfig{Runtime: rt, Budget: bdg})
 	s.met.recordRuntime(rt.Stats())
+	s.met.recordBudget(bdg)
 	if err != nil {
 		s.met.recordError(err)
 		return nil, err
@@ -178,10 +261,13 @@ func (s *Server) QueryPattern(ctx context.Context, p *pattern.Pattern, algo exec
 	// been planned for an equivalent pattern whose nodes were declared in
 	// a different order.
 	return &Result{
-		Cols:       append([]string(nil), plan.Binding.Pattern.Nodes...),
-		Rows:       t.Rows,
-		PlanCached: cached,
-		Elapsed:    elapsed,
+		Cols:              append([]string(nil), plan.Binding.Pattern.Nodes...),
+		Rows:              t.Rows,
+		PlanCached:        cached,
+		Truncated:         bdg.Truncated(),
+		IntermediateBytes: bdg.Bytes(),
+		PeakRows:          bdg.PeakRows(),
+		Elapsed:           elapsed,
 	}, nil
 }
 
@@ -209,20 +295,55 @@ func (s *Server) acquire(ctx context.Context) error {
 
 // plan returns the execution plan for (p, algo), consulting the LRU plan
 // cache keyed by the pattern's canonical form so repeated patterns skip
-// DP/DPS planning entirely.
-func (s *Server) plan(p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
+// DP/DPS planning entirely. Concurrent misses on the same key coalesce:
+// exactly one goroutine runs the exponential DP/DPS search and the others
+// share its result (or its error) instead of racing N identical planners.
+func (s *Server) plan(ctx context.Context, p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
 	key := algo.String() + "|" + p.Canonical()
 	if e, ok := s.plans.get(key); ok {
 		s.met.planHits.Add(1)
 		return e, true, nil
 	}
-	s.met.planMisses.Add(1)
-	built, err := exec.BuildPlan(s.db, p, algo)
-	if err != nil {
-		return nil, false, err
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		s.met.planCoalesced.Add(1)
+		select {
+		case <-c.done:
+			// The waiter skipped planning, same as a cache hit.
+			return c.plan, true, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
-	s.plans.put(key, built)
-	return built, false, nil
+	// Re-check the cache under the flight lock: a previous leader may have
+	// filled it between our miss and claiming the slot.
+	if e, ok := s.plans.get(key); ok {
+		s.flightMu.Unlock()
+		s.met.planHits.Add(1)
+		return e, true, nil
+	}
+	c := &planCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+
+	s.met.planMisses.Add(1)
+	if s.planBuildHook != nil {
+		s.planBuildHook()
+	}
+	c.plan, c.err = exec.BuildPlan(s.db, p, algo)
+	if c.err != nil {
+		// Bind/plan failures are malformed or unanswerable queries —
+		// client faults, and shared verbatim with coalesced waiters.
+		c.err = badQuery(c.err)
+	} else {
+		s.plans.put(key, c.plan)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.plan, false, c.err
 }
 
 // InFlight reports the number of queries currently executing.
