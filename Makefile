@@ -28,6 +28,7 @@ verify:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/fgmbench -exp rjoin -out BENCH_rjoin.json
+	$(GO) run ./cmd/fgmbench -exp build -out BENCH_build.json
 
 # bench-baseline records the kernel benchmarks (10 runs, for benchstat
 # confidence intervals) into $(BENCH_BASE); run it on the commit you want

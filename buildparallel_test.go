@@ -1,0 +1,66 @@
+package fastmatch_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fastmatch"
+	"fastmatch/internal/xmark"
+)
+
+// TestBuildParallelismQueryEquivalence is the end-to-end acceptance check
+// for the parallel build pipeline: engines built at BuildParallelism 1, 2,
+// and GOMAXPROCS answer a battery of pattern queries with byte-identical
+// results (same rows, same order after the deterministic sort both
+// algorithms apply). Run under -race by `make verify`.
+func TestBuildParallelismQueryEquivalence(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Nodes: 4000, Seed: 5})
+	queries := []string{
+		"site->regions; regions->item",
+		"open_auction->bidder; bidder->personref",
+		"item->name; item->incategory; incategory->category",
+		"open_auction->item; closed_auction->item; item->category",
+	}
+	degrees := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		degrees = append(degrees, p)
+	}
+
+	type key struct {
+		q    string
+		algo fastmatch.Algorithm
+	}
+	var ref map[key][][]fastmatch.NodeID
+	for _, workers := range degrees {
+		eng, err := fastmatch.NewEngine(d.Graph, fastmatch.Options{BuildParallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[key][][]fastmatch.NodeID)
+		for _, q := range queries {
+			p, err := fastmatch.ParsePattern(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range []fastmatch.Algorithm{fastmatch.DP, fastmatch.DPS} {
+				res, err := eng.QueryPattern(p, algo)
+				if err != nil {
+					t.Fatalf("workers=%d %q: %v", workers, q, err)
+				}
+				got[key{q, algo}] = res.Rows
+			}
+		}
+		eng.Close()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for k, rows := range got {
+			if !reflect.DeepEqual(ref[k], rows) {
+				t.Errorf("workers=%d: query %q (%v) returned %d rows differing from serial build's %d",
+					workers, k.q, k.algo, len(rows), len(ref[k]))
+			}
+		}
+	}
+}

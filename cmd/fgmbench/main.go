@@ -24,7 +24,7 @@ var experimentIDs = []string{
 	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b", "fig7c", "iocost",
 	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
-	"rjoin",
+	"rjoin", "build",
 }
 
 func main() {
@@ -34,7 +34,8 @@ func main() {
 		seed = flag.Int64("seed", 1, "data generation seed")
 		reps = flag.Int("reps", 2, "timed repetitions per query (minimum reported)")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
-		out  = flag.String("out", "BENCH_rjoin.json", "machine-readable output path for -exp rjoin")
+		out  = flag.String("out", "", "machine-readable output path for -exp rjoin / build (default BENCH_<exp>.json)")
+		bp   = flag.Int("build-parallelism", 0, "workers for experiment database builds (0/1 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *list {
@@ -45,6 +46,7 @@ func main() {
 	}
 	r := bench.NewRunner(*mult, *seed)
 	r.Reps = *reps
+	r.BuildParallelism = *bp
 	defer r.Close()
 
 	if *exp == "ablations" {
@@ -69,25 +71,43 @@ func main() {
 		}
 		return
 	}
-	if *exp == "rjoin" {
-		// The operator micros also emit a machine-readable file so
-		// bench-compare and CI can diff runs without parsing the table.
-		rep, results, err := r.RJoinMicro()
+	if *exp == "rjoin" || *exp == "build" {
+		// These micros also emit a machine-readable file so bench-compare
+		// and CI can diff runs without parsing the table.
+		var (
+			rep     *bench.Report
+			results any
+			n       int
+			err     error
+		)
+		if *exp == "rjoin" {
+			var rows []bench.RJoinResult
+			rep, rows, err = r.RJoinMicro()
+			results, n = rows, len(rows)
+		} else {
+			var rows []bench.BuildResult
+			rep, rows, err = r.BuildMicro()
+			results, n = rows, len(rows)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
 			os.Exit(1)
 		}
 		rep.Print(os.Stdout)
+		path := *out
+		if path == "" {
+			path = "BENCH_" + *exp + ".json"
+		}
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d rows)\n", *out, len(results))
+		fmt.Printf("wrote %s (%d rows)\n", path, n)
 		return
 	}
 	rep, err := r.ByID(*exp)

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/twohop"
 	"fastmatch/internal/xmark"
 )
 
@@ -26,6 +28,8 @@ func main() {
 		seed   = flag.Int64("seed", 0, "generator seed")
 		dag    = flag.Bool("dag", false, "generate an acyclic graph (references point to later documents)")
 		out    = flag.String("out", "", "output file (default stdout)")
+		stats  = flag.Bool("cover-stats", false, "also compute the 2-hop cover and print its statistics to stderr")
+		par    = flag.Int("build-parallelism", 0, "cover-computation workers for -cover-stats (0/1 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if (*nodes <= 0) == (*factor <= 0) {
@@ -54,4 +58,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "fgmgen: %d docs, %d nodes, %d edges, %d labels\n",
 		d.Docs, d.Graph.NumNodes(), d.Graph.NumEdges(), d.Graph.Labels().Len())
+	if *stats {
+		start := time.Now()
+		cover := twohop.Compute(d.Graph, twohop.Options{Parallelism: *par})
+		fmt.Fprintf(os.Stderr, "fgmgen: %v (computed in %s, %d workers)\n",
+			cover.Stats(), time.Since(start).Round(time.Millisecond), *par)
+	}
 }

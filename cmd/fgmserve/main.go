@@ -54,6 +54,7 @@ func run() error {
 		maxTableRows = flag.Int("max-table-rows", 0, "per-query intermediate-table row budget (0 = unbounded; exceeding answers 422)")
 		maxIMBytes   = flag.Int64("max-intermediate-bytes", 0, "per-query intermediate-result byte budget (0 = unbounded; exceeding answers 422)")
 		maxReqBytes  = flag.Int64("max-request-bytes", 0, "max /query request body bytes (default 1 MB; larger answers 413)")
+		buildPar     = flag.Int("build-parallelism", 0, "index-build workers (0/1 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -83,7 +84,7 @@ func run() error {
 	}
 
 	build := time.Now()
-	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool})
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool, BuildParallelism: *buildPar})
 	if err != nil {
 		return err
 	}

@@ -59,6 +59,11 @@ type Runner struct {
 	// Reps is the number of timed repetitions per query; the minimum is
 	// reported (default 2).
 	Reps int
+	// BuildParallelism is the worker count used to build the cached
+	// experiment databases (0/1 = serial, -1 = GOMAXPROCS). It shortens
+	// experiment setup on multi-core hosts; the "build" experiment sweeps
+	// its own degrees and ignores it.
+	BuildParallelism int
 
 	dbs    map[string]*gdb.DB
 	dsets  map[string]*xmark.Dataset
@@ -104,7 +109,7 @@ func (r *Runner) db(s Scale) (*gdb.DB, error) {
 	if db, ok := r.dbs[s.Name]; ok {
 		return db, nil
 	}
-	db, err := gdb.Build(r.dataset(s).Graph, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096})
+	db, err := gdb.Build(r.dataset(s).Graph, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096, BuildParallelism: r.BuildParallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +134,7 @@ func (r *Runner) dagSetup() (*gdb.DB, *twigstackd.Index, *igmj.Index, error) {
 		return r.dagDB, r.tsdIx, r.igmjIx, nil
 	}
 	d := xmark.Generate(xmark.Config{Nodes: int(DAGNodes * r.Mult), Seed: r.Seed, DAG: true})
-	db, err := gdb.Build(d.Graph, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096})
+	db, err := gdb.Build(d.Graph, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096, BuildParallelism: r.BuildParallelism})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -307,6 +312,9 @@ func (r *Runner) ByID(id string) (*Report, error) {
 		return r.AblationNaive()
 	case "rjoin":
 		rep, _, err := r.RJoinMicro()
+		return rep, err
+	case "build":
+		rep, _, err := r.BuildMicro()
 		return rep, err
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)

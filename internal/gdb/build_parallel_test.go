@@ -1,0 +1,216 @@
+package gdb
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/twohop"
+)
+
+// buildDegrees is the worker grid the parallel-build suite exercises.
+func buildDegrees() []int {
+	ds := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		ds = append(ds, p)
+	}
+	return ds
+}
+
+// dbSnapshot reads every index the query path serves — Centers for all
+// label pairs, GetF/GetT for all (center, label) pairs, OutCode/InCode for
+// all nodes — into comparable form.
+type dbSnapshot struct {
+	centers map[[2]graph.Label][]graph.NodeID
+	fsub    map[string][]graph.NodeID
+	tsub    map[string][]graph.NodeID
+	outc    [][]graph.NodeID
+	inc     [][]graph.NodeID
+	ncent   int
+}
+
+func snapshotDB(t *testing.T, db *DB) *dbSnapshot {
+	t.Helper()
+	g := db.Graph()
+	L := g.Labels().Len()
+	s := &dbSnapshot{
+		centers: make(map[[2]graph.Label][]graph.NodeID),
+		fsub:    make(map[string][]graph.NodeID),
+		tsub:    make(map[string][]graph.NodeID),
+		ncent:   db.NumCenters(),
+	}
+	for x := graph.Label(0); int(x) < L; x++ {
+		for y := graph.Label(0); int(y) < L; y++ {
+			ws, err := db.Centers(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ws != nil {
+				s.centers[[2]graph.Label{x, y}] = ws
+			}
+			for _, w := range ws {
+				for l := graph.Label(0); int(l) < L; l++ {
+					k := fmt.Sprintf("%d/%d", w, l)
+					if _, done := s.fsub[k]; done {
+						continue
+					}
+					f, err := db.GetF(w, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tt, err := db.GetT(w, l)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.fsub[k], s.tsub[k] = f, tt
+				}
+			}
+		}
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		oc, err := db.OutCode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := db.InCode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.outc = append(s.outc, oc)
+		s.inc = append(s.inc, ic)
+	}
+	return s
+}
+
+// TestParallelBuildServesIdentically: from one shared cover, databases
+// built at every worker degree serve byte-identical Centers, GetF, GetT,
+// OutCode, and InCode results. Since the worker-1 path bulk-loads too,
+// this plus the storage-level BulkLoad-vs-Insert equivalence tests pins
+// the whole build pipeline. Run with -race to check the sharded inversion.
+func TestParallelBuildServesIdentically(t *testing.T) {
+	graphs := []*graph.Graph{
+		randomGraph(11, 300, 900, 4),
+		randomGraph(12, 150, 250, 2),
+	}
+	if g, _ := figure1Graph(); g != nil {
+		graphs = append(graphs, g)
+	}
+	for gi, g := range graphs {
+		cover := twohop.Compute(g, twohop.Options{})
+		var ref *dbSnapshot
+		for _, workers := range buildDegrees() {
+			db, err := BuildFromCover(g, cover, Options{BuildParallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := snapshotDB(t, db)
+			if ref == nil {
+				ref = snap
+			} else if !reflect.DeepEqual(ref, snap) {
+				t.Errorf("graph %d: build at %d workers serves differently than serial", gi, workers)
+			}
+			db.Close()
+		}
+	}
+}
+
+// TestParallelBuildReaches: full Build (cover computed at the same
+// parallelism) answers every Reaches pair identically to the serial build
+// at every degree, even though the parallel cover may hold extra entries.
+func TestParallelBuildReaches(t *testing.T) {
+	g := randomGraph(13, 200, 700, 3)
+	serial := mustBuild(t, g, Options{})
+	defer serial.Close()
+	for _, workers := range buildDegrees()[1:] {
+		par := mustBuild(t, g, Options{BuildParallelism: workers})
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+				got, err := par.Reaches(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := serial.Reaches(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("workers=%d: Reaches(%d,%d)=%v, serial %v", workers, u, v, got, want)
+				}
+			}
+		}
+		par.Close()
+	}
+}
+
+// TestInvertCoverMatchesReference compares the sharded counting inversion
+// against a straightforward map-of-maps reference inversion (the former
+// implementation) on random graphs, at several worker counts.
+func TestInvertCoverMatchesReference(t *testing.T) {
+	g := randomGraph(14, 250, 800, 3)
+	cover := twohop.Compute(g, twohop.Options{})
+	db, err := BuildFromCover(g, cover, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Reference inversion.
+	type key struct {
+		w   graph.NodeID
+		dir byte
+		l   graph.Label
+	}
+	want := make(map[key][]graph.NodeID)
+	centerSet := make(map[graph.NodeID]bool)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		lv := g.LabelOf(v)
+		for _, w := range cover.Out(v) {
+			want[key{w, dirF, lv}] = append(want[key{w, dirF, lv}], v)
+			centerSet[w] = true
+		}
+		for _, w := range cover.In(v) {
+			want[key{w, dirT, lv}] = append(want[key{w, dirT, lv}], v)
+			centerSet[w] = true
+		}
+	}
+	for w := range centerSet {
+		lw := g.LabelOf(w)
+		want[key{w, dirF, lw}] = insertSorted(want[key{w, dirF, lw}], w)
+		want[key{w, dirT, lw}] = insertSorted(want[key{w, dirT, lw}], w)
+	}
+
+	for _, workers := range buildDegrees() {
+		inv := db.invertCover(workers)
+		if len(inv.centers) != len(centerSet) {
+			t.Fatalf("workers=%d: %d centers, want %d", workers, len(inv.centers), len(centerSet))
+		}
+		got := 0
+		for ci, w := range inv.centers {
+			for dir := 0; dir < 2; dir++ {
+				for l := 0; l < inv.nLabels; l++ {
+					s := (ci*2+dir)*inv.nLabels + l
+					seg := inv.members[inv.offsets[s]:inv.offsets[s+1]]
+					ref := want[key{w, byte(dir), graph.Label(l)}]
+					if len(seg) == 0 && len(ref) == 0 {
+						continue
+					}
+					got++
+					if !reflect.DeepEqual([]graph.NodeID(seg), ref) {
+						t.Fatalf("workers=%d: subcluster (%d,%d,%d) = %v, want %v", workers, w, dir, l, seg, ref)
+					}
+				}
+			}
+		}
+		nonEmpty := 0
+		for _, v := range want {
+			if len(v) > 0 {
+				nonEmpty++
+			}
+		}
+		if got != nonEmpty {
+			t.Fatalf("workers=%d: %d non-empty subclusters, want %d", workers, got, nonEmpty)
+		}
+	}
+}

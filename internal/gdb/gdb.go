@@ -24,7 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -52,6 +52,14 @@ type Options struct {
 	// CodeCacheEntries bounds the working cache of decoded graph codes
 	// (the paper's getCenters cache). Default 65536; negative disables.
 	CodeCacheEntries int
+	// BuildParallelism is the worker count for the build pipeline: batched
+	// 2-hop labeling (unless Cover.Parallelism is set explicitly), code
+	// encoding, and the sharded cover inversion feeding the cluster index.
+	// 0 or 1 builds serially, n > 1 uses n workers, < 0 uses GOMAXPROCS.
+	// The built database is identical at every setting except the cover
+	// itself, which at parallelism > 1 may carry a few extra (still valid)
+	// entries — see twohop.Options.Parallelism.
+	BuildParallelism int
 }
 
 // DB is a built graph database, read-only after Build. The read path —
@@ -186,7 +194,11 @@ const (
 // Build constructs the database for g: computes the 2-hop cover, writes the
 // base tables, the cluster-based R-join index, and the W-table.
 func Build(g *graph.Graph, opt Options) (*DB, error) {
-	cover := twohop.Compute(g, opt.Cover)
+	copt := opt.Cover
+	if copt.Parallelism == 0 {
+		copt.Parallelism = opt.BuildParallelism
+	}
+	cover := twohop.Compute(g, copt)
 	return BuildFromCover(g, cover, opt)
 }
 
@@ -224,11 +236,12 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 	}
 	db.heap = storage.NewHeapFile(db.pool)
 	db.coverSize = cover.Size()
-	if err := db.buildBaseTables(); err != nil {
+	workers := buildWorkers(opt.BuildParallelism)
+	if err := db.buildBaseTables(workers); err != nil {
 		db.Close()
 		return nil, err
 	}
-	if err := db.buildClusterIndexAndWTable(); err != nil {
+	if err := db.buildClusterIndexAndWTable(workers); err != nil {
 		db.Close()
 		return nil, err
 	}
@@ -305,128 +318,132 @@ func (db *DB) SizeBytes() int { return db.pager.NumPages() * storage.PageSize }
 // buffer-to-data ratio on scaled-down data).
 func (db *DB) ResizePool(bytes int) error { return db.pool.Resize(bytes) }
 
-func (db *DB) buildBaseTables() error {
-	var err error
-	for l := graph.Label(0); int(l) < db.g.Labels().Len(); l++ {
-		db.base[l], err = storage.NewBTree(db.pool)
+func (db *DB) buildBaseTables(workers int) error {
+	n := db.g.NumNodes()
+	// Encode every node's stored code up front: encoding is pure CPU and
+	// embarrassingly parallel, while the heap appends stay serial (the heap
+	// is single-writer) and in node order, so record placement is
+	// deterministic and independent of the worker count.
+	recs := make([][]byte, n)
+	parallelRanges(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			recs[v] = encodeCodes(db.cover.In(graph.NodeID(v)), db.cover.Out(graph.NodeID(v)))
+		}
+	})
+	rids := make([]uint64, n)
+	byLabel := make([][]graph.NodeID, db.g.Labels().Len())
+	for v := 0; v < n; v++ {
+		rid, err := db.heap.Insert(recs[v])
 		if err != nil {
 			return err
 		}
+		recs[v] = nil
+		rids[v] = rid.Encode()
+		l := db.g.LabelOf(graph.NodeID(v))
+		byLabel[l] = append(byLabel[l], graph.NodeID(v))
 	}
-	for v := graph.NodeID(0); int(v) < db.g.NumNodes(); v++ {
-		rec := encodeCodes(db.cover.In(v), db.cover.Out(v))
-		rid, err := db.heap.Insert(rec)
+	// Node IDs ascend within each label, so each base table's primary index
+	// is a sorted key stream — bulk-load it bottom-up instead of descending
+	// the tree once per node.
+	for l := range byLabel {
+		tree, err := storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
+			for _, v := range byLabel[l] {
+				if err := emit(nodeKey(v), rids[v]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		if err := db.base[db.g.LabelOf(v)].Insert(nodeKey(v), rid.Encode()); err != nil {
-			return err
-		}
+		db.base[graph.Label(l)] = tree
 	}
 	return nil
 }
 
-func (db *DB) buildClusterIndexAndWTable() error {
-	// Invert the cover: for each center w, the per-label F-/T-subclusters.
-	type subclusters struct {
-		f map[graph.Label][]graph.NodeID
-		t map[graph.Label][]graph.NodeID
-	}
-	centers := make(map[graph.NodeID]*subclusters)
-	get := func(w graph.NodeID) *subclusters {
-		sc := centers[w]
-		if sc == nil {
-			sc = &subclusters{
-				f: make(map[graph.Label][]graph.NodeID),
-				t: make(map[graph.Label][]graph.NodeID),
-			}
-			centers[w] = sc
-		}
-		return sc
-	}
-	for v := graph.NodeID(0); int(v) < db.g.NumNodes(); v++ {
-		lv := db.g.LabelOf(v)
-		for _, w := range db.cover.Out(v) {
-			sc := get(w)
-			sc.f[lv] = append(sc.f[lv], v)
-		}
-		for _, w := range db.cover.In(v) {
-			sc := get(w)
-			sc.t[lv] = append(sc.t[lv], v)
-		}
-	}
-	// Compact-code self entries: every center belongs to its own clusters.
-	for w, sc := range centers {
-		lw := db.g.LabelOf(w)
-		sc.f[lw] = insertSorted(sc.f[lw], w)
-		sc.t[lw] = insertSorted(sc.t[lw], w)
-	}
-	db.numCenters = len(centers)
+func (db *DB) buildClusterIndexAndWTable(workers int) error {
+	inv := db.invertCover(workers)
+	db.numCenters = len(inv.centers)
+	L := inv.nLabels
 
-	var err error
-	db.cluster, err = storage.NewBTree(db.pool)
-	if err != nil {
-		return err
-	}
-	// Insert cluster entries in center order for locality.
-	order := make([]graph.NodeID, 0, len(centers))
-	for w := range centers {
-		order = append(order, w)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-
+	// The inversion lays subcluster segments out in exactly cluster-key
+	// order — (center asc, dir F then T, label asc) — so the cluster index
+	// is bulk-loaded from one sweep. W-table contributions fall out of the
+	// same sweep: centers are visited ascending, keeping every W list
+	// sorted without a per-list sort.
 	wmap := make(map[wKey][]graph.NodeID)
-	for _, w := range order {
-		sc := centers[w]
-		for l, nodes := range sc.f {
-			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-			rid, err := db.heap.Insert(encodeNodeList(nodes))
-			if err != nil {
-				return err
+	var err error
+	db.cluster, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
+		var fls, tls []graph.Label
+		for ci, w := range inv.centers {
+			fls, tls = fls[:0], tls[:0]
+			for dir := 0; dir < 2; dir++ {
+				for l := 0; l < L; l++ {
+					s := (ci*2+dir)*L + l
+					seg := inv.members[inv.offsets[s]:inv.offsets[s+1]]
+					if len(seg) == 0 {
+						continue
+					}
+					rid, err := db.heap.Insert(encodeNodeList(seg))
+					if err != nil {
+						return err
+					}
+					if err := emit(clusterKey(w, byte(dir), graph.Label(l)), rid.Encode()); err != nil {
+						return err
+					}
+					if dir == int(dirF) {
+						fls = append(fls, graph.Label(l))
+					} else {
+						tls = append(tls, graph.Label(l))
+					}
+				}
 			}
-			if err := db.cluster.Insert(clusterKey(w, dirF, l), rid.Encode()); err != nil {
-				return err
+			// W-table contributions: every (X-labeled F, Y-labeled T) pair.
+			for _, lx := range fls {
+				for _, ly := range tls {
+					k := wKey{lx, ly}
+					wmap[k] = append(wmap[k], w)
+				}
 			}
 		}
-		for l, nodes := range sc.t {
-			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-			rid, err := db.heap.Insert(encodeNodeList(nodes))
-			if err != nil {
-				return err
-			}
-			if err := db.cluster.Insert(clusterKey(w, dirT, l), rid.Encode()); err != nil {
-				return err
-			}
-		}
-		// W-table contributions: every (X-labeled F, Y-labeled T) pair.
-		for lx := range sc.f {
-			for ly := range sc.t {
-				k := wKey{lx, ly}
-				wmap[k] = append(wmap[k], w)
-			}
-		}
-	}
-
-	db.wtable, err = storage.NewBTree(db.pool)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	for k, ws := range wmap {
-		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
-		rid, err := db.heap.Insert(encodeNodeList(ws))
-		if err != nil {
-			return err
+
+	keys := make([]wKey, 0, len(wmap))
+	for k := range wmap {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b wKey) int {
+		if a.x != b.x {
+			return int(a.x) - int(b.x)
 		}
-		if err := db.wtable.Insert(wtableKey(k.x, k.y), rid.Encode()); err != nil {
-			return err
+		return int(a.y) - int(b.y)
+	})
+	db.wtable, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
+		for _, k := range keys {
+			rid, err := db.heap.Insert(encodeNodeList(wmap[k]))
+			if err != nil {
+				return err
+			}
+			if err := emit(wtableKey(k.x, k.y), rid.Encode()); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	return db.pool.FlushAll()
 }
 
 func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	if i < len(s) && s[i] == v {
+	i, found := slices.BinarySearch(s, v)
+	if found {
 		return s
 	}
 	s = append(s, 0)

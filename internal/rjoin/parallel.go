@@ -20,6 +20,14 @@ const (
 	rowGrain    = 256
 )
 
+// minParallelGrains is the serial cutoff: an operator goes parallel only
+// when it has at least this many grains of work to share out. Below that,
+// the partition bookkeeping and result merge cost more than the concurrency
+// returns — BENCH_rjoin.json showed parallel Fetch *losing* to serial on
+// ~thousand-row inputs (6.33ms at 4 workers vs 5.61ms serial) before this
+// cutoff existed. Eight grains ≈ 2k rows or 64 centers.
+const minParallelGrains = 8
+
 // Runtime carries one query's intra-operator execution resources: the
 // worker-pool degree shared by all operators of the query and the per-query
 // center cache memoizing getCenters results across Filter and Fetch steps.
@@ -144,11 +152,21 @@ func (rt *Runtime) Stats() RuntimeStats {
 	}
 }
 
-// split decides how many partitions n work units of the given grain get.
+// split decides how many partitions n work units of the given grain get:
+// one (serial) below the minParallelGrains cutoff, otherwise up to the
+// worker degree with every partition holding at least one grain.
 func (rt *Runtime) split(n, grain int) int {
 	parts := rt.Workers()
-	if grain > 0 && n/grain < parts {
-		parts = n / grain
+	if parts <= 1 {
+		return 1
+	}
+	if grain > 0 {
+		if n < minParallelGrains*grain {
+			return 1
+		}
+		if n/grain < parts {
+			parts = n / grain
+		}
 	}
 	if parts < 1 {
 		parts = 1

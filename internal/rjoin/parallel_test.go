@@ -232,7 +232,7 @@ func TestRuntimeStats(t *testing.T) {
 	if st.Ops == 0 || st.Tasks < st.Ops {
 		t.Fatalf("implausible stats: %+v", st)
 	}
-	if tbl.Len() >= 4*rowGrain && st.ParallelOps == 0 {
+	if tbl.Len() >= minParallelGrains*rowGrain && st.ParallelOps == 0 {
 		t.Fatalf("large table did not split: %+v (rows=%d)", st, tbl.Len())
 	}
 }

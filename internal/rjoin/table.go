@@ -20,7 +20,7 @@ package rjoin
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fastmatch/internal/graph"
 )
@@ -129,14 +129,16 @@ func (t *Table) Project(nodes []int) (*Table, error) {
 // SortRows orders rows lexicographically (for deterministic output and
 // test comparison).
 func (t *Table) SortRows() {
-	sort.Slice(t.Rows, func(i, j int) bool {
-		a, b := t.Rows[i], t.Rows[j]
+	slices.SortFunc(t.Rows, func(a, b []graph.NodeID) int {
 		for k := range a {
 			if a[k] != b[k] {
-				return a[k] < b[k]
+				if a[k] < b[k] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 }
 

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sortedKeys returns n distinct ascending 8-byte keys with pseudo-random
+// gaps, so leaves split at irregular key boundaries.
+func sortedKeys(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	cur := uint64(0)
+	for i := range keys {
+		cur += 1 + uint64(rng.Intn(97))
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, cur)
+		keys[i] = k
+	}
+	return keys
+}
+
+// buildBoth loads the same key stream into a bulk-loaded and an insert-built
+// tree on the same pool.
+func buildBoth(t *testing.T, bp *BufferPool, keys [][]byte) (bulk, ins *BTree) {
+	t.Helper()
+	bl := NewBulkLoader(bp)
+	for i, k := range keys {
+		if err := bl.Add(k, uint64(i)*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := bl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err = NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := ins.Insert(k, uint64(i)*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bulk, ins
+}
+
+// TestBulkLoadMatchesInsert is the serving-equivalence contract: a
+// bulk-loaded tree answers every Get and a full Scan identically to an
+// insert-built tree over the same pairs.
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 1000, 20000} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			bp := NewBufferPool(NewMemPager(), 1<<20)
+			keys := sortedKeys(int64(n)+7, n)
+			bulk, ins := buildBoth(t, bp, keys)
+
+			for i, k := range keys {
+				bv, bok, err := bulk.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iv, iok, err := ins.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bok || !iok || bv != iv {
+					t.Fatalf("key %d: bulk (%d,%v) vs insert (%d,%v)", i, bv, bok, iv, iok)
+				}
+			}
+			// Missing keys miss in both.
+			for _, k := range keys {
+				miss := append(append([]byte(nil), k...), 0)
+				_, ok, err := bulk.Get(miss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatalf("bulk tree has phantom key %x", miss)
+				}
+			}
+			// Scans agree pairwise and are complete.
+			type kv struct {
+				k []byte
+				v uint64
+			}
+			collect := func(tr *BTree) []kv {
+				var out []kv
+				if err := tr.Scan(nil, func(k []byte, v uint64) bool {
+					out = append(out, kv{k, v})
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			bs, is := collect(bulk), collect(ins)
+			if len(bs) != n || len(is) != n {
+				t.Fatalf("scan lengths: bulk %d insert %d want %d", len(bs), len(is), n)
+			}
+			for i := range bs {
+				if !bytes.Equal(bs[i].k, is[i].k) || bs[i].v != is[i].v {
+					t.Fatalf("scan row %d differs: bulk (%x,%d) insert (%x,%d)",
+						i, bs[i].k, bs[i].v, is[i].k, is[i].v)
+				}
+			}
+		})
+	}
+}
+
+// TestBulkLoadRangeScan checks mid-tree positioned scans against the
+// insert-built reference.
+func TestBulkLoadRangeScan(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), 1<<20)
+	keys := sortedKeys(42, 5000)
+	bulk, ins := buildBoth(t, bp, keys)
+	for _, start := range []int{0, 1, 17, 2499, 4999} {
+		var bks, iks [][]byte
+		stop := 100
+		scan := func(tr *BTree, sink *[][]byte) {
+			n := 0
+			if err := tr.Scan(keys[start], func(k []byte, _ uint64) bool {
+				*sink = append(*sink, append([]byte(nil), k...))
+				n++
+				return n < stop
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scan(bulk, &bks)
+		scan(ins, &iks)
+		if len(bks) != len(iks) {
+			t.Fatalf("start %d: scan lengths %d vs %d", start, len(bks), len(iks))
+		}
+		for i := range bks {
+			if !bytes.Equal(bks[i], iks[i]) {
+				t.Fatalf("start %d row %d: %x vs %x", start, i, bks[i], iks[i])
+			}
+		}
+	}
+}
+
+// TestBulkLoadRejectsUnsortedKeys: the ascending-keys contract is enforced,
+// not assumed.
+func TestBulkLoadRejectsUnsortedKeys(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), 1<<20)
+	bl := NewBulkLoader(bp)
+	if err := bl.Add([]byte("b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Add([]byte("b"), 2); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	bl = NewBulkLoader(bp)
+	if err := bl.Add([]byte("b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.Add([]byte("a"), 2); err == nil {
+		t.Fatal("descending key accepted")
+	}
+}
+
+// TestBulkLoadDenser: bulk loading must not use more pages than insert
+// building (it packs pages full; splits leave them half full).
+func TestBulkLoadDenser(t *testing.T) {
+	keys := sortedKeys(3, 20000)
+	pagerB := NewMemPager()
+	bpB := NewBufferPool(pagerB, 1<<20)
+	bl := NewBulkLoader(bpB)
+	for i, k := range keys {
+		if err := bl.Add(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	pagerI := NewMemPager()
+	bpI := NewBufferPool(pagerI, 1<<20)
+	tr, err := NewBTree(bpI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := pagerB.NumPages(), pagerI.NumPages(); got > want {
+		t.Fatalf("bulk load used %d pages, insert build %d", got, want)
+	}
+}
+
+func BenchmarkTreeBuild(b *testing.B) {
+	keys := sortedKeys(9, 50000)
+	b.Run("BulkLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bp := NewBufferPool(NewMemPager(), 16<<20)
+			bl := NewBulkLoader(bp)
+			for j, k := range keys {
+				if err := bl.Add(k, uint64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := bl.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bp := NewBufferPool(NewMemPager(), 16<<20)
+			tr, err := NewBTree(bp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, k := range keys {
+				if err := tr.Insert(k, uint64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

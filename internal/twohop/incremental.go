@@ -1,7 +1,7 @@
 package twohop
 
 import (
-	"sort"
+	"slices"
 
 	"fastmatch/internal/graph"
 )
@@ -125,8 +125,8 @@ func (inc *Incremental) bfs(adj [][]graph.NodeID, start graph.NodeID) []graph.No
 // whether an insertion happened.
 func insertSortedInPlace(s *[]graph.NodeID, v graph.NodeID) bool {
 	sl := *s
-	i := sort.Search(len(sl), func(i int) bool { return sl[i] >= v })
-	if i < len(sl) && sl[i] == v {
+	i, found := slices.BinarySearch(sl, v)
+	if found {
 		return false
 	}
 	sl = append(sl, 0)

@@ -1,0 +1,122 @@
+package twohop
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+// parallelDegrees is the worker-count grid the crosscheck suite exercises,
+// per the acceptance criteria: serial, 2, and GOMAXPROCS.
+func parallelDegrees() []int {
+	ds := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		ds = append(ds, p)
+	}
+	return ds
+}
+
+// TestParallelCoverValidAndEquivalent is the core batched-labeling contract:
+// at every worker degree the cover passes Verify, answers every Reaches pair
+// identically to the serial cover, and stays within the size-inflation
+// budget. Run with -race to also check the concurrent phase is data-race
+// free.
+func TestParallelCoverValidAndEquivalent(t *testing.T) {
+	cases := []struct {
+		name          string
+		seed          int64
+		n, m, nlabels int
+	}{
+		{"sparse", 1, 300, 450, 3},
+		{"dense", 2, 200, 1200, 4},
+		{"cyclic", 3, 150, 600, 2},
+		{"tiny", 4, 8, 12, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := randomGraph(c.seed, c.n, c.m, c.nlabels)
+			serial := Compute(g, Options{})
+			for _, workers := range parallelDegrees() {
+				t.Run(fmt.Sprint(workers), func(t *testing.T) {
+					par := Compute(g, Options{Parallelism: workers})
+					if err := par.Verify(); err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					for u := 0; u < g.NumNodes(); u++ {
+						for v := 0; v < g.NumNodes(); v++ {
+							uu, vv := graph.NodeID(u), graph.NodeID(v)
+							if got, want := par.Reaches(uu, vv), serial.Reaches(uu, vv); got != want {
+								t.Fatalf("workers=%d: Reaches(%d,%d)=%v, serial says %v", workers, u, v, got, want)
+							}
+						}
+					}
+					if workers == 1 {
+						// Parallelism 1 selects the serial reference path:
+						// the labeling must be identical entry for entry.
+						if !reflect.DeepEqual(par.in, serial.in) || !reflect.DeepEqual(par.out, serial.out) {
+							t.Fatalf("Parallelism=1 cover differs from serial cover")
+						}
+						if par.size != serial.size {
+							t.Fatalf("Parallelism=1 size %d != serial %d", par.size, serial.size)
+						}
+					}
+					if lim := serial.Size() + serial.Size()/6; par.Size() > lim && serial.Size() > 50 {
+						t.Errorf("workers=%d: cover size %d exceeds 1.15x serial %d", workers, par.Size(), serial.Size())
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelCoverDeterministic: the batched cover is a pure function of
+// (graph, order, workers) — goroutine scheduling must not leak into the
+// result.
+func TestParallelCoverDeterministic(t *testing.T) {
+	g := randomGraph(7, 250, 900, 3)
+	for _, workers := range []int{2, 4} {
+		a := Compute(g, Options{Parallelism: workers})
+		for trial := 0; trial < 3; trial++ {
+			b := Compute(g, Options{Parallelism: workers})
+			if !reflect.DeepEqual(a.in, b.in) || !reflect.DeepEqual(a.out, b.out) {
+				t.Fatalf("workers=%d: two runs produced different covers", workers)
+			}
+		}
+	}
+}
+
+// TestParallelChain exercises the deep-graph shape where pruning matters
+// most: on a path the serial cover is linear in n, and the batched cover
+// must stay close.
+func TestParallelChain(t *testing.T) {
+	g := chainGraph(200)
+	serial := Compute(g, Options{})
+	for _, workers := range parallelDegrees() {
+		par := Compute(g, Options{Parallelism: workers})
+		if err := par.Verify(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if lim := serial.Size() * 2; par.Size() > lim {
+			t.Errorf("workers=%d: chain cover %d vs serial %d", workers, par.Size(), serial.Size())
+		}
+	}
+}
+
+// TestBuildWorkers pins the Parallelism resolution rules.
+func TestBuildWorkers(t *testing.T) {
+	if got := buildWorkers(0); got != 1 {
+		t.Fatalf("buildWorkers(0) = %d", got)
+	}
+	if got := buildWorkers(1); got != 1 {
+		t.Fatalf("buildWorkers(1) = %d", got)
+	}
+	if got := buildWorkers(5); got != 5 {
+		t.Fatalf("buildWorkers(5) = %d", got)
+	}
+	if got := buildWorkers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("buildWorkers(-1) = %d", got)
+	}
+}

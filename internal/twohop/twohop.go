@@ -25,7 +25,9 @@ package twohop
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"fastmatch/internal/graph"
 )
@@ -64,6 +66,29 @@ type Options struct {
 	Order CenterOrder
 	// Seed seeds OrderRandom.
 	Seed int64
+	// Parallelism is the number of workers that process landmark centers in
+	// rank-ordered batches: within a batch the forward/backward pruned BFS
+	// pairs run concurrently against the labels committed by earlier
+	// batches, then a serial reconciliation pass re-prunes entries made
+	// redundant by same-batch centers (see DESIGN.md). 0 or 1 selects the
+	// serial reference construction — its cover is byte-identical to what
+	// previous versions computed. n > 1 uses n workers; < 0 uses
+	// GOMAXPROCS. Parallel covers are always valid (Verify-clean) and
+	// deterministic for a fixed degree, but contain slightly more entries
+	// than the serial cover (redundancies a serial build would have pruned
+	// by not expanding past covered frontiers).
+	Parallelism int
+}
+
+// buildWorkers resolves Options.Parallelism to a worker count.
+func buildWorkers(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p <= 1 {
+		return 1
+	}
+	return p
 }
 
 // Cover is a computed 2-hop reachability labeling for a graph.
@@ -109,10 +134,77 @@ func Compute(g *graph.Graph, opt Options) *Cover {
 		rank[c] = int32(r)
 	}
 
+	workers := buildWorkers(opt.Parallelism)
+	var compIn, compOut [][]int32
+	if workers <= 1 {
+		compIn, compOut = labelSerial(scc, order, rank)
+	} else {
+		compIn, compOut = labelBatched(scc, order, rank, workers)
+	}
+
+	cov := &Cover{
+		g:      g,
+		scc:    scc,
+		rep:    rep,
+		compOf: make([]int32, g.NumNodes()),
+		in:     make([][]graph.NodeID, g.NumNodes()),
+		out:    make([][]graph.NodeID, g.NumNodes()),
+	}
+	for i := range cov.compOf {
+		cov.compOf[i] = -1
+	}
+	for c := 0; c < nc; c++ {
+		cov.compOf[rep[c]] = int32(c)
+	}
+
+	// Materialise compact per-node lists: map component labels to
+	// representative node IDs, drop the node itself, sort ascending. The
+	// per-node work is independent, so with workers > 1 it runs over node
+	// ranges concurrently (sizes summed after the join — the result does not
+	// depend on the worker count).
+	materialize := func(lo, hi int) int {
+		sz := 0
+		for v := lo; v < hi; v++ {
+			c := scc.Comp[v]
+			cov.in[v] = nodeList(compIn[c], rep, graph.NodeID(v))
+			cov.out[v] = nodeList(compOut[c], rep, graph.NodeID(v))
+			sz += len(cov.in[v]) + len(cov.out[v])
+		}
+		return sz
+	}
+	n := g.NumNodes()
+	if workers <= 1 || n < 2*workers {
+		cov.size = materialize(0, n)
+	} else {
+		sizes := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				sizes[w] = materialize(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, s := range sizes {
+			cov.size += s
+		}
+	}
+	return cov
+}
+
+// labelSerial is the reference pruned-landmark construction: one forward and
+// one backward pruned BFS per center, strictly in rank order. Its output is
+// the historical serial cover, byte for byte.
+func labelSerial(scc *graph.SCC, order []int32, rank []int32) (compIn, compOut [][]int32) {
+	nc := scc.NumComponents()
+
 	// Per-component label lists holding component IDs in increasing rank
 	// order (append order).
-	compIn := make([][]int32, nc)
-	compOut := make([][]int32, nc)
+	compIn = make([][]int32, nc)
+	compOut = make([][]int32, nc)
 
 	// covered reports whether src ⇝ dst is answerable from the labels
 	// assigned so far, by merge-intersecting rank-ordered lists.
@@ -183,31 +275,7 @@ func Compute(g *graph.Graph, opt Options) *Cover {
 			}
 		}
 	}
-
-	cov := &Cover{
-		g:      g,
-		scc:    scc,
-		rep:    rep,
-		compOf: make([]int32, g.NumNodes()),
-		in:     make([][]graph.NodeID, g.NumNodes()),
-		out:    make([][]graph.NodeID, g.NumNodes()),
-	}
-	for i := range cov.compOf {
-		cov.compOf[i] = -1
-	}
-	for c := 0; c < nc; c++ {
-		cov.compOf[rep[c]] = int32(c)
-	}
-
-	// Materialise compact per-node lists: map component labels to
-	// representative node IDs, drop the node itself, sort ascending.
-	for v := 0; v < g.NumNodes(); v++ {
-		c := scc.Comp[v]
-		cov.in[v] = nodeList(compIn[c], rep, graph.NodeID(v))
-		cov.out[v] = nodeList(compOut[c], rep, graph.NodeID(v))
-		cov.size += len(cov.in[v]) + len(cov.out[v])
-	}
-	return cov
+	return compIn, compOut
 }
 
 // nodeList converts a component-ID label list to a sorted compact NodeID
@@ -221,7 +289,7 @@ func nodeList(comps []int32, rep []graph.NodeID, self graph.NodeID) []graph.Node
 		}
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -245,7 +313,16 @@ func centerOrder(scc *graph.SCC, opt Options) []int32 {
 			dout := int64(len(scc.CondSuccessors(c)))
 			score[c] = (din + 1) * (dout + 1) * int64(len(scc.Members(c)))
 		}
-		sort.SliceStable(order, func(i, j int) bool { return score[order[i]] > score[order[j]] })
+		slices.SortStableFunc(order, func(a, b int32) int {
+			switch {
+			case score[a] > score[b]:
+				return -1
+			case score[a] < score[b]:
+				return 1
+			default:
+				return 0
+			}
+		})
 		return order
 	}
 }
