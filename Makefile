@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench bench-baseline bench-compare clean
+.PHONY: build test test-short test-fuzz-smoke verify bench bench-baseline bench-compare clean
 
 # Benchmarks covered by bench-baseline/bench-compare: the sorted-set
 # kernels and the parallel operator suite — the hot paths a perf PR must
@@ -18,12 +18,24 @@ test: build
 test-short:
 	$(GO) test -short ./...
 
+# test-fuzz-smoke runs each fuzz target's coverage-guided engine for a
+# short budget ($(FUZZTIME) per target) on top of the seeded corpus, so
+# the differential edge-insert harness and the 2-hop delta invariants get
+# fresh random sequences on every verify run, not just the checked-in
+# seeds. Bump FUZZTIME for a deeper soak (e.g. FUZZTIME=10m).
+FUZZTIME ?= 30s
+test-fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzEdgeInsertDifferential -fuzztime $(FUZZTIME) .
+	$(GO) test -run XXX -fuzz FuzzIncrementalInsert -fuzztime $(FUZZTIME) ./internal/twohop
+
 # verify is the gating tier: vet plus the full suite under the race
 # detector, so concurrency regressions in the query-serving path cannot
-# land silently.
+# land silently, then a fuzz smoke over the incremental-maintenance
+# harnesses.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) test-fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

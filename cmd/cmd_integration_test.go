@@ -133,6 +133,27 @@ func TestServeQuery(t *testing.T) {
 		return resp, b
 	}
 
+	// Incremental edge insert over HTTP: a duplicate pair in one batch must
+	// come back as 1 applied + 1 duplicate (or 2 duplicates if the generator
+	// already placed the edge), and queries keep working afterwards.
+	resp, err = client.Post(base+"/insert", "application/json",
+		bytes.NewReader([]byte(`{"edges": [[0, 1], [0, 1]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir struct {
+		Applied    int `json:"applied"`
+		Duplicates int `json:"duplicates"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ir.Applied+ir.Duplicates != 2 {
+		t.Fatalf("insert: status %d, result %+v", resp.StatusCode, ir)
+	}
+
 	resp, body := post(`{"pattern": "site->regions; regions->item", "limit": 5}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
@@ -236,8 +257,9 @@ func TestServeQuery(t *testing.T) {
 
 	// Deadline honoring: a server whose default per-query budget (-timeout)
 	// is already elapsed by execution's first context poll answers 504 to
-	// every query. This is deterministic, unlike racing a real clock.
-	slow := exec.Command(bin, "-graph", graphPath, "-addr", "127.0.0.1:0", "-timeout", "1ns")
+	// every query. This is deterministic, unlike racing a real clock. The
+	// same instance runs -readonly, so /insert must answer 403.
+	slow := exec.Command(bin, "-graph", graphPath, "-addr", "127.0.0.1:0", "-timeout", "1ns", "-readonly")
 	slowOut, err := slow.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -265,6 +287,15 @@ func TestServeQuery(t *testing.T) {
 	resp, body = post(`{"pattern": ` + heavy + `}`)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("deadline: %d %s, want 504", resp.StatusCode, body)
+	}
+	resp, err = client.Post(base+"/insert", "application/json",
+		bytes.NewReader([]byte(`{"edges": [[0, 1]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("readonly insert: status %d, want 403", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,240 @@
+package fastmatch_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fastmatch"
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/workload"
+	"fastmatch/internal/xmark"
+)
+
+// The differential harness: an incrementally maintained database
+// (ApplyEdgeInsert per edge) must be query-equivalent to a database built
+// from scratch over the same mutated graph — identical DP and DPS result
+// rows on the paper's pattern workloads at worker degrees 1 and 4, and
+// identical Reaches answers on sampled node pairs. This is the correctness
+// story for the whole incremental-maintenance path (2-hop deltas → base
+// tables → cluster index → W-table); see DESIGN.md.
+
+// diffWorkloads is the pattern battery both databases answer.
+func diffWorkloads() []workload.Workload {
+	var ws []workload.Workload
+	ws = append(ws, workload.Paths()[:6]...)
+	ws = append(ws, workload.Trees()[:3]...)
+	ws = append(ws, workload.Graphs5B()[:2]...)
+	return ws
+}
+
+// sortedRows plans and runs p at the given worker degree, returning
+// canonically sorted rows.
+func sortedRows(t testing.TB, db *gdb.DB, p *pattern.Pattern, algo exec.Algorithm, workers int) [][]graph.NodeID {
+	t.Helper()
+	plan, err := exec.BuildPlan(db, p, algo)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	tab, err := exec.RunContextConfig(context.Background(), db, plan, exec.RunConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tab.SortRows()
+	return tab.Rows
+}
+
+// compareDatabases asserts inc (incrementally maintained) and a fresh
+// rebuild over g agree on the full battery and on sampled reachability.
+func compareDatabases(t *testing.T, inc *gdb.DB, g *graph.Graph, rng *rand.Rand, tag string) {
+	t.Helper()
+	rebuilt, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		t.Fatalf("%s: rebuild: %v", tag, err)
+	}
+	defer rebuilt.Close()
+
+	for _, w := range diffWorkloads() {
+		for _, algo := range []exec.Algorithm{exec.DP, exec.DPS} {
+			for _, workers := range []int{1, 4} {
+				got := sortedRows(t, inc, w.Pattern, algo, workers)
+				want := sortedRows(t, rebuilt, w.Pattern, algo, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: %s %s workers=%d: incremental %d rows, rebuild %d rows",
+						tag, w.Name, algo, workers, len(got), len(want))
+				}
+			}
+		}
+	}
+
+	n := g.NumNodes()
+	for i := 0; i < 200; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		gi, err := inc.Reaches(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := rebuilt.Reaches(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gi != gr || gi != graph.Reaches(g, u, v) {
+			t.Fatalf("%s: Reaches(%d,%d): incremental %v, rebuild %v, BFS %v",
+				tag, u, v, gi, gr, graph.Reaches(g, u, v))
+		}
+	}
+}
+
+// TestDifferentialEdgeInsertsMatchRebuild is the deterministic seeded run:
+// ≥200 random edge inserts on an XMark-derived graph, differentially
+// tested against from-scratch rebuilds at four checkpoints.
+func TestDifferentialEdgeInsertsMatchRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := xmark.Generate(xmark.Config{Nodes: 2500, Seed: 11})
+	g := d.Graph
+	inc, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Close()
+
+	rng := rand.New(rand.NewSource(101))
+	cur := g
+	n := g.NumNodes()
+	const inserts = 220
+	for i := 1; i <= inserts; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		st, err := inc.ApplyEdgeInsert(u, v)
+		if err != nil {
+			t.Fatalf("insert %d (%d->%d): %v", i, u, v, err)
+		}
+		if !st.Duplicate {
+			cur = cur.WithEdge(u, v)
+		}
+		if i%55 == 0 {
+			compareDatabases(t, inc, cur, rng, "checkpoint")
+		}
+	}
+}
+
+// TestEngineInsertEdge drives the public API end to end: InsertEdge grows
+// query results, reports duplicates, and classifies bad endpoints.
+func TestEngineInsertEdge(t *testing.T) {
+	b := fastmatch.NewGraphBuilder()
+	var as, bs []fastmatch.NodeID
+	for i := 0; i < 4; i++ {
+		as = append(as, b.AddNode("A"))
+	}
+	for i := 0; i < 4; i++ {
+		bs = append(bs, b.AddNode("B"))
+	}
+	b.AddEdge(as[0], bs[0])
+	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Query("A->B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("seed query: %d rows, want 1", len(res.Rows))
+	}
+	st, err := eng.InsertEdge(as[1], bs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicate || st.LabelEntries == 0 {
+		t.Fatalf("insert stats %+v", st)
+	}
+	if ok, err := eng.Reaches(as[1], bs[1]); err != nil || !ok {
+		t.Fatalf("Reaches after insert = %v, %v", ok, err)
+	}
+	res, err = eng.Query("A->B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-insert query: %d rows, want 2", len(res.Rows))
+	}
+	if st, err := eng.InsertEdge(as[1], bs[1]); err != nil || !st.Duplicate {
+		t.Fatalf("duplicate insert: %+v, %v", st, err)
+	}
+	if _, err := eng.InsertEdge(0, 1000); !errors.Is(err, fastmatch.ErrBadInsert) {
+		t.Fatalf("bad endpoint: err = %v, want ErrBadInsert", err)
+	}
+	if err := eng.Sync(); err != nil { // in-memory: no-op
+		t.Fatal(err)
+	}
+}
+
+// FuzzEdgeInsertDifferential lets the fuzzer choose the insert sequence on
+// a small XMark graph: whatever the sequence, the incrementally maintained
+// database must agree with a from-scratch rebuild on a pattern query and
+// on sampled reachability.
+func FuzzEdgeInsertDifferential(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x02, 0x03, 0x04})
+	f.Add(int64(7), []byte{0xff, 0xee, 0x10, 0x20, 0x30, 0x40, 0x55, 0x66})
+	f.Add(int64(42), []byte{0x00, 0x00, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) < 2 || len(data) > 40 {
+			t.Skip()
+		}
+		d := xmark.Generate(xmark.Config{Nodes: 100, Seed: seed % 8})
+		g := d.Graph
+		n := g.NumNodes()
+		inc, err := gdb.Build(g, gdb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inc.Close()
+		cur := g
+		for i := 0; i+1 < len(data); i += 2 {
+			u := graph.NodeID(int(data[i]) % n)
+			v := graph.NodeID(int(data[i+1]) % n)
+			st, err := inc.ApplyEdgeInsert(u, v)
+			if err != nil {
+				t.Fatalf("insert %d->%d: %v", u, v, err)
+			}
+			if !st.Duplicate {
+				cur = cur.WithEdge(u, v)
+			}
+		}
+		rebuilt, err := gdb.Build(cur, gdb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rebuilt.Close()
+		p := workload.Paths()[0].Pattern // site->regions; regions->item
+		for _, workers := range []int{1, 4} {
+			got := sortedRows(t, inc, p, exec.DPS, workers)
+			want := sortedRows(t, rebuilt, p, exec.DPS, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d: incremental %d rows, rebuild %d rows", workers, len(got), len(want))
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(len(data))))
+		for i := 0; i < 60; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			gi, err := inc.Reaches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := graph.Reaches(cur, u, v); gi != want {
+				t.Fatalf("Reaches(%d,%d) = %v, BFS says %v", u, v, gi, want)
+			}
+		}
+	})
+}

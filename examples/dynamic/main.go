@@ -58,7 +58,7 @@ func main() {
 	for _, e := range inserts {
 		added := oracle.InsertEdge(e[0], e[1])
 		fmt.Printf("insert %3d -> %3d: %3d new label entries (total %d)\n",
-			e[0], e[1], added, oracle.LabelEntries())
+			e[0], e[1], len(added), oracle.LabelEntries())
 	}
 	if !oracle.Reaches(app0, core0) {
 		log.Fatal("app[0] should now reach core[0]")

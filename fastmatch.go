@@ -273,8 +273,39 @@ type StepTrace = exec.StepTrace
 
 // Reaches reports u ⇝ v using the engine's 2-hop graph codes.
 func (e *Engine) Reaches(u, v NodeID) (bool, error) {
+	done := e.db.BeginRead()
+	defer done()
 	return e.db.Reaches(u, v)
 }
+
+// CoverDelta records one 2-hop label entry added by an edge insert: Center
+// joined L_out(Node) (Out true) or L_in(Node) (Out false).
+type CoverDelta = twohop.LabelDelta
+
+// EdgeInsertStats summarises what one InsertEdge changed in the index.
+type EdgeInsertStats = gdb.EdgeInsertStats
+
+// ErrBadInsert is returned by InsertEdge when an endpoint lies outside the
+// graph's node range; match with errors.Is.
+var ErrBadInsert = gdb.ErrBadInsert
+
+// InsertEdge adds the edge u→v to the data graph and incrementally repairs
+// every index structure — the 2-hop codes in the base tables, the
+// cluster-based R-join index, and the W-table — with point updates, no
+// rebuild (see DESIGN.md, "Incremental maintenance"). It is safe to call
+// concurrently with queries: in-flight queries finish on the pre-insert
+// index, later queries see the post-insert index, and a query never
+// observes a torn intermediate state.
+//
+// Inserting an edge that already exists is a cheap no-op (Stats.Duplicate).
+// For a file-backed engine the update is in-memory until Sync.
+func (e *Engine) InsertEdge(u, v NodeID) (EdgeInsertStats, error) {
+	return e.db.ApplyEdgeInsert(u, v)
+}
+
+// Sync persists any InsertEdge updates of a file-backed engine to its page
+// file and manifest; it is a no-op for in-memory engines.
+func (e *Engine) Sync() error { return e.db.Sync() }
 
 // IOStats returns the accumulated buffer pool counters.
 func (e *Engine) IOStats() IOStats {

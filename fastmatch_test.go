@@ -269,13 +269,13 @@ func TestReachabilityOracle(t *testing.T) {
 	if o.LabelEntries() < 0 {
 		t.Fatal("negative labeling size")
 	}
-	if added := o.InsertEdge(ids[2], ids[3]); added == 0 {
+	if added := o.InsertEdge(ids[2], ids[3]); len(added) == 0 {
 		t.Fatal("new edge should add labels")
 	}
 	if !o.Reaches(ids[0], ids[3]) {
 		t.Fatal("transitive update missing")
 	}
-	if added := o.InsertEdge(ids[0], ids[3]); added != 0 {
+	if added := o.InsertEdge(ids[0], ids[3]); len(added) != 0 {
 		t.Fatal("redundant edge should add nothing")
 	}
 }

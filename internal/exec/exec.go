@@ -98,6 +98,10 @@ func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace b
 // steps of the plan, so a JoinFilterFetch's Fetch reuses the center sets
 // its Filter computed.
 func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace bool, cfg RunConfig) (*rjoin.Table, []StepTrace, error) {
+	// The whole execution runs in one maintenance read epoch: a concurrent
+	// ApplyEdgeInsert waits, so every operator of this plan sees the index
+	// either entirely before or entirely after any given insert.
+	defer db.BeginRead()()
 	rt := cfg.runtime()
 	b := plan.Binding
 	// Intermediate results spill through a scratch heap private to this
@@ -303,6 +307,9 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // entry point shared by Query, the Engine's Explain paths, and the query
 // server's plan cache.
 func BuildPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan, error) {
+	// Planning reads the optimizer statistics inside one read epoch so it
+	// never races a concurrent edge insert.
+	defer db.BeginRead()()
 	b, err := optimizer.Bind(db, p)
 	if err != nil {
 		return nil, err

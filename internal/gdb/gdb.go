@@ -62,14 +62,23 @@ type Options struct {
 	BuildParallelism int
 }
 
-// DB is a built graph database, read-only after Build. The read path —
-// Centers, GetF/GetT, OutCode/InCode, Reaches, and the memoized statistics
-// — is safe for concurrent use: the buffer pool uses sharded locks, the
-// code cache is sharded, and the W-table and statistics caches are guarded
-// by their own locks, so parallel queries proceed without a global mutex.
+// DB is a built graph database. The read path — Centers, GetF/GetT,
+// OutCode/InCode, Reaches, and the memoized statistics — is safe for
+// concurrent use: the buffer pool uses sharded locks, the code cache is
+// sharded, and the W-table and statistics caches are guarded by their own
+// locks, so parallel queries proceed without a global mutex.
+//
+// Writes go through ApplyEdgeInsert, which serialises against readers with
+// the maintenance epoch lock: readers wrap whole operations (a plan build,
+// a query execution) in BeginRead, the writer takes the exclusive side, and
+// the graph itself is swapped copy-on-write so a reader's *graph.Graph
+// snapshot stays consistent for as long as it is held. Inner DB methods do
+// NOT acquire the epoch lock (sync.RWMutex is not reentrant; a nested RLock
+// behind a pending writer would deadlock) — only outermost entry points do.
 type DB struct {
-	g     *graph.Graph
+	gptr  atomic.Pointer[graph.Graph]
 	cover *twohop.Cover
+	inc   *twohop.Incremental // lazily seeded by ApplyEdgeInsert
 
 	pager storage.Pager
 	pool  *storage.BufferPool
@@ -85,6 +94,21 @@ type DB struct {
 	codeCache *codeCache
 
 	closed atomic.Bool
+
+	// maintMu is the maintenance epoch lock: held shared for the span of one
+	// read operation (BeginRead), exclusive while ApplyEdgeInsert mutates the
+	// trees. Lock ordering: maintMu before wmu/statMu, never the reverse.
+	maintMu sync.RWMutex
+
+	// Persistence bookkeeping (see persist.go): the manifest path this
+	// database syncs to, the RIDs of the last-written graph records, and
+	// whether the in-memory graph has drifted from them since.
+	path           string
+	nodesRID       uint64
+	edgesRID       uint64
+	graphPersisted bool
+	graphDirty     bool
+	bulkBuilt      bool // trees were bulk-loaded and untouched since
 
 	numCenters int
 	coverSize  int
@@ -174,6 +198,18 @@ func (c *codeCache) len() int {
 	return n
 }
 
+// invalidate drops one node's cached codes (after its stored record
+// changed).
+func (c *codeCache) invalidate(x graph.NodeID) {
+	if c.disabled {
+		return
+	}
+	s := &c.shards[int(x)%codeCacheShards]
+	s.mu.Lock()
+	delete(s.m, x)
+	s.mu.Unlock()
+}
+
 func (c *codeCache) clear() {
 	if c.disabled {
 		return
@@ -222,7 +258,6 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		pager = fp
 	}
 	db := &DB{
-		g:         g,
 		cover:     cover,
 		pager:     pager,
 		pool:      storage.NewBufferPool(pager, opt.PoolBytes),
@@ -234,8 +269,11 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		distFrom:  make(map[wKey]int64),
 		distTo:    make(map[wKey]int64),
 	}
+	db.setGraph(g)
 	db.heap = storage.NewHeapFile(db.pool)
 	db.coverSize = cover.Size()
+	db.path = opt.Path
+	db.bulkBuilt = true
 	workers := buildWorkers(opt.BuildParallelism)
 	if err := db.buildBaseTables(workers); err != nil {
 		db.Close()
@@ -266,8 +304,24 @@ func (db *DB) Close() error {
 // Closed reports whether Close has been called.
 func (db *DB) Closed() bool { return db.closed.Load() }
 
-// Graph returns the underlying data graph.
-func (db *DB) Graph() *graph.Graph { return db.g }
+// Graph returns the underlying data graph. The returned snapshot is
+// immutable: edge inserts swap in a copy-on-write successor, so a held
+// pointer keeps describing the graph as of when it was taken.
+func (db *DB) Graph() *graph.Graph { return db.gptr.Load() }
+
+func (db *DB) setGraph(g *graph.Graph) { db.gptr.Store(g) }
+
+// BeginRead enters a read epoch: the returned func must be called (usually
+// deferred) when the read operation completes. While any read epoch is
+// open, ApplyEdgeInsert blocks, so a reader sees the index either entirely
+// before or entirely after any given insert — never a torn intermediate
+// state. Only outermost operations (a plan build, a query execution, a
+// single Reaches) may call this; inner DB methods must not, as the lock is
+// not reentrant.
+func (db *DB) BeginRead() func() {
+	db.maintMu.RLock()
+	return db.maintMu.RUnlock
+}
 
 // Cover returns the 2-hop cover the database was built from, or nil for a
 // database reattached with Open (the cover's information lives in the
@@ -319,7 +373,8 @@ func (db *DB) SizeBytes() int { return db.pager.NumPages() * storage.PageSize }
 func (db *DB) ResizePool(bytes int) error { return db.pool.Resize(bytes) }
 
 func (db *DB) buildBaseTables(workers int) error {
-	n := db.g.NumNodes()
+	g := db.Graph()
+	n := g.NumNodes()
 	// Encode every node's stored code up front: encoding is pure CPU and
 	// embarrassingly parallel, while the heap appends stay serial (the heap
 	// is single-writer) and in node order, so record placement is
@@ -331,7 +386,7 @@ func (db *DB) buildBaseTables(workers int) error {
 		}
 	})
 	rids := make([]uint64, n)
-	byLabel := make([][]graph.NodeID, db.g.Labels().Len())
+	byLabel := make([][]graph.NodeID, g.Labels().Len())
 	for v := 0; v < n; v++ {
 		rid, err := db.heap.Insert(recs[v])
 		if err != nil {
@@ -339,7 +394,7 @@ func (db *DB) buildBaseTables(workers int) error {
 		}
 		recs[v] = nil
 		rids[v] = rid.Encode()
-		l := db.g.LabelOf(graph.NodeID(v))
+		l := g.LabelOf(graph.NodeID(v))
 		byLabel[l] = append(byLabel[l], graph.NodeID(v))
 	}
 	// Node IDs ascend within each label, so each base table's primary index
@@ -542,7 +597,7 @@ func (db *DB) getCodes(x graph.NodeID) (codes, error) {
 	if db.closed.Load() {
 		return codes{}, ErrClosed
 	}
-	v, ok, err := db.base[db.g.LabelOf(x)].Get(nodeKey(x))
+	v, ok, err := db.base[db.Graph().LabelOf(x)].Get(nodeKey(x))
 	if err != nil {
 		return codes{}, err
 	}

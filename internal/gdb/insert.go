@@ -1,0 +1,371 @@
+package gdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/storage"
+	"fastmatch/internal/twohop"
+)
+
+// ErrBadInsert reports an edge insert whose endpoints lie outside the
+// graph's node range.
+var ErrBadInsert = errors.New("gdb: edge endpoint out of range")
+
+// EdgeInsertStats summarises what one ApplyEdgeInsert changed.
+type EdgeInsertStats struct {
+	// Duplicate is set when the edge already existed; nothing was changed.
+	Duplicate bool
+	// LabelEntries is the number of 2-hop label entries the cover gained
+	// (zero when the edge's endpoints were already connected).
+	LabelEntries int
+	// NewCenter is set when the edge source became a center, creating a new
+	// cluster in the R-join index.
+	NewCenter bool
+	// NewWPairs counts W-table entries that gained the center — label pairs
+	// (X, Y) whose R-join can now produce results through it.
+	NewWPairs int
+}
+
+// ApplyEdgeInsert adds the edge u→v to the graph and incrementally repairs
+// every persistent structure — no rebuild:
+//
+//  1. The 2-hop cover is updated by center insertion (twohop.Incremental),
+//     which reports exactly the label entries added.
+//  2. Each delta "center u joined stored-Out(x)/In(y)" becomes a point
+//     update of x/y's base-table record (T_X in/out codes).
+//  3. The same deltas, inverted, extend u's F-/T-subclusters in the
+//     cluster index: x with u ∈ out(x) joins F-subcluster (u, F, label(x)),
+//     y with u ∈ in(y) joins T-subcluster (u, T, label(y)). If u was not a
+//     center before, its self entries are created first (the ∪{w}
+//     convention of Section 3.2).
+//  4. Subcluster slots that went from empty to non-empty extend the
+//     W-table: for each newly non-empty F_X, the center joins W(X, Y) for
+//     every label Y with non-empty T_Y, and symmetrically.
+//
+// The whole update runs under the exclusive side of the maintenance epoch
+// lock, so concurrent readers (which wrap operations in BeginRead) observe
+// the index either entirely before or entirely after the insert. The graph
+// itself is swapped copy-on-write, keeping snapshots held by in-flight
+// readers valid.
+//
+// Inserting an existing edge is a no-op reported via Stats.Duplicate.
+// Updates are in-memory-durable only; call Sync to persist them.
+func (db *DB) ApplyEdgeInsert(u, v graph.NodeID) (EdgeInsertStats, error) {
+	var st EdgeInsertStats
+	if db.closed.Load() {
+		return st, ErrClosed
+	}
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+
+	g := db.Graph()
+	n := graph.NodeID(g.NumNodes())
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return st, fmt.Errorf("%w: edge %d->%d, graph has %d nodes", ErrBadInsert, u, v, n)
+	}
+	if slices.Contains(g.Successors(u), v) {
+		st.Duplicate = true
+		return st, nil
+	}
+	if err := db.ensureIncremental(); err != nil {
+		return st, err
+	}
+
+	deltas := db.inc.InsertEdge(u, v)
+	db.setGraph(g.WithEdge(u, v))
+	db.graphDirty = true
+	st.LabelEntries = len(deltas)
+	if len(deltas) == 0 {
+		return st, nil // u already reached v: the cover was complete
+	}
+
+	if err := db.applyBaseDeltas(deltas); err != nil {
+		return st, err
+	}
+	newF, newT, newCenter, err := db.applyClusterDeltas(u, deltas)
+	if err != nil {
+		return st, err
+	}
+	st.NewCenter = newCenter
+	if newCenter {
+		db.numCenters++
+	}
+	st.NewWPairs, err = db.applyWTableDeltas(u, newF, newT)
+	if err != nil {
+		return st, err
+	}
+
+	// Invalidate derived state: decoded codes of the updated nodes, and the
+	// optimizer statistics (join sizes depend on subcluster contents).
+	for _, d := range deltas {
+		db.codeCache.invalidate(d.Node)
+	}
+	db.statMu.Lock()
+	db.joinSizes = make(map[wKey]int64)
+	db.distFrom = make(map[wKey]int64)
+	db.distTo = make(map[wKey]int64)
+	db.statMu.Unlock()
+
+	db.coverSize += len(deltas)
+	db.bulkBuilt = false
+	return st, nil
+}
+
+// ensureIncremental lazily seeds the updatable 2-hop labeling: from the
+// build-time cover when present, otherwise (a database reattached with
+// Open) by scanning the stored compact codes back out of the base tables.
+func (db *DB) ensureIncremental() error {
+	if db.inc != nil {
+		return nil
+	}
+	g := db.Graph()
+	n := g.NumNodes()
+	in := make([][]graph.NodeID, n)
+	out := make([][]graph.NodeID, n)
+	if db.cover != nil {
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			in[v] = db.cover.In(v)
+			out[v] = db.cover.Out(v)
+		}
+	} else {
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			rid, ok, err := db.base[g.LabelOf(v)].Get(nodeKey(v))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("gdb: node %d missing from base table", v)
+			}
+			rec, err := db.heap.Read(storage.DecodeRID(rid))
+			if err != nil {
+				return err
+			}
+			in[v], out[v] = decodeCodes(rec)
+		}
+	}
+	db.inc = twohop.NewIncrementalFromLabels(g, in, out)
+	return nil
+}
+
+// applyBaseDeltas rewrites the base-table record of every node whose
+// stored code gained a center: read-modify-write through the heap (the old
+// record is orphaned; the heap is append-only) and an upsert of the
+// primary index entry.
+func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
+	g := db.Graph()
+	byNode := make(map[graph.NodeID][]twohop.LabelDelta)
+	order := make([]graph.NodeID, 0, len(deltas))
+	for _, d := range deltas {
+		if _, ok := byNode[d.Node]; !ok {
+			order = append(order, d.Node)
+		}
+		byNode[d.Node] = append(byNode[d.Node], d)
+	}
+	slices.Sort(order)
+	for _, x := range order {
+		tree := db.base[g.LabelOf(x)]
+		rid, ok, err := tree.Get(nodeKey(x))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("gdb: node %d missing from base table", x)
+		}
+		rec, err := db.heap.Read(storage.DecodeRID(rid))
+		if err != nil {
+			return err
+		}
+		in, out := decodeCodes(rec)
+		for _, d := range byNode[x] {
+			if d.Out {
+				out = insertSorted(out, d.Center)
+			} else {
+				in = insertSorted(in, d.Center)
+			}
+		}
+		nrid, err := db.heap.Insert(encodeCodes(in, out))
+		if err != nil {
+			return err
+		}
+		if err := tree.Insert(nodeKey(x), nrid.Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyClusterDeltas extends center w's subclusters with the delta nodes:
+// an out-side delta for node x puts x in F-subcluster (w, F, label(x)), an
+// in-side delta for node y puts y in T-subcluster (w, T, label(y)). It
+// returns the labels of F- and T-subcluster slots that went from empty to
+// non-empty (they drive the W-table update) and whether w is a new center.
+func (db *DB) applyClusterDeltas(w graph.NodeID, deltas []twohop.LabelDelta) (newF, newT []graph.Label, newCenter bool, err error) {
+	g := db.Graph()
+	type slot struct {
+		dir byte
+		l   graph.Label
+	}
+	adds := make(map[slot][]graph.NodeID)
+	for _, d := range deltas {
+		dir := dirT
+		if d.Out {
+			dir = dirF
+		}
+		s := slot{dir, g.LabelOf(d.Node)}
+		adds[s] = append(adds[s], d.Node)
+	}
+	// A center always carries its self entries (w, F, label(w)) and
+	// (w, T, label(w)) — their presence is the "is w a center" test.
+	self := clusterKey(w, dirF, g.LabelOf(w))
+	if _, ok, gerr := db.cluster.Get(self); gerr != nil {
+		return nil, nil, false, gerr
+	} else if !ok {
+		newCenter = true
+		adds[slot{dirF, g.LabelOf(w)}] = append(adds[slot{dirF, g.LabelOf(w)}], w)
+		adds[slot{dirT, g.LabelOf(w)}] = append(adds[slot{dirT, g.LabelOf(w)}], w)
+	}
+	slots := make([]slot, 0, len(adds))
+	for s := range adds {
+		slots = append(slots, s)
+	}
+	slices.SortFunc(slots, func(a, b slot) int {
+		if a.dir != b.dir {
+			return int(a.dir) - int(b.dir)
+		}
+		return int(a.l) - int(b.l)
+	})
+	for _, s := range slots {
+		key := clusterKey(w, s.dir, s.l)
+		var members []graph.NodeID
+		rid, ok, gerr := db.cluster.Get(key)
+		if gerr != nil {
+			return nil, nil, false, gerr
+		}
+		if ok {
+			rec, rerr := db.heap.Read(storage.DecodeRID(rid))
+			if rerr != nil {
+				return nil, nil, false, rerr
+			}
+			members = decodeNodeList(rec)
+		} else {
+			if s.dir == dirF {
+				newF = append(newF, s.l)
+			} else {
+				newT = append(newT, s.l)
+			}
+		}
+		before := len(members)
+		for _, x := range adds[s] {
+			members = insertSorted(members, x)
+		}
+		if len(members) == before {
+			continue
+		}
+		nrid, ierr := db.heap.Insert(encodeNodeList(members))
+		if ierr != nil {
+			return nil, nil, false, ierr
+		}
+		if ierr := db.cluster.Insert(key, nrid.Encode()); ierr != nil {
+			return nil, nil, false, ierr
+		}
+	}
+	return newF, newT, newCenter, nil
+}
+
+// applyWTableDeltas adds center w to W(X, Y) for every label pair that one
+// of its newly non-empty subclusters completes: (newF × allT) ∪ (allF ×
+// newT), where allF/allT are w's non-empty subcluster labels after the
+// cluster update. Each touched W-table cache entry is dropped (the stale
+// entry may be a cached negative).
+func (db *DB) applyWTableDeltas(w graph.NodeID, newF, newT []graph.Label) (int, error) {
+	if len(newF) == 0 && len(newT) == 0 {
+		return 0, nil
+	}
+	allF, err := db.clusterLabels(w, dirF)
+	if err != nil {
+		return 0, err
+	}
+	allT, err := db.clusterLabels(w, dirT)
+	if err != nil {
+		return 0, err
+	}
+	pairs := make(map[wKey]struct{})
+	for _, x := range newF {
+		for _, y := range allT {
+			pairs[wKey{x, y}] = struct{}{}
+		}
+	}
+	for _, y := range newT {
+		for _, x := range allF {
+			pairs[wKey{x, y}] = struct{}{}
+		}
+	}
+	keys := make([]wKey, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b wKey) int {
+		if a.x != b.x {
+			return int(a.x) - int(b.x)
+		}
+		return int(a.y) - int(b.y)
+	})
+	added := 0
+	for _, k := range keys {
+		var ws []graph.NodeID
+		rid, ok, err := db.wtable.Get(wtableKey(k.x, k.y))
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			rec, err := db.heap.Read(storage.DecodeRID(rid))
+			if err != nil {
+				return added, err
+			}
+			ws = decodeNodeList(rec)
+		}
+		before := len(ws)
+		ws = insertSorted(ws, w)
+		if len(ws) == before {
+			continue
+		}
+		nrid, err := db.heap.Insert(encodeNodeList(ws))
+		if err != nil {
+			return added, err
+		}
+		if err := db.wtable.Insert(wtableKey(k.x, k.y), nrid.Encode()); err != nil {
+			return added, err
+		}
+		added++
+		if db.wcacheOn {
+			db.wmu.Lock()
+			delete(db.wcache, k)
+			db.wmu.Unlock()
+		}
+	}
+	return added, nil
+}
+
+// clusterLabels returns the labels of center w's non-empty dir-side
+// subclusters, ascending, by scanning the cluster index over w's key range.
+func (db *DB) clusterLabels(w graph.NodeID, dir byte) ([]graph.Label, error) {
+	var out []graph.Label
+	start := clusterKey(w, dir, 0)
+	err := db.cluster.Scan(start, func(key []byte, _ uint64) bool {
+		if len(key) != 9 {
+			return false
+		}
+		kw := graph.NodeID(binary.BigEndian.Uint32(key[0:4]))
+		if kw != w || key[4] != dir {
+			return false
+		}
+		l := graph.Label(binary.BigEndian.Uint32(key[5:9]))
+		out = append(out, l)
+		return true
+	})
+	return out, err
+}

@@ -78,7 +78,7 @@ type inversion struct {
 // The result is identical at every worker count: slot layout depends only
 // on the cover, and segment order only on node order.
 func (db *DB) invertCover(workers int) *inversion {
-	g, cover := db.g, db.cover
+	g, cover := db.Graph(), db.cover
 	n := g.NumNodes()
 	L := g.Labels().Len()
 

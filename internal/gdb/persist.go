@@ -26,6 +26,11 @@ type manifest struct {
 	EdgesRID   uint64            `json:"edges_rid"` // heap record: edge list
 	NumCenters int               `json:"num_centers"`
 	CoverSize  int               `json:"cover_size"`
+	// BulkBuilt records that the trees were bulk-loaded and have not been
+	// point-updated since, so a reopened database knows whether the dense
+	// bulk layout survives. Informational for tooling; both layouts read
+	// identically through OpenBTree.
+	BulkBuilt bool `json:"bulk_built,omitempty"`
 }
 
 const manifestVersion = 1
@@ -34,33 +39,42 @@ func manifestPath(path string) string { return path + ".manifest" }
 
 // Persist writes the database's manifest and graph records so Open can
 // reattach later. It is called automatically by Build when Options.Path is
-// set; call it again only after mutating options worth re-saving.
+// set, and by Sync after edge inserts. Re-persisting an unchanged database
+// is byte-stable: the graph records written last time are reused (their
+// RIDs are cached on the DB), so Persist→Open→Persist leaves both the page
+// file and the manifest identical.
 func (db *DB) Persist(path string) error {
-	g := db.g
-	// Node labels record.
-	nodeRec := make([]byte, 4+4*g.NumNodes())
-	binary.LittleEndian.PutUint32(nodeRec, uint32(g.NumNodes()))
-	for v := 0; v < g.NumNodes(); v++ {
-		binary.LittleEndian.PutUint32(nodeRec[4+4*v:], uint32(g.LabelOf(graph.NodeID(v))))
-	}
-	nodesRID, err := db.heap.Insert(nodeRec)
-	if err != nil {
-		return err
-	}
-	// Edge list record.
-	edgeRec := make([]byte, 4+8*g.NumEdges())
-	binary.LittleEndian.PutUint32(edgeRec, uint32(g.NumEdges()))
-	o := 4
-	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		for _, w := range g.Successors(v) {
-			binary.LittleEndian.PutUint32(edgeRec[o:], uint32(v))
-			binary.LittleEndian.PutUint32(edgeRec[o+4:], uint32(w))
-			o += 8
+	g := db.Graph()
+	if !db.graphPersisted || db.graphDirty {
+		// Node labels record.
+		nodeRec := make([]byte, 4+4*g.NumNodes())
+		binary.LittleEndian.PutUint32(nodeRec, uint32(g.NumNodes()))
+		for v := 0; v < g.NumNodes(); v++ {
+			binary.LittleEndian.PutUint32(nodeRec[4+4*v:], uint32(g.LabelOf(graph.NodeID(v))))
 		}
-	}
-	edgesRID, err := db.heap.Insert(edgeRec)
-	if err != nil {
-		return err
+		nodesRID, err := db.heap.Insert(nodeRec)
+		if err != nil {
+			return err
+		}
+		// Edge list record.
+		edgeRec := make([]byte, 4+8*g.NumEdges())
+		binary.LittleEndian.PutUint32(edgeRec, uint32(g.NumEdges()))
+		o := 4
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			for _, w := range g.Successors(v) {
+				binary.LittleEndian.PutUint32(edgeRec[o:], uint32(v))
+				binary.LittleEndian.PutUint32(edgeRec[o+4:], uint32(w))
+				o += 8
+			}
+		}
+		edgesRID, err := db.heap.Insert(edgeRec)
+		if err != nil {
+			return err
+		}
+		db.nodesRID = nodesRID.Encode()
+		db.edgesRID = edgesRID.Encode()
+		db.graphPersisted = true
+		db.graphDirty = false
 	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
@@ -72,10 +86,11 @@ func (db *DB) Persist(path string) error {
 		BaseRoots:  make(map[string]uint32, len(db.base)),
 		WTableRoot: uint32(db.wtable.Root()),
 		ClustRoot:  uint32(db.cluster.Root()),
-		NodesRID:   nodesRID.Encode(),
-		EdgesRID:   edgesRID.Encode(),
+		NodesRID:   db.nodesRID,
+		EdgesRID:   db.edgesRID,
 		NumCenters: db.numCenters,
-		CoverSize:  db.cover.Size(),
+		CoverSize:  db.coverSize,
+		BulkBuilt:  db.bulkBuilt,
 	}
 	for l, bt := range db.base {
 		m.BaseRoots[g.Labels().Name(l)] = uint32(bt.Root())
@@ -88,7 +103,27 @@ func (db *DB) Persist(path string) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, manifestPath(path))
+	if err := os.Rename(tmp, manifestPath(path)); err != nil {
+		return err
+	}
+	db.path = path
+	return nil
+}
+
+// Sync re-persists a file-backed database to its manifest path, making any
+// ApplyEdgeInsert updates durable. It is a no-op for in-memory databases.
+// Sync takes the exclusive side of the maintenance lock, so it must not be
+// called from within a read epoch.
+func (db *DB) Sync() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.path == "" {
+		return nil
+	}
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	return db.Persist(db.path)
 }
 
 // Open reattaches to a database previously built with a non-empty
@@ -167,10 +202,15 @@ func Open(path string, opt Options) (*DB, error) {
 		o += 8
 		gb.AddEdge(from, to)
 	}
-	db.g = gb.Build()
+	db.setGraph(gb.Build())
+	db.path = path
+	db.nodesRID = m.NodesRID
+	db.edgesRID = m.EdgesRID
+	db.graphPersisted = true
+	db.bulkBuilt = m.BulkBuilt
 
 	for name, root := range m.BaseRoots {
-		l := db.g.Labels().Lookup(name)
+		l := db.Graph().Labels().Lookup(name)
 		if l == graph.InvalidLabel {
 			db.Close()
 			return nil, fmt.Errorf("gdb: manifest base table for unknown label %q", name)

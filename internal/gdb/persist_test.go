@@ -100,6 +100,139 @@ func TestPersistAndOpen(t *testing.T) {
 	}
 }
 
+// readDBFiles returns the page file and manifest contents.
+func readDBFiles(t *testing.T, path string) ([]byte, []byte) {
+	t.Helper()
+	pages, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := os.ReadFile(manifestPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pages, man
+}
+
+// reopenAndRepersist opens the database at path, persists it again
+// unchanged, and closes it.
+func reopenAndRepersist(t *testing.T, path string) {
+	t.Helper()
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(path); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistReopenByteStable: Persist→Open→Persist must not change a byte
+// of the page file or the manifest — for a freshly bulk-built database and
+// for one whose trees have absorbed point inserts. Re-persisting reuses the
+// already-written graph records instead of appending fresh copies.
+func TestPersistReopenByteStable(t *testing.T) {
+	t.Run("bulk-built", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "db.pages")
+		g := randomGraph(13, 80, 160, 4)
+		db, err := Build(g, Options{Path: path}) // Build persists automatically
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pages0, man0 := readDBFiles(t, path)
+		reopenAndRepersist(t, path)
+		pages1, man1 := readDBFiles(t, path)
+		if string(man0) != string(man1) {
+			t.Fatalf("manifest changed across reopen:\n%s\nvs\n%s", man0, man1)
+		}
+		if string(pages0) != string(pages1) {
+			t.Fatalf("page file changed across reopen: %d vs %d bytes", len(pages0), len(pages1))
+		}
+	})
+	t.Run("insert-built", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "db.pages")
+		g := randomGraph(14, 40, 60, 3)
+		db, err := Build(g, Options{Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			u := graph.NodeID((i * 7) % 40)
+			v := graph.NodeID((i*13 + 5) % 40)
+			if _, err := db.ApplyEdgeInsert(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pages0, man0 := readDBFiles(t, path)
+		reopenAndRepersist(t, path)
+		pages1, man1 := readDBFiles(t, path)
+		if string(man0) != string(man1) {
+			t.Fatalf("manifest changed across reopen:\n%s\nvs\n%s", man0, man1)
+		}
+		if string(pages0) != string(pages1) {
+			t.Fatalf("page file changed across reopen: %d vs %d bytes", len(pages0), len(pages1))
+		}
+	})
+}
+
+// TestManifestRecordsBulkBuilt: the manifest distinguishes a pristine
+// bulk-loaded database from one whose trees have been point-updated.
+func TestManifestRecordsBulkBuilt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+	g := randomGraph(15, 30, 45, 3)
+	db, err := Build(g, Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.bulkBuilt {
+		t.Fatal("freshly built db not marked bulk-built")
+	}
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.bulkBuilt {
+		t.Fatal("reopened pristine db lost bulk-built mark")
+	}
+	if _, err := re.ApplyEdgeInsert(5, 28); err != nil {
+		t.Fatal(err)
+	}
+	if re.bulkBuilt {
+		t.Fatal("db still marked bulk-built after a point insert")
+	}
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.bulkBuilt {
+		t.Fatal("bulk-built mark resurrected after reopen")
+	}
+	db.Close()
+}
+
 func TestOpenErrors(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Open(filepath.Join(dir, "missing.pages"), Options{}); err == nil {

@@ -1,0 +1,48 @@
+package graph
+
+import "slices"
+
+// WithEdge returns a new Graph equal to g plus the edge u→v. The receiver
+// is never mutated: label table, node labels, and extents are shared
+// (they are unaffected by an edge insert), while both CSR adjacency
+// arrays are copied with the new endpoint spliced in at its sorted
+// position. Readers holding the old Graph keep a consistent snapshot,
+// which is what the database's copy-on-write insert path relies on.
+//
+// Inserting an edge that already exists returns a copy with a duplicate
+// entry; callers that need set semantics must check beforehand.
+func (g *Graph) WithEdge(u, v NodeID) *Graph {
+	n := g.NumNodes()
+	if int(u) >= n || int(v) >= n || u < 0 || v < 0 {
+		panic("graph: WithEdge endpoint out of range")
+	}
+	ng := &Graph{
+		labels:    g.labels,
+		nodeLabel: g.nodeLabel,
+		extent:    g.extent,
+	}
+	ng.fwdHead, ng.fwdAdj = insertAdj(g.fwdHead, g.fwdAdj, u, v)
+	ng.revHead, ng.revAdj = insertAdj(g.revHead, g.revAdj, v, u)
+	return ng
+}
+
+// insertAdj copies a CSR (head, adj) pair with dst inserted into src's
+// segment at its sorted position.
+func insertAdj(head []int32, adj []NodeID, src, dst NodeID) ([]int32, []NodeID) {
+	nh := make([]int32, len(head))
+	for i := range head {
+		nh[i] = head[i]
+		if i > int(src) {
+			nh[i]++
+		}
+	}
+	seg := adj[head[src]:head[src+1]]
+	pos := int(head[src])
+	at, _ := slices.BinarySearch(seg, dst)
+	pos += at
+	na := make([]NodeID, len(adj)+1)
+	copy(na, adj[:pos])
+	na[pos] = dst
+	copy(na[pos+1:], adj[pos:])
+	return nh, na
+}

@@ -43,6 +43,7 @@ type errorResponse struct {
 // Handler returns the server's HTTP API:
 //
 //	POST /query   — evaluate a pattern (JSON QueryRequest → QueryResponse)
+//	POST /insert  — apply edge inserts (JSON InsertRequest → InsertResult)
 //	GET  /stats   — metrics snapshot (JSON Stats)
 //	GET  /healthz — liveness ("ok", 503 once the database is closed)
 //
@@ -54,6 +55,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+// InsertRequest is the JSON body of POST /insert: a batch of directed
+// edges, each a [from, to] node-ID pair, applied in order.
+type InsertRequest struct {
+	Edges [][2]graph.NodeID `json:"edges"`
+}
+
+// InsertResult aggregates one insert batch's effect on the index.
+type InsertResult struct {
+	// Applied counts edges that actually changed the graph (non-duplicates).
+	Applied int `json:"applied"`
+	// Duplicates counts edges that already existed (no-ops).
+	Duplicates int `json:"duplicates"`
+	// LabelEntries is the total 2-hop label entries the cover gained.
+	LabelEntries int `json:"label_entries"`
+	// NewCenters counts nodes that became centers of the R-join index.
+	NewCenters int `json:"new_centers"`
+	// NewWPairs counts W-table entries extended with a center.
+	NewWPairs int `json:"new_w_pairs"`
+}
+
+// InsertEdges applies a batch of edge inserts through the database's
+// incremental maintenance path. Each edge is one atomic index update:
+// concurrent queries observe the index on some prefix of the batch, never
+// a torn intermediate state (the maintenance epoch lock serialises each
+// insert against whole query executions). After the batch the plan cache
+// is dropped — cached plans stay result-correct on the grown graph (plan
+// shape affects cost, not answers), but replanning lets the optimizer see
+// the updated statistics.
+//
+// A malformed edge (endpoint out of range) aborts the batch at that edge
+// with ErrBadQuery; earlier edges stay applied, and the returned result
+// counts them.
+func (s *Server) InsertEdges(ctx context.Context, edges [][2]graph.NodeID) (InsertResult, error) {
+	var res InsertResult
+	if s.db.Closed() {
+		return res, gdb.ErrClosed
+	}
+	for _, e := range edges {
+		if err := ctx.Err(); err != nil {
+			s.met.recordError(err)
+			return res, err
+		}
+		st, err := s.db.ApplyEdgeInsert(e[0], e[1])
+		if err != nil {
+			s.met.insertErrors.Add(1)
+			if errors.Is(err, gdb.ErrBadInsert) {
+				err = badQuery(err)
+			}
+			return res, err
+		}
+		if st.Duplicate {
+			res.Duplicates++
+			continue
+		}
+		res.Applied++
+		res.LabelEntries += st.LabelEntries
+		res.NewWPairs += st.NewWPairs
+		if st.NewCenter {
+			res.NewCenters++
+		}
+	}
+	if res.Applied > 0 {
+		s.plans.clear()
+	}
+	s.met.edgeInserts.Add(int64(res.Applied))
+	s.met.insertDuplicates.Add(int64(res.Duplicates))
+	s.met.insertLabelEntries.Add(int64(res.LabelEntries))
+	return res, nil
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req InsertRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"edges\""))
+		return
+	}
+	res, err := s.InsertEdges(r.Context(), req.Edges)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -38,6 +38,12 @@ type metrics struct {
 	peakImBytes atomic.Int64 // high-water intermediate bytes of one query
 	peakImRows  atomic.Int64 // high-water intermediate table rows
 
+	// Edge-insert path (POST /insert, InsertEdges).
+	edgeInserts        atomic.Int64 // edges applied (non-duplicates)
+	insertDuplicates   atomic.Int64 // edges skipped as already present
+	insertLabelEntries atomic.Int64 // 2-hop label entries added
+	insertErrors       atomic.Int64 // failed insert requests
+
 	// Intra-query operator parallelism (aggregated rjoin.RuntimeStats).
 	operatorOps   atomic.Int64 // operator executions
 	parallelOps   atomic.Int64 // operators that split across >1 worker
@@ -171,6 +177,13 @@ type Stats struct {
 	PlanCacheSize   int   `json:"plan_cache_size"`
 	// RowsReturned is the total result rows across completed queries.
 	RowsReturned int64 `json:"rows_returned"`
+	// EdgeInserts counts edges applied through the incremental maintenance
+	// path; InsertDuplicates the no-op re-inserts, InsertLabelEntries the
+	// 2-hop label entries added, InsertErrors the failed insert requests.
+	EdgeInserts        int64 `json:"edge_inserts"`
+	InsertDuplicates   int64 `json:"insert_duplicates"`
+	InsertLabelEntries int64 `json:"insert_label_entries"`
+	InsertErrors       int64 `json:"insert_errors"`
 	// QueryParallelism is the configured intra-query worker degree
 	// (0 = GOMAXPROCS).
 	QueryParallelism int `json:"query_parallelism"`
@@ -219,6 +232,10 @@ func (s *Server) Stats() Stats {
 		PlanCoalesced:         s.met.planCoalesced.Load(),
 		PlanCacheSize:         s.plans.len(),
 		RowsReturned:          s.met.rows.Load(),
+		EdgeInserts:           s.met.edgeInserts.Load(),
+		InsertDuplicates:      s.met.insertDuplicates.Load(),
+		InsertLabelEntries:    s.met.insertLabelEntries.Load(),
+		InsertErrors:          s.met.insertErrors.Load(),
 		QueryParallelism:      s.cfg.QueryParallelism,
 		OperatorOps:           s.met.operatorOps.Load(),
 		OperatorParallelOps:   s.met.parallelOps.Load(),

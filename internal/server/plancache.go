@@ -69,6 +69,18 @@ func (c *planCache) put(key string, plan *optimizer.Plan) {
 	}
 }
 
+// clear drops every cached plan (after an edge insert changed the
+// optimizer statistics).
+func (c *planCache) clear() {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
 func (c *planCache) len() int {
 	if c.cap <= 0 {
 		return 0

@@ -1,11 +1,14 @@
 // Package server is the concurrent query-serving subsystem: it wraps a
-// read-only gdb.DB with admission control (a bounded worker-pool semaphore
-// with queue timeout), a plan cache keyed by canonical pattern form, per-
-// server metrics, and an HTTP front-end. The paper's engine is single-
-// threaded; the storage and database layers were made safe for parallel
-// readers (sharded buffer-pool and code-cache locks, per-query scratch
-// heaps), so N queries execute simultaneously with no global engine mutex —
-// this package adds the serving policy on top.
+// gdb.DB with admission control (a bounded worker-pool semaphore with
+// queue timeout), a plan cache keyed by canonical pattern form, per-server
+// metrics, and an HTTP front-end. The paper's engine is single-threaded;
+// the storage and database layers were made safe for parallel readers
+// (sharded buffer-pool and code-cache locks, per-query scratch heaps), so
+// N queries execute simultaneously with no global engine mutex — this
+// package adds the serving policy on top. Edge inserts go through
+// InsertEdges (POST /insert), which rides the database's maintenance epoch
+// lock: each insert serialises against whole query executions, so a query
+// always answers on some prefix of the insert sequence.
 package server
 
 import (
@@ -162,8 +165,9 @@ type planCall struct {
 	err  error
 }
 
-// New wraps db in a query server. The db must not be written to while the
-// server is running (databases are read-only after Build).
+// New wraps db in a query server. Writes must go through the server's own
+// InsertEdges (or the database's ApplyEdgeInsert), never around it — both
+// take the maintenance lock that keeps in-flight queries consistent.
 func New(db *gdb.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{

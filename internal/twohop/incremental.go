@@ -53,6 +53,42 @@ func NewIncremental(c *Cover) *Incremental {
 	return inc
 }
 
+// NewIncrementalFromLabels seeds an updatable labeling from g's adjacency
+// and already-materialised compact label lists (sorted ascending, excluding
+// the node itself) — the form stored in the graph database's base tables,
+// so a reattached database can resume incremental maintenance without the
+// original Cover object. The label slices are copied.
+func NewIncrementalFromLabels(g *graph.Graph, in, out [][]graph.NodeID) *Incremental {
+	n := g.NumNodes()
+	if len(in) != n || len(out) != n {
+		panic("twohop: NewIncrementalFromLabels: label lists do not match graph size")
+	}
+	inc := &Incremental{
+		fwd: make([][]graph.NodeID, n),
+		rev: make([][]graph.NodeID, n),
+		in:  make([][]graph.NodeID, n),
+		out: make([][]graph.NodeID, n),
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		inc.fwd[v] = append([]graph.NodeID(nil), g.Successors(v)...)
+		inc.rev[v] = append([]graph.NodeID(nil), g.Predecessors(v)...)
+		inc.in[v] = append([]graph.NodeID(nil), in[v]...)
+		inc.out[v] = append([]graph.NodeID(nil), out[v]...)
+		inc.size += len(in[v]) + len(out[v])
+	}
+	return inc
+}
+
+// LabelDelta records one label entry added by InsertEdge: Center joined the
+// compact L_out(Node) (Out true) or L_in(Node) (Out false). The delta set
+// is exactly what an index built on top of the labeling (base-table codes,
+// cluster index, W-table) must absorb to stay consistent.
+type LabelDelta struct {
+	Node   graph.NodeID
+	Center graph.NodeID
+	Out    bool
+}
+
 // NumNodes returns the number of nodes.
 func (inc *Incremental) NumNodes() int { return len(inc.fwd) }
 
@@ -80,29 +116,32 @@ func (inc *Incremental) Reaches(u, v graph.NodeID) bool {
 }
 
 // InsertEdge adds the edge u→v and repairs the labeling. It returns the
-// number of label entries added (0 when the edge adds no new reachability).
-func (inc *Incremental) InsertEdge(u, v graph.NodeID) int {
+// label entries added, in deterministic order (out-side entries in BFS
+// order from u over predecessors, then in-side entries in BFS order from v
+// over successors); nil when the edge adds no new reachability. The count
+// of new entries is len of the returned set.
+func (inc *Incremental) InsertEdge(u, v graph.NodeID) []LabelDelta {
 	alreadyReachable := inc.Reaches(u, v)
 	inc.fwd[u] = append(inc.fwd[u], v)
 	inc.rev[v] = append(inc.rev[v], u)
 	if alreadyReachable {
-		return 0 // no new pairs: x ⇝ u ⇝ v ⇝ y held before
+		return nil // no new pairs: x ⇝ u ⇝ v ⇝ y held before
 	}
-	added := 0
+	var deltas []LabelDelta
 	// u becomes a center: into out(x) for all x reaching u…
 	for _, x := range inc.bfs(inc.rev, u) {
 		if x != u && insertSortedInPlace(&inc.out[x], u) {
-			added++
+			deltas = append(deltas, LabelDelta{Node: x, Center: u, Out: true})
 		}
 	}
 	// …and into in(y) for all y reachable from v.
 	for _, y := range inc.bfs(inc.fwd, v) {
 		if y != u && insertSortedInPlace(&inc.in[y], u) {
-			added++
+			deltas = append(deltas, LabelDelta{Node: y, Center: u, Out: false})
 		}
 	}
-	inc.size += added
-	return added
+	inc.size += len(deltas)
+	return deltas
 }
 
 // bfs returns all nodes reachable from start over adj (including start).

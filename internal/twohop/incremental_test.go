@@ -64,14 +64,14 @@ func TestIncrementalRedundantEdgeAddsNothing(t *testing.T) {
 	g := chainGraph(6)
 	inc := NewIncremental(Compute(g, Options{}))
 	// 0 already reaches 4 along the chain.
-	if added := inc.InsertEdge(0, 4); added != 0 {
-		t.Fatalf("redundant edge added %d labels", added)
+	if deltas := inc.InsertEdge(0, 4); len(deltas) != 0 {
+		t.Fatalf("redundant edge added %d labels: %v", len(deltas), deltas)
 	}
 	if !inc.Reaches(0, 4) {
 		t.Fatal("reachability lost")
 	}
 	// A genuinely new edge (backward) must add labels and close a cycle.
-	if added := inc.InsertEdge(5, 0); added == 0 {
+	if deltas := inc.InsertEdge(5, 0); len(deltas) == 0 {
 		t.Fatal("cycle-closing edge added no labels")
 	}
 	for u := graph.NodeID(0); u < 6; u++ {
@@ -91,9 +91,9 @@ func TestIncrementalSizeAccounting(t *testing.T) {
 		t.Fatalf("seed size %d != cover size %d", inc.Size(), c.Size())
 	}
 	before := inc.Size()
-	added := inc.InsertEdge(7, 3) // backward edge, new pairs
-	if inc.Size() != before+added {
-		t.Fatalf("size %d != %d + %d", inc.Size(), before, added)
+	deltas := inc.InsertEdge(7, 3) // backward edge, new pairs
+	if inc.Size() != before+len(deltas) {
+		t.Fatalf("size %d != %d + %d", inc.Size(), before, len(deltas))
 	}
 	// Lists remain sorted and self-free.
 	for v := graph.NodeID(0); v < 8; v++ {
@@ -116,11 +116,92 @@ func TestIncrementalIdempotentInsert(t *testing.T) {
 	g := chainGraph(5)
 	inc := NewIncremental(Compute(g, Options{}))
 	first := inc.InsertEdge(4, 0)
-	if first == 0 {
+	if len(first) == 0 {
 		t.Fatal("first insert should add labels")
 	}
-	if again := inc.InsertEdge(4, 0); again != 0 {
-		t.Fatalf("re-inserting the same edge added %d labels", again)
+	if again := inc.InsertEdge(4, 0); len(again) != 0 {
+		t.Fatalf("re-inserting the same edge added %d labels", len(again))
+	}
+}
+
+// TestIncrementalInsertDeltas pins the contract ApplyEdgeInsert depends on:
+// every delta names the inserted edge's source as its center, the entry is
+// actually present in the labeling afterwards, no delta is a self entry,
+// and the delta count matches the size growth exactly (no silent extras).
+func TestIncrementalInsertDeltas(t *testing.T) {
+	g := chainGraph(6)
+	inc := NewIncremental(Compute(g, Options{}))
+	before := inc.Size()
+	u, v := graph.NodeID(5), graph.NodeID(1) // backward edge: new pairs
+	deltas := inc.InsertEdge(u, v)
+	if len(deltas) == 0 {
+		t.Fatal("backward edge added no labels")
+	}
+	if inc.Size() != before+len(deltas) {
+		t.Fatalf("size grew by %d but %d deltas reported", inc.Size()-before, len(deltas))
+	}
+	seen := make(map[LabelDelta]bool, len(deltas))
+	for _, d := range deltas {
+		if d.Center != u {
+			t.Fatalf("delta %+v: center is not the edge source %d", d, u)
+		}
+		if d.Node == d.Center {
+			t.Fatalf("delta %+v is a self entry", d)
+		}
+		if seen[d] {
+			t.Fatalf("duplicate delta %+v", d)
+		}
+		seen[d] = true
+		list := inc.In(d.Node)
+		if d.Out {
+			list = inc.Out(d.Node)
+		}
+		if !containsSorted(list, d.Center) {
+			t.Fatalf("delta %+v not present in labeling", d)
+		}
+	}
+	// Every x ⇝ u must now carry u in out(x); every v ⇝ y must carry u in
+	// in(y) — cross-check the delta set covers exactly the BFS frontiers
+	// that did not already hold the entry (here: all of them).
+	wantOut := map[graph.NodeID]bool{}
+	for x := graph.NodeID(0); x < 5; x++ { // 0..4 reach 5 along the chain
+		wantOut[x] = true
+	}
+	for x := range wantOut {
+		if !seen[(LabelDelta{Node: x, Center: u, Out: true})] {
+			t.Fatalf("missing out-delta for node %d", x)
+		}
+	}
+}
+
+// TestNewIncrementalFromLabels: seeding from materialised label lists must
+// behave identically to seeding from the Cover itself.
+func TestNewIncrementalFromLabels(t *testing.T) {
+	g := randomGraph(11, 20, 28, 3)
+	c := Compute(g, Options{})
+	n := g.NumNodes()
+	in := make([][]graph.NodeID, n)
+	out := make([][]graph.NodeID, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		in[v] = append([]graph.NodeID(nil), c.In(v)...)
+		out[v] = append([]graph.NodeID(nil), c.Out(v)...)
+	}
+	a := NewIncremental(c)
+	b := NewIncrementalFromLabels(g, in, out)
+	if a.Size() != b.Size() {
+		t.Fatalf("size mismatch: %d vs %d", a.Size(), b.Size())
+	}
+	da := a.InsertEdge(17, 2)
+	db := b.InsertEdge(17, 2)
+	if len(da) != len(db) {
+		t.Fatalf("delta mismatch after same insert: %v vs %v", da, db)
+	}
+	for x := graph.NodeID(0); int(x) < n; x++ {
+		for y := graph.NodeID(0); int(y) < n; y++ {
+			if a.Reaches(x, y) != b.Reaches(x, y) {
+				t.Fatalf("Reaches(%d,%d) diverges between seedings", x, y)
+			}
+		}
 	}
 }
 

@@ -34,9 +34,8 @@ func (o *ReachabilityOracle) Reaches(u, v NodeID) bool {
 }
 
 // InsertEdge adds the edge u→v and repairs the labeling, returning the
-// number of label entries added (0 when the edge creates no new
-// reachability).
-func (o *ReachabilityOracle) InsertEdge(u, v NodeID) int {
+// label entries added (nil when the edge creates no new reachability).
+func (o *ReachabilityOracle) InsertEdge(u, v NodeID) []CoverDelta {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.inc.InsertEdge(u, v)
