@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-fuzz-smoke verify bench bench-baseline bench-compare clean
+.PHONY: build test test-short test-fuzz-smoke test-race-stress verify bench bench-baseline bench-compare clean
 
 # Benchmarks covered by bench-baseline/bench-compare: the sorted-set
 # kernels and the parallel operator suite — the hot paths a perf PR must
@@ -28,13 +28,24 @@ test-fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzEdgeInsertDifferential -fuzztime $(FUZZTIME) .
 	$(GO) test -run XXX -fuzz FuzzIncrementalInsert -fuzztime $(FUZZTIME) ./internal/twohop
 
+# test-race-stress repeats the MVCC snapshot-epoch stress tests under the
+# race detector: concurrent insert batches against lock-free readers
+# (prefix consistency, epoch retirement) and the stalled-writer
+# no-reader-blocking probe. The full -race suite runs them once; the
+# elevated count shakes out more interleavings.
+test-race-stress:
+	$(GO) test -race -count=3 -run 'TestConcurrentInsertQueryConsistency' .
+	$(GO) test -race -count=3 -run 'TestInsertDoesNotBlockReaders|TestPinnedEpochOutlivesPublish|TestBatchPublishesOneEpoch' ./internal/gdb
+	$(GO) test -race -count=3 ./internal/epoch
+
 # verify is the gating tier: vet plus the full suite under the race
 # detector, so concurrency regressions in the query-serving path cannot
-# land silently, then a fuzz smoke over the incremental-maintenance
-# harnesses.
+# land silently, then the MVCC stress smoke and a fuzz smoke over the
+# incremental-maintenance harnesses.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) test-race-stress
 	$(MAKE) test-fuzz-smoke
 
 bench:

@@ -16,6 +16,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"fastmatch"
 )
 
 func run(t *testing.T, args ...string) string {
@@ -329,5 +331,68 @@ func TestCLIErrors(t *testing.T) {
 	cmd.Dir = ".."
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("unknown experiment should fail, got: %s", out)
+	}
+}
+
+// TestRepackCLI persists a database, fragments it with inserts, and checks
+// `fgmatch -db ... -repack ...` produces a byte-stable bulk-loaded copy.
+func TestRepackCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.fdb")
+
+	b := fastmatch.NewGraphBuilder()
+	var nodes []fastmatch.NodeID
+	for i := 0; i < 60; i++ {
+		nodes = append(nodes, b.AddNode(string(rune('A'+i%3))))
+	}
+	for i := 0; i+1 < 40; i++ {
+		b.AddEdge(nodes[i], nodes[i+1])
+	}
+	eng, err := fastmatch.NewEngine(b.Build(), fastmatch.Options{Path: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i+1 < 60; i++ {
+		if _, err := eng.InsertEdge(nodes[i], nodes[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p1 := filepath.Join(dir, "p1.fdb")
+	p2 := filepath.Join(dir, "p2.fdb")
+	out := run(t, "run", "./cmd/fgmatch", "-db", src, "-repack", p1)
+	if !strings.Contains(out, "repacked") {
+		t.Fatalf("repack output: %q", out)
+	}
+	run(t, "run", "./cmd/fgmatch", "-db", src, "-repack", p2)
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repack output is not byte-stable across runs")
+	}
+
+	packed, err := fastmatch.OpenEngine(p1, fastmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer packed.Close()
+	ok, err := packed.Reaches(nodes[40], nodes[59])
+	if err != nil || !ok {
+		t.Fatalf("repacked database lost inserted edges: ok=%v err=%v", ok, err)
 	}
 }

@@ -7,9 +7,12 @@
 //	fgmatch -graph data.fgm -query "..." -algo dp -explain
 //	fgmatch -graph data.fgm -query "..." -analyze -limit 5
 //	fgmatch -graph data.fgm -stats
+//	fgmatch -db grown.fdb -repack packed.fdb
 //
 // The graph file uses the text format written by fgmgen. Results print one
-// match per line as label=nodeID pairs.
+// match per line as label=nodeID pairs. -repack is an offline maintenance
+// mode: it rewrites a persisted database (typically fragmented by edge
+// inserts) into the dense bulk-loaded layout at a new path.
 package main
 
 import (
@@ -44,8 +47,16 @@ func run() error {
 		buildPar    = flag.Int("build-parallelism", 0, "index-build workers (0/1 = serial, -1 = GOMAXPROCS)")
 		dot         = flag.String("dot", "", "write the data graph in Graphviz DOT format to this file and exit")
 		dotMax      = flag.Int("dotmax", 200, "max nodes in -dot output (0 = all)")
+		dbPath      = flag.String("db", "", "persisted database file (for -repack)")
+		repack      = flag.String("repack", "", "rewrite the -db database into a dense bulk-loaded file at this path and exit")
 	)
 	flag.Parse()
+	if *repack != "" {
+		if *dbPath == "" {
+			return fmt.Errorf("-repack requires -db")
+		}
+		return runRepack(*dbPath, *repack)
+	}
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -151,5 +162,23 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// runRepack rewrites src into the bulk layout at dst and reports the file
+// size change.
+func runRepack(src, dst string) error {
+	before, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	if err := fastmatch.Repack(src, dst); err != nil {
+		return err
+	}
+	after, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repacked %s (%d bytes) -> %s (%d bytes)\n", src, before.Size(), dst, after.Size())
 	return nil
 }

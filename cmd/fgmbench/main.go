@@ -44,6 +44,10 @@ func main() {
 		}
 		return
 	}
+	// Stamp every text artifact with the machine context: worker-degree
+	// sweeps and build parallelism read differently on 1 CPU than on 16.
+	fmt.Println(bench.CurrentEnv())
+
 	r := bench.NewRunner(*mult, *seed)
 	r.Reps = *reps
 	r.BuildParallelism = *bp
@@ -98,7 +102,12 @@ func main() {
 		if path == "" {
 			path = "BENCH_" + *exp + ".json"
 		}
-		data, err := json.MarshalIndent(results, "", "  ")
+		// The envelope carries the measurement environment next to the rows.
+		envelope := struct {
+			Env     bench.Env `json:"env"`
+			Results any       `json:"results"`
+		}{bench.CurrentEnv(), results}
+		data, err := json.MarshalIndent(envelope, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
 			os.Exit(1)

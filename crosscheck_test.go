@@ -67,7 +67,9 @@ func TestAllSystemsAgree(t *testing.T) {
 		}
 		results["TSD"] = tsdRes
 
-		bind, err := optimizer.Bind(db, w.Pattern)
+		snap, release := db.Pin()
+		bind, err := optimizer.Bind(snap, w.Pattern)
+		release()
 		if err != nil {
 			t.Fatalf("%s bind: %v", w.Name, err)
 		}
@@ -134,7 +136,9 @@ func TestAllSystemsAgreeCyclic(t *testing.T) {
 				t.Fatalf("%s: %s differs from naive (%d vs %d rows)", w.Name, algo, res.Len(), want.Len())
 			}
 		}
-		bind, err := optimizer.Bind(db, w.Pattern)
+		snap, release := db.Pin()
+		bind, err := optimizer.Bind(snap, w.Pattern)
+		release()
 		if err != nil {
 			t.Fatal(err)
 		}

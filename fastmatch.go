@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"fastmatch/internal/epoch"
 	"fastmatch/internal/exec"
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
@@ -271,10 +272,10 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, p *Pattern, algo Alg
 // StepTrace reports one executed plan step (see ExplainAnalyze).
 type StepTrace = exec.StepTrace
 
-// Reaches reports u ⇝ v using the engine's 2-hop graph codes.
+// Reaches reports u ⇝ v using the engine's 2-hop graph codes. The lookup
+// pins one snapshot epoch, so it never blocks on (or is torn by) a
+// concurrent InsertEdge.
 func (e *Engine) Reaches(u, v NodeID) (bool, error) {
-	done := e.db.BeginRead()
-	defer done()
 	return e.db.Reaches(u, v)
 }
 
@@ -292,10 +293,10 @@ var ErrBadInsert = gdb.ErrBadInsert
 // InsertEdge adds the edge u→v to the data graph and incrementally repairs
 // every index structure — the 2-hop codes in the base tables, the
 // cluster-based R-join index, and the W-table — with point updates, no
-// rebuild (see DESIGN.md, "Incremental maintenance"). It is safe to call
-// concurrently with queries: in-flight queries finish on the pre-insert
-// index, later queries see the post-insert index, and a query never
-// observes a torn intermediate state.
+// rebuild (see DESIGN.md, "Incremental maintenance" and "Snapshot
+// epochs"). Queries are never blocked: the repaired index is prepared on
+// private copy-on-write pages and published as a new snapshot epoch, while
+// in-flight queries keep reading the epoch they pinned.
 //
 // Inserting an edge that already exists is a cheap no-op (Stats.Duplicate).
 // For a file-backed engine the update is in-memory until Sync.
@@ -303,9 +304,37 @@ func (e *Engine) InsertEdge(u, v NodeID) (EdgeInsertStats, error) {
 	return e.db.ApplyEdgeInsert(u, v)
 }
 
+// InsertEdges applies a batch of edge inserts with ONE snapshot publish at
+// the end, so readers see either none or all of the batch and the
+// per-publish overhead is amortised. The returned slice holds per-edge
+// stats in order; on error it covers the successfully applied prefix,
+// which stays applied.
+func (e *Engine) InsertEdges(edges [][2]NodeID) ([]EdgeInsertStats, error) {
+	return e.db.ApplyEdgeInserts(edges)
+}
+
+// EpochStats reports the snapshot-epoch bookkeeping: the current epoch
+// number, how many epochs are live (pinned by in-flight reads), the age of
+// the oldest live epoch, and how many superseded epochs have been retired.
+type EpochStats = epoch.Stats
+
+// EpochStats returns the engine's snapshot-epoch counters. Pinned returns
+// to 1 when no reads are in flight — a persistently higher value means a
+// reader is holding an old epoch (and its pages) alive.
+func (e *Engine) EpochStats() EpochStats { return e.db.EpochStats() }
+
 // Sync persists any InsertEdge updates of a file-backed engine to its page
 // file and manifest; it is a no-op for in-memory engines.
 func (e *Engine) Sync() error { return e.db.Sync() }
+
+// Repack rewrites the persisted database at src into a fresh file at dst
+// with every index bulk-loaded: edge inserts fragment the page file
+// (half-full B+-tree split pages, stale copy-on-write page versions),
+// and repacking restores the dense layout Build produces. It runs offline
+// — src is only read, dst is replaced — and deterministically: repacking
+// the same source twice yields byte-identical output. src and dst must
+// differ.
+func Repack(src, dst string) error { return gdb.Repack(src, dst, gdb.Options{}) }
 
 // IOStats returns the accumulated buffer pool counters.
 func (e *Engine) IOStats() IOStats {

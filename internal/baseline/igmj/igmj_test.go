@@ -186,9 +186,11 @@ var intdpPatterns = []string{
 func TestRunMatchesNaive(t *testing.T) {
 	g := sparseGraph(7, 200, 260, 5)
 	db, ix := buildBoth(t, g)
+	snap, release := db.Pin()
+	defer release()
 	for _, ps := range intdpPatterns {
 		p := pattern.MustParse(ps)
-		bind, err := optimizer.Bind(db, p)
+		bind, err := optimizer.Bind(snap, p)
 		if err != nil {
 			t.Fatalf("%s: %v", ps, err)
 		}
@@ -215,7 +217,9 @@ func TestRunMatchesNaive(t *testing.T) {
 func TestRunRejectsDPSPlans(t *testing.T) {
 	g := sparseGraph(8, 120, 150, 5)
 	db, ix := buildBoth(t, g)
-	bind, err := optimizer.Bind(db, pattern.MustParse("A->C; B->C"))
+	snap, release := db.Pin()
+	defer release()
+	bind, err := optimizer.Bind(snap, pattern.MustParse("A->C; B->C"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -150,8 +150,10 @@ func (r *Runner) AblationDPSMerged() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	snap, release := db.Pin()
+	defer release()
 	for _, w := range workload.Graphs5B() {
-		bind, err := optimizer.Bind(db, w.Pattern)
+		bind, err := optimizer.Bind(snap, w.Pattern)
 		if err != nil {
 			return nil, err
 		}

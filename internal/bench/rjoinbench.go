@@ -87,15 +87,17 @@ func (r *Runner) RJoinMicro() (*Report, []RJoinResult, error) {
 		return nil, nil, err
 	}
 	ctx := context.Background()
+	snap, release := db.Pin()
+	defer release()
 
 	ops := []struct {
 		name string
 		run  func(rt *rjoin.Runtime) (*rjoin.Table, error)
 	}{
-		{"HPSJ", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.HPSJ(ctx, db, w.c) }},
-		{"Filter", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Filter(ctx, db, w.bound, w.c) }},
-		{"Fetch", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Fetch(ctx, db, w.bound, w.c) }},
-		{"Selection", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Selection(ctx, db, w.pairs, w.c) }},
+		{"HPSJ", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.HPSJ(ctx, snap, w.c) }},
+		{"Filter", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Filter(ctx, snap, w.bound, w.c) }},
+		{"Fetch", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Fetch(ctx, snap, w.bound, w.c) }},
+		{"Selection", func(rt *rjoin.Runtime) (*rjoin.Table, error) { return rt.Selection(ctx, snap, w.pairs, w.c) }},
 	}
 
 	rep := &Report{

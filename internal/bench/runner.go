@@ -191,11 +191,13 @@ func (r *Runner) timeQuery(db *gdb.DB, p *pattern.Pattern, algo exec.Algorithm) 
 // with IGMJ sort-merge joins.
 func (r *Runner) timeINTDP(db *gdb.DB, ix *igmj.Index, p *pattern.Pattern) (Measure, error) {
 	best := Measure{ElapsedMS: -1}
+	snap, release := db.Pin()
+	defer release()
 	for rep := 0; rep < r.reps(); rep++ {
 		db.ClearCaches()
 		ix.ResetIOStats()
 		start := time.Now()
-		bind, err := optimizer.Bind(db, p)
+		bind, err := optimizer.Bind(snap, p)
 		if err != nil {
 			return Measure{}, err
 		}

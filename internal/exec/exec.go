@@ -98,10 +98,24 @@ func RunWithTrace(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace b
 // steps of the plan, so a JoinFilterFetch's Fetch reuses the center sets
 // its Filter computed.
 func RunWithTraceConfig(ctx context.Context, db *gdb.DB, plan *optimizer.Plan, trace bool, cfg RunConfig) (*rjoin.Table, []StepTrace, error) {
-	// The whole execution runs in one maintenance read epoch: a concurrent
-	// ApplyEdgeInsert waits, so every operator of this plan sees the index
-	// either entirely before or entirely after any given insert.
-	defer db.BeginRead()()
+	// The whole execution pins one snapshot epoch: concurrent edge inserts
+	// publish new epochs without blocking this run, and every operator of
+	// this plan reads the index version pinned here — never a torn state.
+	s, release := db.Pin()
+	defer release()
+	return RunSnapWithTraceConfig(ctx, s, plan, trace, cfg)
+}
+
+// RunSnapConfig executes a plan against an explicitly pinned snapshot
+// epoch. Callers that plan and execute as one operation (the query server)
+// pin once and pass the same snapshot to BuildPlanSnap and here.
+func RunSnapConfig(ctx context.Context, s *gdb.Snap, plan *optimizer.Plan, cfg RunConfig) (*rjoin.Table, error) {
+	t, _, err := RunSnapWithTraceConfig(ctx, s, plan, false, cfg)
+	return t, err
+}
+
+// RunSnapWithTraceConfig is RunWithTraceConfig against a pinned snapshot.
+func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.Plan, trace bool, cfg RunConfig) (*rjoin.Table, []StepTrace, error) {
 	rt := cfg.runtime()
 	b := plan.Binding
 	// Intermediate results spill through a scratch heap private to this
@@ -307,10 +321,16 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // entry point shared by Query, the Engine's Explain paths, and the query
 // server's plan cache.
 func BuildPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan, error) {
-	// Planning reads the optimizer statistics inside one read epoch so it
-	// never races a concurrent edge insert.
-	defer db.BeginRead()()
-	b, err := optimizer.Bind(db, p)
+	// Planning pins one snapshot epoch so the optimizer statistics it reads
+	// never race a concurrent edge insert.
+	s, release := db.Pin()
+	defer release()
+	return BuildPlanSnap(s, p, algo)
+}
+
+// BuildPlanSnap is BuildPlan against an explicitly pinned snapshot epoch.
+func BuildPlanSnap(s *gdb.Snap, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan, error) {
+	b, err := optimizer.Bind(s, p)
 	if err != nil {
 		return nil, err
 	}

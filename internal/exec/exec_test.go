@@ -204,7 +204,9 @@ func TestNaiveMatchLabelsMissing(t *testing.T) {
 func TestRunRejectsBadPlans(t *testing.T) {
 	g := randomGraph(6, 40, 80, 5)
 	db := mustDB(t, g)
-	b, err := optimizer.Bind(db, pattern.MustParse("A->B; B->C"))
+	snap, release := db.Pin()
+	defer release()
+	b, err := optimizer.Bind(snap, pattern.MustParse("A->B; B->C"))
 	if err != nil {
 		t.Fatal(err)
 	}

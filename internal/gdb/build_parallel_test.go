@@ -182,7 +182,7 @@ func TestInvertCoverMatchesReference(t *testing.T) {
 	}
 
 	for _, workers := range buildDegrees() {
-		inv := db.invertCover(workers)
+		inv := db.invertCover(db.Graph(), workers)
 		if len(inv.centers) != len(centerSet) {
 			t.Fatalf("workers=%d: %d centers, want %d", workers, len(inv.centers), len(centerSet))
 		}

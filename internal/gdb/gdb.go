@@ -23,11 +23,11 @@ package gdb
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
 
+	"fastmatch/internal/epoch"
 	"fastmatch/internal/graph"
 	"fastmatch/internal/storage"
 	"fastmatch/internal/twohop"
@@ -62,21 +62,16 @@ type Options struct {
 	BuildParallelism int
 }
 
-// DB is a built graph database. The read path — Centers, GetF/GetT,
-// OutCode/InCode, Reaches, and the memoized statistics — is safe for
-// concurrent use: the buffer pool uses sharded locks, the code cache is
-// sharded, and the W-table and statistics caches are guarded by their own
-// locks, so parallel queries proceed without a global mutex.
-//
-// Writes go through ApplyEdgeInsert, which serialises against readers with
-// the maintenance epoch lock: readers wrap whole operations (a plan build,
-// a query execution) in BeginRead, the writer takes the exclusive side, and
-// the graph itself is swapped copy-on-write so a reader's *graph.Graph
-// snapshot stays consistent for as long as it is held. Inner DB methods do
-// NOT acquire the epoch lock (sync.RWMutex is not reentrant; a nested RLock
-// behind a pending writer would deadlock) — only outermost entry points do.
+// DB is a built graph database, maintained as a sequence of immutable
+// snapshot epochs (see Snap). The read path never blocks on writers: a
+// reader pins the current epoch (Pin, or implicitly through the
+// convenience wrappers below) and reads one consistent version of every
+// structure. Writers (ApplyEdgeInsert/ApplyEdgeInserts) are serialised by
+// writeMu; they prepare the next snapshot on private copy-on-write pages —
+// sharing every untouched B+-tree page with the published version — and
+// publish it atomically. Pages superseded by a publish are returned to the
+// pool's free list once the last epoch referencing them retires.
 type DB struct {
-	gptr  atomic.Pointer[graph.Graph]
 	cover *twohop.Cover
 	inc   *twohop.Incremental // lazily seeded by ApplyEdgeInsert
 
@@ -84,38 +79,35 @@ type DB struct {
 	pool  *storage.BufferPool
 	heap  *storage.HeapFile
 
-	base    map[graph.Label]*storage.BTree // primary index per base table
-	wtable  *storage.BTree                 // (X,Y) → RID of center list
-	cluster *storage.BTree                 // (w, dir, label) → RID of node list
+	// mgr publishes snapshot epochs; garbage is superseded page IDs.
+	mgr *epoch.Manager[*Snap, storage.PageID]
 
-	wmu       sync.RWMutex
-	wcache    map[wKey][]graph.NodeID
-	wcacheOn  bool
-	codeCache *codeCache
+	wcacheOn         bool
+	codeCacheEntries int
 
 	closed atomic.Bool
 
-	// maintMu is the maintenance epoch lock: held shared for the span of one
-	// read operation (BeginRead), exclusive while ApplyEdgeInsert mutates the
-	// trees. Lock ordering: maintMu before wmu/statMu, never the reverse.
-	maintMu sync.RWMutex
+	// writeMu serialises writers: insert batches and Sync/Persist. Readers
+	// never take it — they pin an epoch. Lock ordering: writeMu before any
+	// snapshot-internal lock, never the reverse.
+	writeMu sync.Mutex
+
+	// insertPublishHook, when set (tests only), runs after an insert batch
+	// has fully prepared its private next snapshot, immediately before the
+	// atomic publish — the window in which readers must still see the old
+	// epoch without blocking.
+	insertPublishHook func()
 
 	// Persistence bookkeeping (see persist.go): the manifest path this
 	// database syncs to, the RIDs of the last-written graph records, and
-	// whether the in-memory graph has drifted from them since.
+	// whether the in-memory graph has drifted from them since. Mutated only
+	// at build/open time or under writeMu.
 	path           string
 	nodesRID       uint64
 	edgesRID       uint64
 	graphPersisted bool
 	graphDirty     bool
 	bulkBuilt      bool // trees were bulk-loaded and untouched since
-
-	numCenters int
-	coverSize  int
-	statMu     sync.Mutex     // guards the three memo maps below
-	joinSizes  map[wKey]int64 // memoized base-table R-join size estimates
-	distFrom   map[wKey]int64 // memoized |π_X(T_X ⋈ T_Y)|
-	distTo     map[wKey]int64 // memoized |π_Y(T_X ⋈ T_Y)|
 }
 
 type wKey struct{ x, y graph.Label }
@@ -222,6 +214,29 @@ func (c *codeCache) clear() {
 	}
 }
 
+// cloneWithout returns a new cache holding every entry of c except the
+// dropped nodes — the warm start for the next epoch's cache, minus the
+// nodes an insert batch touched.
+func (c *codeCache) cloneWithout(drop map[graph.NodeID]struct{}) *codeCache {
+	n := &codeCache{disabled: c.disabled, shardCap: c.shardCap}
+	if c.disabled {
+		return n
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		m := make(map[graph.NodeID]codes, len(s.m))
+		for k, v := range s.m {
+			if _, ok := drop[k]; !ok {
+				m[k] = v
+			}
+		}
+		s.mu.Unlock()
+		n.shards[i].m = m
+	}
+	return n
+}
+
 const (
 	dirF byte = 0
 	dirT byte = 1
@@ -258,31 +273,27 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		pager = fp
 	}
 	db := &DB{
-		cover:     cover,
-		pager:     pager,
-		pool:      storage.NewBufferPool(pager, opt.PoolBytes),
-		base:      make(map[graph.Label]*storage.BTree),
-		wcacheOn:  !opt.DisableWTableCache,
-		wcache:    make(map[wKey][]graph.NodeID),
-		codeCache: newCodeCache(opt.CodeCacheEntries),
-		joinSizes: make(map[wKey]int64),
-		distFrom:  make(map[wKey]int64),
-		distTo:    make(map[wKey]int64),
+		cover:            cover,
+		pager:            pager,
+		pool:             storage.NewBufferPool(pager, opt.PoolBytes),
+		wcacheOn:         !opt.DisableWTableCache,
+		codeCacheEntries: opt.CodeCacheEntries,
 	}
-	db.setGraph(g)
 	db.heap = storage.NewHeapFile(db.pool)
-	db.coverSize = cover.Size()
 	db.path = opt.Path
 	db.bulkBuilt = true
+	s := db.newSnap(g)
+	s.coverSize = cover.Size()
 	workers := buildWorkers(opt.BuildParallelism)
-	if err := db.buildBaseTables(workers); err != nil {
+	if err := db.buildBaseTables(s, workers); err != nil {
 		db.Close()
 		return nil, err
 	}
-	if err := db.buildClusterIndexAndWTable(workers); err != nil {
+	if err := db.buildClusterIndexAndWTable(s, workers); err != nil {
 		db.Close()
 		return nil, err
 	}
+	db.publishInitial(s)
 	if opt.Path != "" {
 		if err := db.Persist(opt.Path); err != nil {
 			db.Close()
@@ -290,6 +301,39 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		}
 	}
 	return db, nil
+}
+
+// newSnap returns an empty snapshot shell with fresh caches.
+func (db *DB) newSnap(g *graph.Graph) *Snap {
+	return &Snap{
+		db:        db,
+		g:         g,
+		base:      make(map[graph.Label]*storage.BTree),
+		wcache:    make(map[wKey][]graph.NodeID),
+		codeCache: newCodeCache(db.codeCacheEntries),
+		joinSizes: make(map[wKey]int64),
+		distFrom:  make(map[wKey]int64),
+		distTo:    make(map[wKey]int64),
+	}
+}
+
+// publishInitial seals the heap and installs s as epoch 0. Called once,
+// from Build or Open, before any concurrency exists.
+func (db *DB) publishInitial(s *Snap) {
+	db.heap.Seal()
+	db.mgr = epoch.NewManager[*Snap, storage.PageID](s, db.freePages)
+}
+
+// freePages recycles pages whose reclamation horizon has passed: no live
+// epoch references them anymore. Best-effort — a page that cannot be freed
+// merely stays allocated.
+func (db *DB) freePages(ids []storage.PageID) {
+	if db.closed.Load() {
+		return
+	}
+	for _, id := range ids {
+		_ = db.pool.FreePage(id)
+	}
 }
 
 // Close releases the pager. Close is idempotent; after the first call
@@ -304,33 +348,34 @@ func (db *DB) Close() error {
 // Closed reports whether Close has been called.
 func (db *DB) Closed() bool { return db.closed.Load() }
 
-// Graph returns the underlying data graph. The returned snapshot is
-// immutable: edge inserts swap in a copy-on-write successor, so a held
-// pointer keeps describing the graph as of when it was taken.
-func (db *DB) Graph() *graph.Graph { return db.gptr.Load() }
+// Pin acquires the current snapshot epoch for reading and returns it with
+// a release func (call it — usually deferred — when the read operation
+// completes). The snapshot stays fully readable, and its pages
+// unreclaimed, until released; the writer is never blocked and never
+// blocks the reader. Pin an epoch once per outermost operation (a plan
+// build plus its execution, a single Reaches) so the whole operation sees
+// one version.
+func (db *DB) Pin() (*Snap, func()) { return db.mgr.Pin() }
 
-func (db *DB) setGraph(g *graph.Graph) { db.gptr.Store(g) }
+// EpochStats reports the epoch manager's bookkeeping: current epoch,
+// live (pinned) epoch count, age of the oldest live epoch, and how many
+// superseded epochs have been retired.
+func (db *DB) EpochStats() epoch.Stats { return db.mgr.Stats() }
 
-// BeginRead enters a read epoch: the returned func must be called (usually
-// deferred) when the read operation completes. While any read epoch is
-// open, ApplyEdgeInsert blocks, so a reader sees the index either entirely
-// before or entirely after any given insert — never a torn intermediate
-// state. Only outermost operations (a plan build, a query execution, a
-// single Reaches) may call this; inner DB methods must not, as the lock is
-// not reentrant.
-func (db *DB) BeginRead() func() {
-	db.maintMu.RLock()
-	return db.maintMu.RUnlock
-}
+// Graph returns the underlying data graph as of the current epoch. The
+// returned handle is immutable: edge inserts publish a copy-on-write
+// successor, so a held pointer keeps describing the graph as of when it
+// was taken.
+func (db *DB) Graph() *graph.Graph { return db.mgr.Current().g }
 
 // Cover returns the 2-hop cover the database was built from, or nil for a
 // database reattached with Open (the cover's information lives in the
 // stored graph codes; only the object is not reloaded).
 func (db *DB) Cover() *twohop.Cover { return db.cover }
 
-// CoverSize returns the 2-hop cover size |H|, available on both built and
-// opened databases.
-func (db *DB) CoverSize() int { return db.coverSize }
+// CoverSize returns the 2-hop cover size |H| as of the current epoch,
+// available on both built and opened databases.
+func (db *DB) CoverSize() int { return db.mgr.Current().coverSize }
 
 // IOStats returns the buffer pool counters.
 func (db *DB) IOStats() storage.IOStats { return db.pool.Stats() }
@@ -339,17 +384,13 @@ func (db *DB) IOStats() storage.IOStats { return db.pool.Stats() }
 // measured query).
 func (db *DB) ResetIOStats() { db.pool.ResetStats() }
 
-// ClearCaches empties the in-memory W-table and graph-code caches so a
-// measured query starts cold.
-func (db *DB) ClearCaches() {
-	db.wmu.Lock()
-	db.wcache = make(map[wKey][]graph.NodeID)
-	db.wmu.Unlock()
-	db.codeCache.clear()
-}
+// ClearCaches empties the current epoch's in-memory W-table, graph-code,
+// and statistics caches so a measured query starts cold.
+func (db *DB) ClearCaches() { db.mgr.Current().clearCaches() }
 
-// NumCenters returns the number of centers in the cluster-based index.
-func (db *DB) NumCenters() int { return db.numCenters }
+// NumCenters returns the number of centers in the cluster-based index as
+// of the current epoch.
+func (db *DB) NumCenters() int { return db.mgr.Current().numCenters }
 
 // Heap exposes the database's record heap (read-only after Build; reads
 // are safe for concurrent use).
@@ -372,8 +413,8 @@ func (db *DB) SizeBytes() int { return db.pager.NumPages() * storage.PageSize }
 // buffer-to-data ratio on scaled-down data).
 func (db *DB) ResizePool(bytes int) error { return db.pool.Resize(bytes) }
 
-func (db *DB) buildBaseTables(workers int) error {
-	g := db.Graph()
+func (db *DB) buildBaseTables(s *Snap, workers int) error {
+	g := s.g
 	n := g.NumNodes()
 	// Encode every node's stored code up front: encoding is pure CPU and
 	// embarrassingly parallel, while the heap appends stay serial (the heap
@@ -412,14 +453,14 @@ func (db *DB) buildBaseTables(workers int) error {
 		if err != nil {
 			return err
 		}
-		db.base[graph.Label(l)] = tree
+		s.base[graph.Label(l)] = tree
 	}
 	return nil
 }
 
-func (db *DB) buildClusterIndexAndWTable(workers int) error {
-	inv := db.invertCover(workers)
-	db.numCenters = len(inv.centers)
+func (db *DB) buildClusterIndexAndWTable(s *Snap, workers int) error {
+	inv := db.invertCover(s.g, workers)
+	s.numCenters = len(inv.centers)
 	L := inv.nLabels
 
 	// The inversion lays subcluster segments out in exactly cluster-key
@@ -429,7 +470,7 @@ func (db *DB) buildClusterIndexAndWTable(workers int) error {
 	// sorted without a per-list sort.
 	wmap := make(map[wKey][]graph.NodeID)
 	var err error
-	db.cluster, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
+	s.cluster, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
 		var fls, tls []graph.Label
 		for ci, w := range inv.centers {
 			fls, tls = fls[:0], tls[:0]
@@ -478,7 +519,7 @@ func (db *DB) buildClusterIndexAndWTable(workers int) error {
 		}
 		return int(a.y) - int(b.y)
 	})
-	db.wtable, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
+	s.wtable, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
 		for _, k := range keys {
 			rid, err := db.heap.Insert(encodeNodeList(wmap[k]))
 			if err != nil {
@@ -507,220 +548,77 @@ func insertSorted(s []graph.NodeID, v graph.NodeID) []graph.NodeID {
 	return s
 }
 
+// The read methods below are pin-per-call conveniences: each pins the
+// current epoch for just that one lookup. Operations that issue many
+// lookups and need them mutually consistent (a plan build plus its run)
+// should Pin once and use the Snap methods directly.
+
 // Centers returns W(X, Y): the centers whose clusters can produce (X, Y)
 // R-join pairs, sorted ascending. Returns nil when the entry is empty.
 func (db *DB) Centers(x, y graph.Label) ([]graph.NodeID, error) {
-	if db.closed.Load() {
-		return nil, ErrClosed
-	}
-	k := wKey{x, y}
-	if db.wcacheOn {
-		db.wmu.RLock()
-		ws, ok := db.wcache[k]
-		db.wmu.RUnlock()
-		if ok {
-			return ws, nil
-		}
-	}
-	v, ok, err := db.wtable.Get(wtableKey(x, y))
-	if err != nil {
-		return nil, err
-	}
-	var ws []graph.NodeID
-	if ok {
-		rec, err := db.heap.Read(storage.DecodeRID(v))
-		if err != nil {
-			return nil, err
-		}
-		ws = decodeNodeList(rec)
-	}
-	if db.wcacheOn {
-		db.wmu.Lock()
-		db.wcache[k] = ws
-		db.wmu.Unlock()
-	}
-	return ws, nil
+	s, release := db.Pin()
+	defer release()
+	return s.Centers(x, y)
 }
 
 // GetF returns the X-labeled F-subcluster of center w (nodes u with
 // u ⇝ w), sorted ascending; nil when empty.
 func (db *DB) GetF(w graph.NodeID, x graph.Label) ([]graph.NodeID, error) {
-	return db.clusterLookup(w, dirF, x)
+	s, release := db.Pin()
+	defer release()
+	return s.GetF(w, x)
 }
 
 // GetT returns the Y-labeled T-subcluster of center w (nodes v with
 // w ⇝ v), sorted ascending; nil when empty.
 func (db *DB) GetT(w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
-	return db.clusterLookup(w, dirT, y)
-}
-
-func (db *DB) clusterLookup(w graph.NodeID, dir byte, l graph.Label) ([]graph.NodeID, error) {
-	if db.closed.Load() {
-		return nil, ErrClosed
-	}
-	v, ok, err := db.cluster.Get(clusterKey(w, dir, l))
-	if err != nil || !ok {
-		return nil, err
-	}
-	rec, err := db.heap.Read(storage.DecodeRID(v))
-	if err != nil {
-		return nil, err
-	}
-	return decodeNodeList(rec), nil
+	s, release := db.Pin()
+	defer release()
+	return s.GetT(w, y)
 }
 
 // OutCode returns the full graph code out(x) = stored X_out ∪ {x}, sorted
-// ascending. Reads the base table through its primary index, with the
-// working cache of Section 3.3.
+// ascending.
 func (db *DB) OutCode(x graph.NodeID) ([]graph.NodeID, error) {
-	c, err := db.getCodes(x)
-	if err != nil {
-		return nil, err
-	}
-	return c.out, nil
+	s, release := db.Pin()
+	defer release()
+	return s.OutCode(x)
 }
 
 // InCode returns the full graph code in(x) = stored X_in ∪ {x}, sorted
 // ascending.
 func (db *DB) InCode(x graph.NodeID) ([]graph.NodeID, error) {
-	c, err := db.getCodes(x)
-	if err != nil {
-		return nil, err
-	}
-	return c.in, nil
-}
-
-func (db *DB) getCodes(x graph.NodeID) (codes, error) {
-	if c, ok := db.codeCache.get(x); ok {
-		return c, nil
-	}
-	if db.closed.Load() {
-		return codes{}, ErrClosed
-	}
-	v, ok, err := db.base[db.Graph().LabelOf(x)].Get(nodeKey(x))
-	if err != nil {
-		return codes{}, err
-	}
-	if !ok {
-		return codes{}, fmt.Errorf("gdb: node %d missing from base table", x)
-	}
-	rec, err := db.heap.Read(storage.DecodeRID(v))
-	if err != nil {
-		return codes{}, err
-	}
-	in, out := decodeCodes(rec)
-	c := codes{in: insertSorted(in, x), out: insertSorted(out, x)}
-	db.codeCache.put(x, c)
-	return c, nil
+	s, release := db.Pin()
+	defer release()
+	return s.InCode(x)
 }
 
 // Reaches evaluates u ⇝ v from graph codes: out(u) ∩ in(v) ≠ ∅.
 func (db *DB) Reaches(u, v graph.NodeID) (bool, error) {
-	if u == v {
-		return true, nil
-	}
-	ou, err := db.OutCode(u)
-	if err != nil {
-		return false, err
-	}
-	iv, err := db.InCode(v)
-	if err != nil {
-		return false, err
-	}
-	return IntersectNonEmpty(ou, iv), nil
+	s, release := db.Pin()
+	defer release()
+	return s.Reaches(u, v)
 }
 
-// JoinSize estimates |T_X ⋈_{X→Y} T_Y| as Σ_{w∈W(X,Y)} |F_X(w)|·|T_Y(w)|
-// (an upper bound: a pair may be covered by several centers). Results are
-// memoized; the paper maintains these base-table join sizes for the
-// optimizer.
+// JoinSize estimates |T_X ⋈_{X→Y} T_Y| as Σ_{w∈W(X,Y)} |F_X(w)|·|T_Y(w)|.
 func (db *DB) JoinSize(x, y graph.Label) (int64, error) {
-	k := wKey{x, y}
-	db.statMu.Lock()
-	s, ok := db.joinSizes[k]
-	db.statMu.Unlock()
-	if ok {
-		return s, nil
-	}
-	ws, err := db.Centers(x, y)
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, w := range ws {
-		f, err := db.GetF(w, x)
-		if err != nil {
-			return 0, err
-		}
-		t, err := db.GetT(w, y)
-		if err != nil {
-			return 0, err
-		}
-		total += int64(len(f)) * int64(len(t))
-	}
-	db.statMu.Lock()
-	db.joinSizes[k] = total
-	db.statMu.Unlock()
-	return total, nil
+	s, release := db.Pin()
+	defer release()
+	return s.JoinSize(x, y)
 }
 
-// DistinctFrom returns |π_X(T_X ⋈_{X→Y} T_Y)|: the number of X-labeled
-// nodes that reach at least one Y-labeled node, computed exactly as the
-// union of the X-labeled F-subclusters over W(X, Y). Memoized.
+// DistinctFrom returns |π_X(T_X ⋈_{X→Y} T_Y)|.
 func (db *DB) DistinctFrom(x, y graph.Label) (int64, error) {
-	k := wKey{x, y}
-	db.statMu.Lock()
-	s, ok := db.distFrom[k]
-	db.statMu.Unlock()
-	if ok {
-		return s, nil
-	}
-	n, err := db.distinctUnion(x, y, dirF, x)
-	if err != nil {
-		return 0, err
-	}
-	db.statMu.Lock()
-	db.distFrom[k] = n
-	db.statMu.Unlock()
-	return n, nil
+	s, release := db.Pin()
+	defer release()
+	return s.DistinctFrom(x, y)
 }
 
-// DistinctTo returns |π_Y(T_X ⋈_{X→Y} T_Y)|: the number of Y-labeled nodes
-// reached from at least one X-labeled node. Memoized.
+// DistinctTo returns |π_Y(T_X ⋈_{X→Y} T_Y)|.
 func (db *DB) DistinctTo(x, y graph.Label) (int64, error) {
-	k := wKey{x, y}
-	db.statMu.Lock()
-	s, ok := db.distTo[k]
-	db.statMu.Unlock()
-	if ok {
-		return s, nil
-	}
-	n, err := db.distinctUnion(x, y, dirT, y)
-	if err != nil {
-		return 0, err
-	}
-	db.statMu.Lock()
-	db.distTo[k] = n
-	db.statMu.Unlock()
-	return n, nil
-}
-
-func (db *DB) distinctUnion(x, y graph.Label, dir byte, side graph.Label) (int64, error) {
-	ws, err := db.Centers(x, y)
-	if err != nil {
-		return 0, err
-	}
-	seen := make(map[graph.NodeID]struct{})
-	for _, w := range ws {
-		nodes, err := db.clusterLookup(w, dir, side)
-		if err != nil {
-			return 0, err
-		}
-		for _, n := range nodes {
-			seen[n] = struct{}{}
-		}
-	}
-	return int64(len(seen)), nil
+	s, release := db.Pin()
+	defer release()
+	return s.DistinctTo(x, y)
 }
 
 // gallopRatio is the size skew at which intersection switches from the

@@ -358,7 +358,7 @@ func TestCodeCacheBound(t *testing.T) {
 	}
 	// The cache is sharded; each of the codeCacheShards shards holds at
 	// least one entry, so the effective bound is max(10, codeCacheShards).
-	if n := db.codeCache.len(); n > codeCacheShards {
+	if n := db.mgr.Current().codeCache.len(); n > codeCacheShards {
 		t.Fatalf("code cache grew to %d entries, bound %d", n, codeCacheShards)
 	}
 }

@@ -15,7 +15,7 @@ import (
 // graph's node range.
 var ErrBadInsert = errors.New("gdb: edge endpoint out of range")
 
-// EdgeInsertStats summarises what one ApplyEdgeInsert changed.
+// EdgeInsertStats summarises what one edge insert changed.
 type EdgeInsertStats struct {
 	// Duplicate is set when the edge already existed; nothing was changed.
 	Duplicate bool
@@ -30,8 +30,18 @@ type EdgeInsertStats struct {
 	NewWPairs int
 }
 
-// ApplyEdgeInsert adds the edge u→v to the graph and incrementally repairs
-// every persistent structure — no rebuild:
+// ApplyEdgeInsert adds one edge; it is ApplyEdgeInserts with a
+// single-element batch.
+func (db *DB) ApplyEdgeInsert(u, v graph.NodeID) (EdgeInsertStats, error) {
+	sts, err := db.ApplyEdgeInserts([][2]graph.NodeID{{u, v}})
+	if len(sts) == 1 {
+		return sts[0], err
+	}
+	return EdgeInsertStats{}, err
+}
+
+// ApplyEdgeInserts adds the edges u→v in order and incrementally repairs
+// every persistent structure — no rebuild. Per edge:
 //
 //  1. The 2-hop cover is updated by center insertion (twohop.Incremental),
 //     which reports exactly the label entries added.
@@ -46,84 +56,177 @@ type EdgeInsertStats struct {
 //     W-table: for each newly non-empty F_X, the center joins W(X, Y) for
 //     every label Y with non-empty T_Y, and symmetrically.
 //
-// The whole update runs under the exclusive side of the maintenance epoch
-// lock, so concurrent readers (which wrap operations in BeginRead) observe
-// the index either entirely before or entirely after the insert. The graph
-// itself is swapped copy-on-write, keeping snapshots held by in-flight
-// readers valid.
+// The batch is MVCC, not locked against readers: all tree updates go to a
+// private next snapshot through page-level copy-on-write (unchanged pages
+// are shared with the published version), and the whole batch becomes
+// visible in ONE atomic epoch publish at the end. In-flight readers keep
+// their pinned epoch; new reads see either no edge of the batch or all of
+// them. Pages the batch superseded are recycled once the last epoch
+// referencing them retires.
 //
-// Inserting an existing edge is a no-op reported via Stats.Duplicate.
-// Updates are in-memory-durable only; call Sync to persist them.
-func (db *DB) ApplyEdgeInsert(u, v graph.NodeID) (EdgeInsertStats, error) {
-	var st EdgeInsertStats
+// Inserting an existing edge is a no-op reported via Stats.Duplicate. The
+// returned slice holds stats for the edges applied, in order; on error it
+// covers the successfully applied prefix, which is still published
+// (earlier edges of a failed batch stay applied). Updates are
+// in-memory-durable only; call Sync to persist them.
+func (db *DB) ApplyEdgeInserts(edges [][2]graph.NodeID) ([]EdgeInsertStats, error) {
 	if db.closed.Load() {
-		return st, ErrClosed
+		return nil, ErrClosed
 	}
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 
-	g := db.Graph()
-	n := graph.NodeID(g.NumNodes())
+	cur := db.mgr.Current() // stable: this goroutine is the only publisher
+	w := newSnapWriter(db, cur)
+
+	sts := make([]EdgeInsertStats, 0, len(edges))
+	var firstErr error
+	for _, e := range edges {
+		st, err := w.applyOne(e[0], e[1])
+		if err != nil {
+			firstErr = err
+			break
+		}
+		sts = append(sts, st)
+	}
+	if w.changed {
+		w.publish(cur)
+	}
+	return sts, firstErr
+}
+
+// snapWriter accumulates one insert batch's private next snapshot: the
+// evolving copy-on-write tree versions, the graph successor, and the
+// bookkeeping needed to seed the next epoch's caches.
+type snapWriter struct {
+	db  *DB
+	cow *storage.Cow
+	g   *graph.Graph
+
+	base    map[graph.Label]*storage.BTree
+	wtable  *storage.BTree
+	cluster *storage.BTree
+
+	numCenters int
+	coverSize  int
+
+	touchedNodes map[graph.NodeID]struct{} // stale code-cache entries
+	touchedW     map[wKey]struct{}         // stale W-cache entries
+	changed      bool
+}
+
+func newSnapWriter(db *DB, cur *Snap) *snapWriter {
+	base := make(map[graph.Label]*storage.BTree, len(cur.base))
+	for l, t := range cur.base {
+		base[l] = t
+	}
+	return &snapWriter{
+		db:           db,
+		cow:          storage.NewCow(db.pool),
+		g:            cur.g,
+		base:         base,
+		wtable:       cur.wtable,
+		cluster:      cur.cluster,
+		numCenters:   cur.numCenters,
+		coverSize:    cur.coverSize,
+		touchedNodes: make(map[graph.NodeID]struct{}),
+		touchedW:     make(map[wKey]struct{}),
+	}
+}
+
+// publish seals the heap (so no later batch appends to pages this snapshot
+// can see), assembles the next snapshot — warm-starting its caches from
+// the survivors of cur's — and installs it as the new epoch, handing the
+// superseded pages to the epoch manager for deferred reclamation.
+func (w *snapWriter) publish(cur *Snap) {
+	db := w.db
+	db.heap.Seal()
+	next := &Snap{
+		db:         db,
+		g:          w.g,
+		base:       w.base,
+		wtable:     w.wtable,
+		cluster:    w.cluster,
+		numCenters: w.numCenters,
+		coverSize:  w.coverSize,
+		epoch:      db.mgr.CurrentEpoch() + 1,
+		codeCache:  cur.codeCache.cloneWithout(w.touchedNodes),
+		joinSizes:  make(map[wKey]int64),
+		distFrom:   make(map[wKey]int64),
+		distTo:     make(map[wKey]int64),
+	}
+	cur.wmu.RLock()
+	next.wcache = make(map[wKey][]graph.NodeID, len(cur.wcache))
+	for k, v := range cur.wcache {
+		if _, stale := w.touchedW[k]; !stale {
+			next.wcache[k] = v
+		}
+	}
+	cur.wmu.RUnlock()
+	if db.insertPublishHook != nil {
+		db.insertPublishHook()
+	}
+	db.mgr.Publish(next, w.cow.Freed())
+	db.graphDirty = true
+	db.bulkBuilt = false
+}
+
+func (w *snapWriter) applyOne(u, v graph.NodeID) (EdgeInsertStats, error) {
+	var st EdgeInsertStats
+	n := graph.NodeID(w.g.NumNodes())
 	if u < 0 || v < 0 || u >= n || v >= n {
 		return st, fmt.Errorf("%w: edge %d->%d, graph has %d nodes", ErrBadInsert, u, v, n)
 	}
-	if slices.Contains(g.Successors(u), v) {
+	if slices.Contains(w.g.Successors(u), v) {
 		st.Duplicate = true
 		return st, nil
 	}
-	if err := db.ensureIncremental(); err != nil {
+	if err := w.ensureIncremental(); err != nil {
 		return st, err
 	}
 
-	deltas := db.inc.InsertEdge(u, v)
-	db.setGraph(g.WithEdge(u, v))
-	db.graphDirty = true
+	deltas := w.db.inc.InsertEdge(u, v)
+	w.g = w.g.WithEdge(u, v)
+	w.changed = true
 	st.LabelEntries = len(deltas)
 	if len(deltas) == 0 {
 		return st, nil // u already reached v: the cover was complete
 	}
 
-	if err := db.applyBaseDeltas(deltas); err != nil {
+	if err := w.applyBaseDeltas(deltas); err != nil {
 		return st, err
 	}
-	newF, newT, newCenter, err := db.applyClusterDeltas(u, deltas)
+	newF, newT, newCenter, err := w.applyClusterDeltas(u, deltas)
 	if err != nil {
 		return st, err
 	}
 	st.NewCenter = newCenter
 	if newCenter {
-		db.numCenters++
+		w.numCenters++
 	}
-	st.NewWPairs, err = db.applyWTableDeltas(u, newF, newT)
+	st.NewWPairs, err = w.applyWTableDeltas(u, newF, newT)
 	if err != nil {
 		return st, err
 	}
 
-	// Invalidate derived state: decoded codes of the updated nodes, and the
-	// optimizer statistics (join sizes depend on subcluster contents).
 	for _, d := range deltas {
-		db.codeCache.invalidate(d.Node)
+		w.touchedNodes[d.Node] = struct{}{}
 	}
-	db.statMu.Lock()
-	db.joinSizes = make(map[wKey]int64)
-	db.distFrom = make(map[wKey]int64)
-	db.distTo = make(map[wKey]int64)
-	db.statMu.Unlock()
-
-	db.coverSize += len(deltas)
-	db.bulkBuilt = false
+	w.coverSize += len(deltas)
 	return st, nil
 }
 
 // ensureIncremental lazily seeds the updatable 2-hop labeling: from the
 // build-time cover when present, otherwise (a database reattached with
 // Open) by scanning the stored compact codes back out of the base tables.
-func (db *DB) ensureIncremental() error {
+// The seed state persists on the DB across batches; it is only read and
+// mutated under writeMu.
+func (w *snapWriter) ensureIncremental() error {
+	db := w.db
 	if db.inc != nil {
 		return nil
 	}
-	g := db.Graph()
-	n := g.NumNodes()
+	n := w.g.NumNodes()
 	in := make([][]graph.NodeID, n)
 	out := make([][]graph.NodeID, n)
 	if db.cover != nil {
@@ -133,7 +236,7 @@ func (db *DB) ensureIncremental() error {
 		}
 	} else {
 		for v := graph.NodeID(0); int(v) < n; v++ {
-			rid, ok, err := db.base[g.LabelOf(v)].Get(nodeKey(v))
+			rid, ok, err := w.base[w.g.LabelOf(v)].Get(nodeKey(v))
 			if err != nil {
 				return err
 			}
@@ -147,16 +250,15 @@ func (db *DB) ensureIncremental() error {
 			in[v], out[v] = decodeCodes(rec)
 		}
 	}
-	db.inc = twohop.NewIncrementalFromLabels(g, in, out)
+	db.inc = twohop.NewIncrementalFromLabels(w.g, in, out)
 	return nil
 }
 
 // applyBaseDeltas rewrites the base-table record of every node whose
 // stored code gained a center: read-modify-write through the heap (the old
-// record is orphaned; the heap is append-only) and an upsert of the
-// primary index entry.
-func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
-	g := db.Graph()
+// record is orphaned; the heap is append-only) and a copy-on-write upsert
+// of the primary index entry.
+func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 	byNode := make(map[graph.NodeID][]twohop.LabelDelta)
 	order := make([]graph.NodeID, 0, len(deltas))
 	for _, d := range deltas {
@@ -167,7 +269,8 @@ func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 	}
 	slices.Sort(order)
 	for _, x := range order {
-		tree := db.base[g.LabelOf(x)]
+		l := w.g.LabelOf(x)
+		tree := w.base[l]
 		rid, ok, err := tree.Get(nodeKey(x))
 		if err != nil {
 			return err
@@ -175,7 +278,7 @@ func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 		if !ok {
 			return fmt.Errorf("gdb: node %d missing from base table", x)
 		}
-		rec, err := db.heap.Read(storage.DecodeRID(rid))
+		rec, err := w.db.heap.Read(storage.DecodeRID(rid))
 		if err != nil {
 			return err
 		}
@@ -187,13 +290,15 @@ func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 				in = insertSorted(in, d.Center)
 			}
 		}
-		nrid, err := db.heap.Insert(encodeCodes(in, out))
+		nrid, err := w.db.heap.Insert(encodeCodes(in, out))
 		if err != nil {
 			return err
 		}
-		if err := tree.Insert(nodeKey(x), nrid.Encode()); err != nil {
+		nt, err := tree.InsertCow(w.cow, nodeKey(x), nrid.Encode())
+		if err != nil {
 			return err
 		}
+		w.base[l] = nt
 	}
 	return nil
 }
@@ -202,9 +307,8 @@ func (db *DB) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 // an out-side delta for node x puts x in F-subcluster (w, F, label(x)), an
 // in-side delta for node y puts y in T-subcluster (w, T, label(y)). It
 // returns the labels of F- and T-subcluster slots that went from empty to
-// non-empty (they drive the W-table update) and whether w is a new center.
-func (db *DB) applyClusterDeltas(w graph.NodeID, deltas []twohop.LabelDelta) (newF, newT []graph.Label, newCenter bool, err error) {
-	g := db.Graph()
+// non-empty (they drive the W-table update) and whether c is a new center.
+func (w *snapWriter) applyClusterDeltas(c graph.NodeID, deltas []twohop.LabelDelta) (newF, newT []graph.Label, newCenter bool, err error) {
 	type slot struct {
 		dir byte
 		l   graph.Label
@@ -215,18 +319,18 @@ func (db *DB) applyClusterDeltas(w graph.NodeID, deltas []twohop.LabelDelta) (ne
 		if d.Out {
 			dir = dirF
 		}
-		s := slot{dir, g.LabelOf(d.Node)}
+		s := slot{dir, w.g.LabelOf(d.Node)}
 		adds[s] = append(adds[s], d.Node)
 	}
-	// A center always carries its self entries (w, F, label(w)) and
-	// (w, T, label(w)) — their presence is the "is w a center" test.
-	self := clusterKey(w, dirF, g.LabelOf(w))
-	if _, ok, gerr := db.cluster.Get(self); gerr != nil {
+	// A center always carries its self entries (c, F, label(c)) and
+	// (c, T, label(c)) — their presence is the "is c a center" test.
+	self := clusterKey(c, dirF, w.g.LabelOf(c))
+	if _, ok, gerr := w.cluster.Get(self); gerr != nil {
 		return nil, nil, false, gerr
 	} else if !ok {
 		newCenter = true
-		adds[slot{dirF, g.LabelOf(w)}] = append(adds[slot{dirF, g.LabelOf(w)}], w)
-		adds[slot{dirT, g.LabelOf(w)}] = append(adds[slot{dirT, g.LabelOf(w)}], w)
+		adds[slot{dirF, w.g.LabelOf(c)}] = append(adds[slot{dirF, w.g.LabelOf(c)}], c)
+		adds[slot{dirT, w.g.LabelOf(c)}] = append(adds[slot{dirT, w.g.LabelOf(c)}], c)
 	}
 	slots := make([]slot, 0, len(adds))
 	for s := range adds {
@@ -239,14 +343,14 @@ func (db *DB) applyClusterDeltas(w graph.NodeID, deltas []twohop.LabelDelta) (ne
 		return int(a.l) - int(b.l)
 	})
 	for _, s := range slots {
-		key := clusterKey(w, s.dir, s.l)
+		key := clusterKey(c, s.dir, s.l)
 		var members []graph.NodeID
-		rid, ok, gerr := db.cluster.Get(key)
+		rid, ok, gerr := w.cluster.Get(key)
 		if gerr != nil {
 			return nil, nil, false, gerr
 		}
 		if ok {
-			rec, rerr := db.heap.Read(storage.DecodeRID(rid))
+			rec, rerr := w.db.heap.Read(storage.DecodeRID(rid))
 			if rerr != nil {
 				return nil, nil, false, rerr
 			}
@@ -265,31 +369,33 @@ func (db *DB) applyClusterDeltas(w graph.NodeID, deltas []twohop.LabelDelta) (ne
 		if len(members) == before {
 			continue
 		}
-		nrid, ierr := db.heap.Insert(encodeNodeList(members))
+		nrid, ierr := w.db.heap.Insert(encodeNodeList(members))
 		if ierr != nil {
 			return nil, nil, false, ierr
 		}
-		if ierr := db.cluster.Insert(key, nrid.Encode()); ierr != nil {
+		nt, ierr := w.cluster.InsertCow(w.cow, key, nrid.Encode())
+		if ierr != nil {
 			return nil, nil, false, ierr
 		}
+		w.cluster = nt
 	}
 	return newF, newT, newCenter, nil
 }
 
-// applyWTableDeltas adds center w to W(X, Y) for every label pair that one
+// applyWTableDeltas adds center c to W(X, Y) for every label pair that one
 // of its newly non-empty subclusters completes: (newF × allT) ∪ (allF ×
-// newT), where allF/allT are w's non-empty subcluster labels after the
-// cluster update. Each touched W-table cache entry is dropped (the stale
-// entry may be a cached negative).
-func (db *DB) applyWTableDeltas(w graph.NodeID, newF, newT []graph.Label) (int, error) {
+// newT), where allF/allT are c's non-empty subcluster labels after the
+// cluster update. Each touched W key is recorded so the next epoch's cache
+// drops its (possibly negative) entry.
+func (w *snapWriter) applyWTableDeltas(c graph.NodeID, newF, newT []graph.Label) (int, error) {
 	if len(newF) == 0 && len(newT) == 0 {
 		return 0, nil
 	}
-	allF, err := db.clusterLabels(w, dirF)
+	allF, err := w.clusterLabels(c, dirF)
 	if err != nil {
 		return 0, err
 	}
-	allT, err := db.clusterLabels(w, dirT)
+	allT, err := w.clusterLabels(c, dirT)
 	if err != nil {
 		return 0, err
 	}
@@ -317,50 +423,49 @@ func (db *DB) applyWTableDeltas(w graph.NodeID, newF, newT []graph.Label) (int, 
 	added := 0
 	for _, k := range keys {
 		var ws []graph.NodeID
-		rid, ok, err := db.wtable.Get(wtableKey(k.x, k.y))
+		rid, ok, err := w.wtable.Get(wtableKey(k.x, k.y))
 		if err != nil {
 			return added, err
 		}
 		if ok {
-			rec, err := db.heap.Read(storage.DecodeRID(rid))
+			rec, err := w.db.heap.Read(storage.DecodeRID(rid))
 			if err != nil {
 				return added, err
 			}
 			ws = decodeNodeList(rec)
 		}
 		before := len(ws)
-		ws = insertSorted(ws, w)
+		ws = insertSorted(ws, c)
 		if len(ws) == before {
 			continue
 		}
-		nrid, err := db.heap.Insert(encodeNodeList(ws))
+		nrid, err := w.db.heap.Insert(encodeNodeList(ws))
 		if err != nil {
 			return added, err
 		}
-		if err := db.wtable.Insert(wtableKey(k.x, k.y), nrid.Encode()); err != nil {
+		nt, err := w.wtable.InsertCow(w.cow, wtableKey(k.x, k.y), nrid.Encode())
+		if err != nil {
 			return added, err
 		}
+		w.wtable = nt
 		added++
-		if db.wcacheOn {
-			db.wmu.Lock()
-			delete(db.wcache, k)
-			db.wmu.Unlock()
-		}
+		w.touchedW[k] = struct{}{}
 	}
 	return added, nil
 }
 
-// clusterLabels returns the labels of center w's non-empty dir-side
-// subclusters, ascending, by scanning the cluster index over w's key range.
-func (db *DB) clusterLabels(w graph.NodeID, dir byte) ([]graph.Label, error) {
+// clusterLabels returns the labels of center c's non-empty dir-side
+// subclusters, ascending, by scanning the writer's private cluster version
+// over c's key range.
+func (w *snapWriter) clusterLabels(c graph.NodeID, dir byte) ([]graph.Label, error) {
 	var out []graph.Label
-	start := clusterKey(w, dir, 0)
-	err := db.cluster.Scan(start, func(key []byte, _ uint64) bool {
+	start := clusterKey(c, dir, 0)
+	err := w.cluster.Scan(start, func(key []byte, _ uint64) bool {
 		if len(key) != 9 {
 			return false
 		}
 		kw := graph.NodeID(binary.BigEndian.Uint32(key[0:4]))
-		if kw != w || key[4] != dir {
+		if kw != c || key[4] != dir {
 			return false
 		}
 		l := graph.Label(binary.BigEndian.Uint32(key[5:9]))

@@ -77,8 +77,8 @@ type inversion struct {
 //
 // The result is identical at every worker count: slot layout depends only
 // on the cover, and segment order only on node order.
-func (db *DB) invertCover(workers int) *inversion {
-	g, cover := db.Graph(), db.cover
+func (db *DB) invertCover(g *graph.Graph, workers int) *inversion {
+	cover := db.cover
 	n := g.NumNodes()
 	L := g.Labels().Len()
 

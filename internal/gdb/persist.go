@@ -44,7 +44,8 @@ func manifestPath(path string) string { return path + ".manifest" }
 // RIDs are cached on the DB), so Persist→Open→Persist leaves both the page
 // file and the manifest identical.
 func (db *DB) Persist(path string) error {
-	g := db.Graph()
+	s := db.mgr.Current() // stable: Build/Open call sites and Sync hold writeMu
+	g := s.g
 	if !db.graphPersisted || db.graphDirty {
 		// Node labels record.
 		nodeRec := make([]byte, 4+4*g.NumNodes())
@@ -75,6 +76,9 @@ func (db *DB) Persist(path string) error {
 		db.edgesRID = edgesRID.Encode()
 		db.graphPersisted = true
 		db.graphDirty = false
+		// Detach from the tail page holding the graph records so the next
+		// insert batch starts a fresh page rather than rewriting this one.
+		db.heap.Seal()
 	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
@@ -83,16 +87,16 @@ func (db *DB) Persist(path string) error {
 	m := manifest{
 		Version:    manifestVersion,
 		Labels:     g.Labels().Names(),
-		BaseRoots:  make(map[string]uint32, len(db.base)),
-		WTableRoot: uint32(db.wtable.Root()),
-		ClustRoot:  uint32(db.cluster.Root()),
+		BaseRoots:  make(map[string]uint32, len(s.base)),
+		WTableRoot: uint32(s.wtable.Root()),
+		ClustRoot:  uint32(s.cluster.Root()),
 		NodesRID:   db.nodesRID,
 		EdgesRID:   db.edgesRID,
-		NumCenters: db.numCenters,
-		CoverSize:  db.coverSize,
+		NumCenters: s.numCenters,
+		CoverSize:  s.coverSize,
 		BulkBuilt:  db.bulkBuilt,
 	}
-	for l, bt := range db.base {
+	for l, bt := range s.base {
 		m.BaseRoots[g.Labels().Name(l)] = uint32(bt.Root())
 	}
 	data, err := json.MarshalIndent(&m, "", "  ")
@@ -112,8 +116,8 @@ func (db *DB) Persist(path string) error {
 
 // Sync re-persists a file-backed database to its manifest path, making any
 // ApplyEdgeInsert updates durable. It is a no-op for in-memory databases.
-// Sync takes the exclusive side of the maintenance lock, so it must not be
-// called from within a read epoch.
+// Sync serialises with insert batches on the writer mutex; readers are
+// unaffected.
 func (db *DB) Sync() error {
 	if db.closed.Load() {
 		return ErrClosed
@@ -121,8 +125,8 @@ func (db *DB) Sync() error {
 	if db.path == "" {
 		return nil
 	}
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	return db.Persist(db.path)
 }
 
@@ -153,21 +157,12 @@ func Open(path string, opt Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		pager:      pager,
-		pool:       storage.NewBufferPool(pager, opt.PoolBytes),
-		base:       make(map[graph.Label]*storage.BTree),
-		wcacheOn:   !opt.DisableWTableCache,
-		wcache:     make(map[wKey][]graph.NodeID),
-		codeCache:  newCodeCache(opt.CodeCacheEntries),
-		joinSizes:  make(map[wKey]int64),
-		distFrom:   make(map[wKey]int64),
-		distTo:     make(map[wKey]int64),
-		numCenters: m.NumCenters,
-		coverSize:  m.CoverSize,
+		pager:            pager,
+		pool:             storage.NewBufferPool(pager, opt.PoolBytes),
+		wcacheOn:         !opt.DisableWTableCache,
+		codeCacheEntries: opt.CodeCacheEntries,
 	}
 	db.heap = storage.NewHeapFile(db.pool)
-	db.wtable = storage.OpenBTree(db.pool, storage.PageID(m.WTableRoot))
-	db.cluster = storage.OpenBTree(db.pool, storage.PageID(m.ClustRoot))
 
 	// Rebuild the graph from the persisted records.
 	nodeRec, err := db.heap.Read(storage.DecodeRID(m.NodesRID))
@@ -202,7 +197,11 @@ func Open(path string, opt Options) (*DB, error) {
 		o += 8
 		gb.AddEdge(from, to)
 	}
-	db.setGraph(gb.Build())
+	s := db.newSnap(gb.Build())
+	s.numCenters = m.NumCenters
+	s.coverSize = m.CoverSize
+	s.wtable = storage.OpenBTree(db.pool, storage.PageID(m.WTableRoot))
+	s.cluster = storage.OpenBTree(db.pool, storage.PageID(m.ClustRoot))
 	db.path = path
 	db.nodesRID = m.NodesRID
 	db.edgesRID = m.EdgesRID
@@ -210,12 +209,13 @@ func Open(path string, opt Options) (*DB, error) {
 	db.bulkBuilt = m.BulkBuilt
 
 	for name, root := range m.BaseRoots {
-		l := db.Graph().Labels().Lookup(name)
+		l := s.g.Labels().Lookup(name)
 		if l == graph.InvalidLabel {
 			db.Close()
 			return nil, fmt.Errorf("gdb: manifest base table for unknown label %q", name)
 		}
-		db.base[l] = storage.OpenBTree(db.pool, storage.PageID(root))
+		s.base[l] = storage.OpenBTree(db.pool, storage.PageID(root))
 	}
+	db.publishInitial(s)
 	return db, nil
 }

@@ -39,7 +39,7 @@ type Binding struct {
 
 // Bind resolves p against db and collects statistics. It fails when a
 // pattern label does not occur in the data graph.
-func Bind(db *gdb.DB, p *pattern.Pattern) (*Binding, error) {
+func Bind(db *gdb.Snap, p *pattern.Pattern) (*Binding, error) {
 	g := db.Graph()
 	b := &Binding{
 		Pattern: p,

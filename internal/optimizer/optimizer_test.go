@@ -25,13 +25,17 @@ func randomGraph(seed int64, n, m, nlabels int) *graph.Graph {
 	return b.Build()
 }
 
-func mustDB(t testing.TB, g *graph.Graph) *gdb.DB {
+func mustDB(t testing.TB, g *graph.Graph) *gdb.Snap {
 	t.Helper()
-	db, err := gdb.Build(g, gdb.Options{})
+	dbx, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
+	db, release := dbx.Pin()
+	t.Cleanup(func() {
+		release()
+		dbx.Close()
+	})
 	return db
 }
 
@@ -247,11 +251,13 @@ func TestCostParamsMonotone(t *testing.T) {
 
 func BenchmarkOptimizeDP(b *testing.B) {
 	g := randomGraph(9, 500, 1200, 5)
-	db, err := gdb.Build(g, gdb.Options{})
+	dbx, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer dbx.Close()
+	db, release := dbx.Pin()
+	defer release()
 	bind, err := Bind(db, pattern.MustParse("A->C; B->C; C->D; D->E"))
 	if err != nil {
 		b.Fatal(err)
@@ -266,11 +272,13 @@ func BenchmarkOptimizeDP(b *testing.B) {
 
 func BenchmarkOptimizeDPS(b *testing.B) {
 	g := randomGraph(10, 500, 1200, 5)
-	db, err := gdb.Build(g, gdb.Options{})
+	dbx, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer dbx.Close()
+	db, release := dbx.Pin()
+	defer release()
 	bind, err := Bind(db, pattern.MustParse("A->C; B->C; C->D; D->E"))
 	if err != nil {
 		b.Fatal(err)

@@ -59,34 +59,34 @@ func (c *cancelCheck) tickN(n int) error {
 
 // HPSJ processes an R-join between two base tables (Algorithm 1). See
 // Runtime.HPSJ.
-func HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
+func HPSJ(ctx context.Context, db *gdb.Snap, c Cond) (*Table, error) {
 	return serial().HPSJ(ctx, db, c)
 }
 
 // Filter is the R-semijoin (Algorithm 2, Filter). See Runtime.Filter.
-func Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func Filter(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	return serial().Filter(ctx, db, t, c)
 }
 
 // FilterMulti evaluates several R-semijoins in one scan of t (Remark 3.1).
 // See Runtime.FilterMulti.
-func FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
+func FilterMulti(ctx context.Context, db *gdb.Snap, t *Table, conds []Cond) (*Table, error) {
 	return serial().FilterMulti(ctx, db, t, conds)
 }
 
 // FilterGroup applies a group of R-semijoins sharing one bound column and
 // code side. See Runtime.FilterGroup.
-func FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
+func FilterGroup(ctx context.Context, db *gdb.Snap, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
 	return serial().FilterGroup(ctx, db, t, conds, node, outSide)
 }
 
 // Fetch completes an HPSJ+ R-join (Algorithm 2, Fetch). See Runtime.Fetch.
-func Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func Fetch(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	return serial().Fetch(ctx, db, t, c)
 }
 
 // Selection processes a self R-join (Eq. 5). See Runtime.Selection.
-func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func Selection(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	return serial().Selection(ctx, db, t, c)
 }
 
@@ -98,7 +98,7 @@ func Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error
 // from the W-table and the cluster-based index. The center list is
 // partitioned across the runtime's workers; each partition sorts and
 // deduplicates locally and the sorted runs merge in partition order.
-func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
+func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.Snap, c Cond) (*Table, error) {
 	out := rt.newTable(c.FromNode, c.ToNode)
 	ws, err := db.Centers(c.FromLabel, c.ToLabel)
 	if err != nil {
@@ -180,7 +180,7 @@ func boundSide(t *Table, c Cond) (boundNode int, forward bool, err error) {
 
 // centersFor computes getCenters for one bound value: out(x) ∩ W(X, Y) in
 // the forward direction, in(y) ∩ W(X, Y) in the reverse direction.
-func centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, forward bool) ([]graph.NodeID, error) {
+func centersFor(db *gdb.Snap, v graph.NodeID, ws []graph.NodeID, forward bool) ([]graph.NodeID, error) {
 	var code []graph.NodeID
 	var err error
 	if forward {
@@ -197,7 +197,7 @@ func centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, forward bool) ([]
 // Filter is the R-semijoin (Algorithm 2, Filter; Eq. 7/8): it keeps the
 // rows of t whose bound value can join some node of the other side's base
 // table, determined from the W-table and graph codes alone.
-func (rt *Runtime) Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func (rt *Runtime) Filter(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	return rt.FilterMulti(ctx, db, t, []Cond{c})
 }
 
@@ -210,7 +210,7 @@ func (rt *Runtime) Filter(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*T
 // the same condition reuses them. The row range is partitioned across the
 // runtime's workers; partitions keep input order, so concatenating them in
 // partition order reproduces the serial output.
-func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds []Cond) (*Table, error) {
+func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.Snap, t *Table, conds []Cond) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
@@ -287,7 +287,7 @@ func (rt *Runtime) FilterMulti(ctx context.Context, db *gdb.DB, t *Table, conds 
 // semijoin then still prunes soundly against the other side's base table,
 // with the residual condition left to a later Selection. Rows partition
 // across the runtime's workers in input order.
-func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.DB, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
+func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.Snap, t *Table, conds []Cond, node int, outSide bool) (*Table, error) {
 	if len(conds) == 0 {
 		return t, nil
 	}
@@ -373,7 +373,7 @@ func side(out bool) string {
 // running Filter first simply prunes earlier. The row range partitions
 // across the runtime's workers; output rows are drawn from per-partition
 // arenas and concatenated in partition order.
-func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func (rt *Runtime) Fetch(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	boundNode, forward, err := boundSide(t, c)
 	if err != nil {
 		return nil, err
@@ -471,7 +471,7 @@ func (rt *Runtime) Fetch(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Ta
 // condition are already bound in t, so the condition reduces to checking
 // out(x) ∩ in(y) ≠ ∅ per row from graph codes. Rows partition across the
 // runtime's workers in input order.
-func (rt *Runtime) Selection(ctx context.Context, db *gdb.DB, t *Table, c Cond) (*Table, error) {
+func (rt *Runtime) Selection(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*Table, error) {
 	fi, ti := t.ColIndex(c.FromNode), t.ColIndex(c.ToNode)
 	if fi < 0 || ti < 0 {
 		return nil, fmt.Errorf("rjoin: selection %v needs both sides bound in %v", c, t.Cols)
@@ -532,7 +532,7 @@ func concatRows(parts [][][]graph.NodeID) [][]graph.NodeID {
 // NestedLoopJoin is the reference R-join used by tests and as a measurable
 // worst-case baseline: it checks reachability via graph codes for every
 // pair of extents, bypassing the cluster index.
-func NestedLoopJoin(ctx context.Context, db *gdb.DB, c Cond) (*Table, error) {
+func NestedLoopJoin(ctx context.Context, db *gdb.Snap, c Cond) (*Table, error) {
 	g := db.Graph()
 	cc := newCancelCheck(ctx)
 	out := NewTable(c.FromNode, c.ToNode)

@@ -24,14 +24,20 @@ func randomGraph(seed int64, n, m, nlabels int) *graph.Graph {
 	return b.Build()
 }
 
-func mustDB(t testing.TB, g *graph.Graph) *gdb.DB {
+// mustDB builds a database and returns its pinned build snapshot — the
+// operators under test take a *gdb.Snap.
+func mustDB(t testing.TB, g *graph.Graph) *gdb.Snap {
 	t.Helper()
 	db, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
-	return db
+	snap, release := db.Pin()
+	t.Cleanup(func() {
+		release()
+		db.Close()
+	})
+	return snap
 }
 
 // cond builds a Cond from label names for pattern nodes 0(from) and 1(to).
@@ -74,11 +80,13 @@ func tableToSet(t *Table) map[string][]graph.NodeID {
 func TestHPSJMatchesTruth(t *testing.T) {
 	check := func(seed int64) bool {
 		g := randomGraph(seed, 30, 65, 3)
-		db, err := gdb.Build(g, gdb.Options{})
+		dbx, err := gdb.Build(g, gdb.Options{})
 		if err != nil {
 			return false
 		}
-		defer db.Close()
+		defer dbx.Close()
+		db, release := dbx.Pin()
+		defer release()
 		for x := graph.Label(0); int(x) < g.Labels().Len(); x++ {
 			for y := graph.Label(0); int(y) < g.Labels().Len(); y++ {
 				if x == y {
@@ -130,11 +138,13 @@ func TestHPSJEqualsNestedLoop(t *testing.T) {
 func TestFilterSemanticsForward(t *testing.T) {
 	check := func(seed int64) bool {
 		g := randomGraph(seed^0x1234, 28, 60, 3)
-		db, err := gdb.Build(g, gdb.Options{})
+		dbx, err := gdb.Build(g, gdb.Options{})
 		if err != nil {
 			return false
 		}
-		defer db.Close()
+		defer dbx.Close()
+		db, release := dbx.Pin()
+		defer release()
 		a, b := g.Labels().Lookup("A"), g.Labels().Lookup("B")
 		if a < 0 || b < 0 {
 			return true // degenerate label draw; skip
@@ -427,11 +437,13 @@ func TestTableHelpers(t *testing.T) {
 
 func BenchmarkHPSJ(b *testing.B) {
 	g := randomGraph(20, 3000, 6000, 6)
-	db, err := gdb.Build(g, gdb.Options{})
+	dbx, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer dbx.Close()
+	db, release := dbx.Pin()
+	defer release()
 	c := cond(g, "A", "B", 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -443,11 +455,13 @@ func BenchmarkHPSJ(b *testing.B) {
 
 func BenchmarkFilterFetch(b *testing.B) {
 	g := randomGraph(21, 3000, 6000, 6)
-	db, err := gdb.Build(g, gdb.Options{})
+	dbx, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer dbx.Close()
+	db, release := dbx.Pin()
+	defer release()
 	c := cond(g, "A", "B", 0, 1)
 	tbl := NewTable(0)
 	for _, x := range g.Extent(c.FromLabel) {

@@ -280,7 +280,7 @@ func (c *centerCache) put(k centerKey, v []graph.NodeID) {
 // centersFor computes getCenters for one bound value — out(v) ∩ W(X, Y)
 // forward, in(v) ∩ W(X, Y) reverse — through the per-query cache when the
 // runtime has one.
-func (rt *Runtime) centersFor(db *gdb.DB, v graph.NodeID, ws []graph.NodeID, c Cond, forward bool) ([]graph.NodeID, error) {
+func (rt *Runtime) centersFor(db *gdb.Snap, v graph.NodeID, ws []graph.NodeID, c Cond, forward bool) ([]graph.NodeID, error) {
 	if rt.centers == nil {
 		return centersFor(db, v, ws, forward)
 	}

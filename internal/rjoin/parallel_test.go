@@ -16,19 +16,21 @@ import (
 // buildDBs returns the same graph indexed memory-backed and file-backed, so
 // the parallel/serial crosscheck covers both pagers (the file pager
 // exercises real page reads under concurrent partitions).
-func buildDBs(t *testing.T, g *graph.Graph) map[string]*gdb.DB {
+func buildDBs(t *testing.T, g *graph.Graph) map[string]*gdb.Snap {
 	t.Helper()
 	mem, err := gdb.Build(g, gdb.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { mem.Close() })
+	memSnap, memRelease := mem.Pin()
+	t.Cleanup(func() { memRelease(); mem.Close() })
 	file, err := gdb.Build(g, gdb.Options{Path: filepath.Join(t.TempDir(), "cross.fgmdb")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { file.Close() })
-	return map[string]*gdb.DB{"memory": mem, "file": file}
+	fileSnap, fileRelease := file.Pin()
+	t.Cleanup(func() { fileRelease(); file.Close() })
+	return map[string]*gdb.Snap{"memory": memSnap, "file": fileSnap}
 }
 
 // extentOf builds a single-column temporal table holding every node of the
@@ -244,11 +246,13 @@ func TestRuntimeStats(t *testing.T) {
 func BenchmarkOperatorParallel(b *testing.B) {
 	d := xmark.Generate(xmark.Config{Nodes: 8000, Seed: 7, DAG: true})
 	g := d.Graph
-	db, err := gdb.Build(g, gdb.Options{PoolBytes: 16 << 20})
+	dbx, err := gdb.Build(g, gdb.Options{PoolBytes: 16 << 20})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer dbx.Close()
+	db, release := dbx.Pin()
+	defer release()
 
 	// Pick the label pair with the largest R-join to make the operators
 	// compute-bound rather than setup-bound.

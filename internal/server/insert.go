@@ -31,35 +31,29 @@ type InsertResult struct {
 }
 
 // InsertEdges applies a batch of edge inserts through the database's
-// incremental maintenance path. Each edge is one atomic index update:
-// concurrent queries observe the index on some prefix of the batch, never
-// a torn intermediate state (the maintenance epoch lock serialises each
-// insert against whole query executions). After the batch the plan cache
-// is dropped — cached plans stay result-correct on the grown graph (plan
-// shape affects cost, not answers), but replanning lets the optimizer see
-// the updated statistics.
+// incremental maintenance path. The batch builds one private copy-on-write
+// snapshot and publishes it as a single new epoch: concurrent queries keep
+// the epoch they pinned, so they observe either no edge of the batch or
+// (once they start after the publish) all of it — never a torn
+// intermediate state, and never blocked behind the writer. The plan cache
+// needs no invalidation: its keys carry the snapshot epoch, so plans
+// costed against the superseded snapshot stop matching and age out of the
+// LRU on their own.
 //
 // A malformed edge (endpoint out of range) aborts the batch at that edge
-// with ErrBadQuery; earlier edges stay applied, and the returned result
-// counts them.
+// with ErrBadQuery; earlier edges stay applied (and published), and the
+// returned result counts them.
 func (s *Server) InsertEdges(ctx context.Context, edges [][2]graph.NodeID) (InsertResult, error) {
 	var res InsertResult
 	if s.db.Closed() {
 		return res, gdb.ErrClosed
 	}
-	for _, e := range edges {
-		if err := ctx.Err(); err != nil {
-			s.met.recordError(err)
-			return res, err
-		}
-		st, err := s.db.ApplyEdgeInsert(e[0], e[1])
-		if err != nil {
-			s.met.insertErrors.Add(1)
-			if errors.Is(err, gdb.ErrBadInsert) {
-				err = badQuery(err)
-			}
-			return res, err
-		}
+	if err := ctx.Err(); err != nil {
+		s.met.recordError(err)
+		return res, err
+	}
+	stats, err := s.db.ApplyEdgeInserts(edges)
+	for _, st := range stats {
 		if st.Duplicate {
 			res.Duplicates++
 			continue
@@ -71,12 +65,16 @@ func (s *Server) InsertEdges(ctx context.Context, edges [][2]graph.NodeID) (Inse
 			res.NewCenters++
 		}
 	}
-	if res.Applied > 0 {
-		s.plans.clear()
-	}
 	s.met.edgeInserts.Add(int64(res.Applied))
 	s.met.insertDuplicates.Add(int64(res.Duplicates))
 	s.met.insertLabelEntries.Add(int64(res.LabelEntries))
+	if err != nil {
+		s.met.insertErrors.Add(1)
+		if errors.Is(err, gdb.ErrBadInsert) {
+			err = badQuery(err)
+		}
+		return res, err
+	}
 	return res, nil
 }
 

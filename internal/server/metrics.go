@@ -184,6 +184,16 @@ type Stats struct {
 	InsertDuplicates   int64 `json:"insert_duplicates"`
 	InsertLabelEntries int64 `json:"insert_label_entries"`
 	InsertErrors       int64 `json:"insert_errors"`
+	// CurrentEpoch is the published snapshot epoch (increments once per
+	// applied insert batch); PinnedEpochs counts live snapshot versions
+	// (1 when idle: the current epoch's base pin); OldestPinnedAgeSeconds
+	// is the age of the oldest still-pinned snapshot (long-running readers
+	// delay page reclamation); SnapshotsRetired counts superseded
+	// snapshots whose pages were recycled.
+	CurrentEpoch           uint64  `json:"current_epoch"`
+	PinnedEpochs           int     `json:"pinned_epochs"`
+	OldestPinnedAgeSeconds float64 `json:"oldest_pinned_age_seconds"`
+	SnapshotsRetired       uint64  `json:"snapshots_retired"`
 	// QueryParallelism is the configured intra-query worker degree
 	// (0 = GOMAXPROCS).
 	QueryParallelism int `json:"query_parallelism"`
@@ -253,6 +263,11 @@ func (s *Server) Stats() Stats {
 	}
 	if !s.db.Closed() {
 		st.IO = s.db.IOStats()
+		es := s.db.EpochStats()
+		st.CurrentEpoch = es.Current
+		st.PinnedEpochs = es.Pinned
+		st.OldestPinnedAgeSeconds = es.OldestAge.Seconds()
+		st.SnapshotsRetired = es.Retired
 	}
 	if p := s.met.quantile(0.50); !math.IsNaN(p) {
 		st.P50ms = p

@@ -7,10 +7,12 @@ import (
 	"fastmatch/internal/optimizer"
 )
 
-// planCache is a bounded LRU of optimized plans keyed by (algorithm,
-// canonical pattern). Cached *optimizer.Plan values are immutable after
-// optimization (the executor only reads them), so one plan is shared by
-// any number of concurrent runs.
+// planCache is a bounded LRU of optimized plans keyed by (snapshot epoch,
+// algorithm, canonical pattern). Cached *optimizer.Plan values are
+// immutable after optimization (the executor only reads them), so one plan
+// is shared by any number of concurrent runs. Entries keyed by superseded
+// epochs are never invalidated explicitly — they just stop being looked up
+// and fall off the LRU tail.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -67,18 +69,6 @@ func (c *planCache) put(key string, plan *optimizer.Plan) {
 		c.ll.Remove(el)
 		delete(c.items, el.Value.(*planCacheEntry).key)
 	}
-}
-
-// clear drops every cached plan (after an edge insert changed the
-// optimizer statistics).
-func (c *planCache) clear() {
-	if c.cap <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	clear(c.items)
 }
 
 func (c *planCache) len() int {

@@ -1,20 +1,26 @@
 // Package server is the concurrent query-serving subsystem: it wraps a
 // gdb.DB with admission control (a bounded worker-pool semaphore with
-// queue timeout), a plan cache keyed by canonical pattern form, per-server
-// metrics, and an HTTP front-end. The paper's engine is single-threaded;
-// the storage and database layers were made safe for parallel readers
-// (sharded buffer-pool and code-cache locks, per-query scratch heaps), so
-// N queries execute simultaneously with no global engine mutex — this
-// package adds the serving policy on top. Edge inserts go through
-// InsertEdges (POST /insert), which rides the database's maintenance epoch
-// lock: each insert serialises against whole query executions, so a query
-// always answers on some prefix of the insert sequence.
+// queue timeout), a plan cache keyed by snapshot epoch and canonical
+// pattern form, per-server metrics, and an HTTP front-end. The paper's
+// engine is single-threaded; the storage and database layers were made
+// safe for parallel readers (sharded buffer-pool and code-cache locks,
+// per-query scratch heaps), so N queries execute simultaneously with no
+// global engine mutex — this package adds the serving policy on top.
+//
+// Reads and writes never block each other: each query pins one immutable
+// snapshot epoch (gdb.DB.Pin) for its whole plan+execute lifetime, and
+// edge inserts (POST /insert, InsertEdges) build a private copy-on-write
+// snapshot that is published as the next epoch in one atomic step per
+// batch. A query therefore answers on exactly one epoch — either before a
+// concurrent batch or after it, never a torn middle — and an insert never
+// waits for in-flight queries.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -166,8 +172,9 @@ type planCall struct {
 }
 
 // New wraps db in a query server. Writes must go through the server's own
-// InsertEdges (or the database's ApplyEdgeInsert), never around it — both
-// take the maintenance lock that keeps in-flight queries consistent.
+// InsertEdges (or the database's ApplyEdgeInserts), never around it — both
+// publish snapshot epochs through the database's single-writer path that
+// keeps in-flight queries consistent.
 func New(db *gdb.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
@@ -238,7 +245,13 @@ func (s *Server) QueryPatternOpts(ctx context.Context, p *pattern.Pattern, algo 
 	}
 	defer func() { <-s.sem }()
 
-	plan, cached, err := s.plan(ctx, p, algo)
+	// Pin one snapshot epoch for the whole query: planning statistics and
+	// execution reads come from the same immutable index version, however
+	// many insert batches publish meanwhile.
+	snap, release := s.db.Pin()
+	defer release()
+
+	plan, cached, err := s.plan(ctx, snap, p, algo)
 	if err != nil {
 		s.met.recordError(err)
 		return nil, err
@@ -252,7 +265,7 @@ func (s *Server) QueryPatternOpts(ctx context.Context, p *pattern.Pattern, algo 
 		MaxTableRows: s.cfg.MaxTableRows,
 		MaxBytes:     s.cfg.MaxIntermediateBytes,
 	}
-	t, err := exec.RunContextConfig(ctx, s.db, plan, exec.RunConfig{Runtime: rt, Budget: bdg})
+	t, err := exec.RunSnapConfig(ctx, snap, plan, exec.RunConfig{Runtime: rt, Budget: bdg})
 	s.met.recordRuntime(rt.Stats())
 	s.met.recordBudget(bdg)
 	if err != nil {
@@ -297,13 +310,18 @@ func (s *Server) acquire(ctx context.Context) error {
 	}
 }
 
-// plan returns the execution plan for (p, algo), consulting the LRU plan
-// cache keyed by the pattern's canonical form so repeated patterns skip
-// DP/DPS planning entirely. Concurrent misses on the same key coalesce:
-// exactly one goroutine runs the exponential DP/DPS search and the others
-// share its result (or its error) instead of racing N identical planners.
-func (s *Server) plan(ctx context.Context, p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
-	key := algo.String() + "|" + p.Canonical()
+// plan returns the execution plan for (p, algo) against the pinned
+// snapshot, consulting the LRU plan cache keyed by (epoch, algorithm,
+// canonical pattern) so repeated patterns skip DP/DPS planning entirely.
+// The epoch in the key replaces the old clear-on-insert policy: plans
+// costed against a superseded snapshot simply stop matching and age out
+// of the LRU, while the current epoch's entries survive insert batches
+// that used to wipe the whole cache. Concurrent misses on the same key
+// coalesce: exactly one goroutine runs the exponential DP/DPS search and
+// the others share its result (or its error) instead of racing N
+// identical planners.
+func (s *Server) plan(ctx context.Context, snap *gdb.Snap, p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
+	key := strconv.FormatUint(snap.Epoch(), 10) + "|" + algo.String() + "|" + p.Canonical()
 	if e, ok := s.plans.get(key); ok {
 		s.met.planHits.Add(1)
 		return e, true, nil
@@ -335,7 +353,7 @@ func (s *Server) plan(ctx context.Context, p *pattern.Pattern, algo exec.Algorit
 	if s.planBuildHook != nil {
 		s.planBuildHook()
 	}
-	c.plan, c.err = exec.BuildPlan(s.db, p, algo)
+	c.plan, c.err = exec.BuildPlanSnap(snap, p, algo)
 	if c.err != nil {
 		// Bind/plan failures are malformed or unanswerable queries —
 		// client faults, and shared verbatim with coalesced waiters.

@@ -237,7 +237,7 @@ func (t *BTree) insertAt(id PageID, key []byte, value uint64) (*splitResult, err
 			t.bp.Unpin(f, true)
 			return nil, nil
 		}
-		sp, err := t.splitLeaf(f, key, value)
+		sp, err := t.splitLeaf(f, key, value, t.bp.NewPage)
 		t.bp.Unpin(f, true)
 		return sp, err
 	}
@@ -264,19 +264,21 @@ func (t *BTree) insertAt(id PageID, key []byte, value uint64) (*splitResult, err
 		t.bp.Unpin(f, true)
 		return nil, nil
 	}
-	up, err := t.splitInternal(f, sp)
+	up, err := t.splitInternal(f, sp, t.bp.NewPage)
 	t.bp.Unpin(f, true)
 	return up, err
 }
 
 // splitLeaf splits the full leaf in f and inserts key/value on the proper
-// side. Returns the separator to promote.
-func (t *BTree) splitLeaf(f *Frame, key []byte, value uint64) (*splitResult, error) {
+// side, allocating the right sibling through alloc (the pool for in-place
+// inserts, the Cow batch for copy-on-write inserts). Returns the separator
+// to promote.
+func (t *BTree) splitLeaf(f *Frame, key []byte, value uint64, alloc func() (*Frame, PageID, error)) (*splitResult, error) {
 	p := f.Data()
 	n := nKeys(p)
 	mid := n / 2
 
-	rf, rid, err := t.bp.NewPage()
+	rf, rid, err := alloc()
 	if err != nil {
 		return nil, err
 	}
@@ -314,9 +316,10 @@ func (t *BTree) splitLeaf(f *Frame, key []byte, value uint64) (*splitResult, err
 	return &splitResult{key: sep, right: rid}, nil
 }
 
-// splitInternal splits the full internal node in f while inserting sp.
-// Returns the separator to promote further up.
-func (t *BTree) splitInternal(f *Frame, sp *splitResult) (*splitResult, error) {
+// splitInternal splits the full internal node in f while inserting sp,
+// allocating the right sibling through alloc. Returns the separator to
+// promote further up.
+func (t *BTree) splitInternal(f *Frame, sp *splitResult, alloc func() (*Frame, PageID, error)) (*splitResult, error) {
 	p := f.Data()
 	n := nKeys(p)
 
@@ -340,7 +343,7 @@ func (t *BTree) splitInternal(f *Frame, sp *splitResult) (*splitResult, error) {
 	mid := len(cells) / 2
 	sepCell := cells[mid]
 
-	rf, rid, err := t.bp.NewPage()
+	rf, rid, err := alloc()
 	if err != nil {
 		return nil, err
 	}
@@ -395,54 +398,79 @@ func compactKeep(p []byte, keep int, kind byte) {
 
 // Scan calls fn for every key ≥ start in ascending order until fn returns
 // false or the keys are exhausted. A nil start scans from the beginning.
+//
+// The scan is an in-order descent from the root rather than a walk of the
+// leaf sibling chain: a copy-on-write insert (InsertCow) clones only the
+// pages on its root-to-leaf path, so a cloned leaf's un-cloned left
+// sibling still links to the superseded page — valid in the old tree
+// version, wrong (and eventually reclaimed) in the new one. Child pointers
+// reached from the version's own root are always consistent.
 func (t *BTree) Scan(start []byte, fn func(key []byte, value uint64) bool) error {
-	id := t.root
-	// Descend to the leaf containing start.
-	for {
-		f, err := t.bp.Fetch(id)
-		if err != nil {
-			return err
-		}
-		p := f.Data()
-		if p[0] == btKindLeaf {
-			t.bp.Unpin(f, false)
-			break
-		}
-		if start == nil {
-			id2 := link(p)
-			t.bp.Unpin(f, false)
-			id = id2
-			continue
-		}
-		id2 := descend(p, start)
-		t.bp.Unpin(f, false)
-		id = id2
+	_, err := t.scanNode(t.root, start, fn)
+	return err
+}
+
+// scanNode emits keys ≥ start under page id; the bool is false once fn
+// stopped the scan.
+func (t *BTree) scanNode(id PageID, start []byte, fn func(key []byte, value uint64) bool) (bool, error) {
+	f, err := t.bp.Fetch(id)
+	if err != nil {
+		return false, err
 	}
-	for id != InvalidPage {
-		f, err := t.bp.Fetch(id)
-		if err != nil {
-			return err
-		}
-		p := f.Data()
+	p := f.Data()
+
+	if p[0] == btKindLeaf {
 		n := nKeys(p)
 		i := 0
 		if start != nil {
 			i, _ = search(p, start)
-			start = nil
 		}
 		for ; i < n; i++ {
 			k := append([]byte(nil), cellKey(p, i)...)
 			v := leafValue(p, i)
 			if !fn(k, v) {
 				t.bp.Unpin(f, false)
-				return nil
+				return false, nil
 			}
 		}
-		next := link(p)
 		t.bp.Unpin(f, false)
-		id = next
+		return true, nil
 	}
-	return nil
+
+	// Children in key order are [leftmost link, child 0, …, child n-1];
+	// start's subtree (descend's choice) is where the scan begins.
+	n := nKeys(p)
+	children := make([]PageID, 0, n+1)
+	from := 0
+	if start != nil {
+		i, exact := search(p, start)
+		switch {
+		case exact:
+			from = i + 1
+		case i > 0:
+			from = i
+		}
+	}
+	if from == 0 {
+		children = append(children, link(p))
+	}
+	for i := max(from-1, 0); i < n; i++ {
+		children = append(children, childAt(p, i))
+	}
+	// Unpin before recursing so a scan holds at most one pin per level.
+	t.bp.Unpin(f, false)
+
+	for j, cid := range children {
+		s := start
+		if j > 0 {
+			s = nil // only the first child can hold keys < start
+		}
+		more, err := t.scanNode(cid, s, fn)
+		if err != nil || !more {
+			return more, err
+		}
+	}
+	return true, nil
 }
 
 // Len counts the keys in the tree (full scan; for tests and stats).

@@ -1,0 +1,346 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func newTestPool(t *testing.T, frames int) *BufferPool {
+	t.Helper()
+	return NewBufferPool(NewMemPager(), frames*PageSize)
+}
+
+func cowKey(i int) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(i))
+	return k[:]
+}
+
+func collect(t *testing.T, tr *BTree) map[string]uint64 {
+	t.Helper()
+	out := make(map[string]uint64)
+	if err := tr.Scan(nil, func(k []byte, v uint64) bool {
+		out[string(k)] = v
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return out
+}
+
+// TestInsertCowPreservesOldVersion checks the core MVCC property: after a
+// copy-on-write batch, the pre-batch tree still reads exactly its old
+// contents while the new version reads old ∪ new.
+func TestInsertCowPreservesOldVersion(t *testing.T) {
+	bp := newTestPool(t, 256)
+	old, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 500
+	for i := 0; i < base; i++ {
+		if err := old.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCow(bp)
+	cur := old
+	for i := base; i < base+300; i++ {
+		cur, err = cur.InsertCow(c, cowKey(i), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite some old keys in the new version only.
+	for i := 0; i < 50; i++ {
+		cur, err = cur.InsertCow(c, cowKey(i), uint64(i)+1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	oldGot := collect(t, old)
+	if len(oldGot) != base {
+		t.Fatalf("old version has %d keys, want %d", len(oldGot), base)
+	}
+	for i := 0; i < base; i++ {
+		if v := oldGot[string(cowKey(i))]; v != uint64(i) {
+			t.Fatalf("old version key %d = %d, want %d (new-version write leaked)", i, v, i)
+		}
+	}
+	newGot := collect(t, cur)
+	if len(newGot) != base+300 {
+		t.Fatalf("new version has %d keys, want %d", len(newGot), base+300)
+	}
+	for i := 0; i < base+300; i++ {
+		want := uint64(i)
+		if i < 50 {
+			want += 1000
+		}
+		if v := newGot[string(cowKey(i))]; v != want {
+			t.Fatalf("new version key %d = %d, want %d", i, v, want)
+		}
+	}
+	// Point reads agree with the scan on both versions.
+	if v, ok, err := old.Get(cowKey(10)); err != nil || !ok || v != 10 {
+		t.Fatalf("old.Get(10) = %d,%v,%v, want 10,true,nil", v, ok, err)
+	}
+	if v, ok, err := cur.Get(cowKey(10)); err != nil || !ok || v != 1010 {
+		t.Fatalf("new.Get(10) = %d,%v,%v, want 1010,true,nil", v, ok, err)
+	}
+}
+
+// TestInsertCowSharesUntouchedPages checks that a small batch on a large
+// tree copies only the touched root-to-leaf paths, and that the superseded
+// pages it reports really are no longer referenced by the new version.
+func TestInsertCowSharesUntouchedPages(t *testing.T) {
+	bp := newTestPool(t, 256)
+	old, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := old.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCow(bp)
+	cur, err := old.InsertCow(c, cowKey(2000), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed := c.Freed()
+	// One root-to-leaf path is copied; a 2000-key tree of 4 KiB pages is
+	// 2–3 levels deep, so far fewer pages than the whole tree.
+	if len(freed) == 0 || len(freed) > 4 {
+		t.Fatalf("single insert superseded %d pages, want 1–4 (path copy only)", len(freed))
+	}
+	newPages := treePages(t, cur)
+	for _, id := range freed {
+		if _, ok := newPages[id]; ok {
+			t.Fatalf("page %d reported freed but still reachable from new root", id)
+		}
+	}
+	oldPages := treePages(t, old)
+	shared := 0
+	for id := range newPages {
+		if _, ok := oldPages[id]; ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("new version shares no pages with the old one; structural sharing is broken")
+	}
+}
+
+// treePages returns every page reachable from the tree's root.
+func treePages(t *testing.T, tr *BTree) map[PageID]struct{} {
+	t.Helper()
+	out := make(map[PageID]struct{})
+	var walk func(id PageID)
+	var failed error
+	walk = func(id PageID) {
+		if failed != nil {
+			return
+		}
+		out[id] = struct{}{}
+		f, err := tr.bp.Fetch(id)
+		if err != nil {
+			failed = err
+			return
+		}
+		p := f.Data()
+		if p[0] == btKindLeaf {
+			tr.bp.Unpin(f, false)
+			return
+		}
+		n := nKeys(p)
+		kids := make([]PageID, 0, n+1)
+		kids = append(kids, link(p))
+		for i := 0; i < n; i++ {
+			kids = append(kids, childAt(p, i))
+		}
+		tr.bp.Unpin(f, false)
+		for _, k := range kids {
+			walk(k)
+		}
+	}
+	walk(tr.Root())
+	if failed != nil {
+		t.Fatalf("treePages: %v", failed)
+	}
+	return out
+}
+
+// TestInsertCowFreshPagesMutateInPlace checks that repeated inserts within
+// one batch do not keep re-copying pages the batch already owns: the number
+// of superseded pages stays bounded by the pre-batch tree size, not the
+// number of inserts.
+func TestInsertCowFreshPagesMutateInPlace(t *testing.T) {
+	bp := newTestPool(t, 256)
+	old, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := old.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(treePages(t, old))
+
+	c := NewCow(bp)
+	cur := old
+	for i := 200; i < 1200; i++ {
+		cur, err = cur.InsertCow(c, cowKey(i), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.Freed()); got > before {
+		t.Fatalf("batch of 1000 inserts superseded %d pages; should be ≤ %d (old tree size) if fresh pages mutate in place", got, before)
+	}
+	if got := collect(t, cur); len(got) != 1200 {
+		t.Fatalf("new version has %d keys, want 1200", len(got))
+	}
+}
+
+// TestInsertCowRootSplit drives a tiny tree through enough CoW inserts to
+// split the root repeatedly and checks both versions stay correct.
+func TestInsertCowRootSplit(t *testing.T) {
+	bp := newTestPool(t, 256)
+	old, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Insert(cowKey(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCow(bp)
+	cur := old
+	const n = 3000
+	for i := 1; i < n; i++ {
+		cur, err = cur.InsertCow(c, cowKey(i), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cur.Root() == old.Root() {
+		t.Fatal("root did not change across a root split")
+	}
+	if got := collect(t, old); len(got) != 1 {
+		t.Fatalf("old version has %d keys, want 1", len(got))
+	}
+	got := collect(t, cur)
+	if len(got) != n {
+		t.Fatalf("new version has %d keys, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := got[string(cowKey(i))]; !ok || v != uint64(i) {
+			t.Fatalf("key %d = %d (present %v), want %d", i, v, ok, i)
+		}
+	}
+}
+
+// TestScanRangeAfterCow checks ranged scans (non-nil start) against both
+// versions — the recursive scan must position correctly inside shared and
+// copied subtrees alike.
+func TestScanRangeAfterCow(t *testing.T) {
+	bp := newTestPool(t, 256)
+	tr, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i += 2 { // even keys only
+		if err := tr.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCow(bp)
+	cur := tr
+	for i := 1; i < 1000; i += 2 { // odd keys in the new version
+		cur, err = cur.InsertCow(c, cowKey(i), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, start := range []int{0, 1, 2, 499, 500, 777, 998, 999, 1000} {
+		// Old version: evens ≥ start.
+		want := []uint64{}
+		for i := 0; i < 1000; i += 2 {
+			if i >= start {
+				want = append(want, uint64(i))
+			}
+		}
+		checkRange(t, tr, cowKey(start), want, fmt.Sprintf("old start=%d", start))
+		// New version: all keys ≥ start.
+		want = want[:0]
+		for i := start; i < 1000; i++ {
+			if i >= 0 {
+				want = append(want, uint64(i))
+			}
+		}
+		checkRange(t, cur, cowKey(start), want, fmt.Sprintf("new start=%d", start))
+	}
+	// Early termination still works.
+	count := 0
+	if err := cur.Scan(nil, func(k []byte, v uint64) bool {
+		count++
+		return count < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("scan visited %d keys after stop at 10", count)
+	}
+}
+
+func checkRange(t *testing.T, tr *BTree, start []byte, want []uint64, label string) {
+	t.Helper()
+	got := []uint64{}
+	if err := tr.Scan(start, func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	}); err != nil {
+		t.Fatalf("%s: Scan: %v", label, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: scan returned %d keys, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: scan[%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestHeapSeal checks that a sealed heap never rewrites a previously
+// filled page: records inserted after Seal land on new pages.
+func TestHeapSeal(t *testing.T) {
+	bp := newTestPool(t, 64)
+	h := NewHeapFile(bp)
+	r1, err := h.Insert([]byte("before"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Seal()
+	r2, err := h.Insert([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Page == r2.Page {
+		t.Fatalf("insert after Seal reused page %d", r1.Page)
+	}
+	for _, c := range []struct {
+		rid  RID
+		want string
+	}{{r1, "before"}, {r2, "after"}} {
+		got, err := h.Read(c.rid)
+		if err != nil || string(got) != c.want {
+			t.Fatalf("Read(%v) = %q,%v, want %q", c.rid, got, err, c.want)
+		}
+	}
+}

@@ -92,6 +92,13 @@ func (h *HeapFile) Release() error {
 	return first
 }
 
+// Seal detaches the heap from its current tail page, so the next Insert
+// starts a fresh page instead of appending to (and rewriting the slotted
+// header of) one an earlier batch filled. A snapshot-publishing writer
+// calls this before publishing: pages visible to any snapshot are never
+// written again, which is what makes lock-free readers safe.
+func (h *HeapFile) Seal() { h.cur = InvalidPage }
+
 // newPage allocates a page via the pool, recording it when tracking.
 func (h *HeapFile) newPage() (*Frame, PageID, error) {
 	f, id, err := h.bp.NewPage()
