@@ -36,8 +36,8 @@ func run() error {
 	var (
 		graphPath   = flag.String("graph", "", "data graph file (text format; required)")
 		query       = flag.String("query", "", "pattern, e.g. \"A->C; B->C\"")
-		algo        = flag.String("algo", "dps", "optimizer: dp or dps")
-		explain     = flag.Bool("explain", false, "print the chosen plan instead of running it")
+		algo        = flag.String("algo", "dps", "optimizer: dp, dps, dpsmerged, or wcoj (forced multiway join)")
+		explain     = flag.Bool("explain", false, "print the chosen plan (operator kinds, variable order, cost estimates) instead of running it")
 		analyze     = flag.Bool("analyze", false, "run and print per-step rows/IO/time")
 		stats       = flag.Bool("stats", false, "print index statistics")
 		limit       = flag.Int("limit", 20, "max result rows to print (0 = all)")
@@ -108,8 +108,10 @@ func run() error {
 		algorithm = fastmatch.DPS
 	case "dpsmerged":
 		algorithm = fastmatch.DPSMerged
+	case "wcoj":
+		algorithm = fastmatch.WCOJ
 	default:
-		return fmt.Errorf("unknown -algo %q (want dp, dps, or dpsmerged)", *algo)
+		return fmt.Errorf("unknown -algo %q (want dp, dps, dpsmerged, or wcoj)", *algo)
 	}
 
 	if *explain {
@@ -131,8 +133,12 @@ func run() error {
 		}
 		fmt.Print(plan)
 		for i, tr := range traces {
-			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d workers=%-2d chits=%-6d %.2fms\n",
+			fmt.Printf("  step %d %-9s rows=%-8d io=%-8d workers=%-2d chits=%-6d %.2fms",
 				i+1, tr.Step.Kind, tr.Rows, tr.IO, tr.Workers, tr.CenterCacheHits, tr.ElapsedMS)
+			if tr.Seeks > 0 || tr.IterNexts > 0 {
+				fmt.Printf(" seeks=%d nexts=%d", tr.Seeks, tr.IterNexts)
+			}
+			fmt.Println()
 		}
 	} else if *budgetRows > 0 || *budgetBytes > 0 {
 		b := &fastmatch.Budget{MaxTableRows: *budgetRows, MaxBytes: *budgetBytes}

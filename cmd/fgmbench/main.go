@@ -8,6 +8,8 @@
 //	fgmbench -exp table2             # one experiment
 //	fgmbench -exp fig6a -mult 0.5    # half-size datasets
 //	fgmbench -exp rjoin              # operator micros + BENCH_rjoin.json
+//	fgmbench -exp wcoj               # WCOJ vs binary joins + BENCH_wcoj.json
+//	fgmbench -exp wcoj -compare BENCH_wcoj.json  # fail on >10% WCOJ regression
 //	fgmbench -list                   # list experiment IDs
 package main
 
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fastmatch/internal/bench"
 )
@@ -24,7 +27,7 @@ var experimentIDs = []string{
 	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b", "fig7c", "iocost",
 	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
-	"rjoin", "build",
+	"rjoin", "build", "wcoj",
 }
 
 func main() {
@@ -34,8 +37,9 @@ func main() {
 		seed = flag.Int64("seed", 1, "data generation seed")
 		reps = flag.Int("reps", 2, "timed repetitions per query (minimum reported)")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
-		out  = flag.String("out", "", "machine-readable output path for -exp rjoin / build (default BENCH_<exp>.json)")
+		out  = flag.String("out", "", "machine-readable output path for -exp rjoin / build / wcoj (default BENCH_<exp>.json)")
 		bp   = flag.Int("build-parallelism", 0, "workers for experiment database builds (0/1 = serial, -1 = GOMAXPROCS)")
+		cmp  = flag.String("compare", "", "for -exp wcoj: committed BENCH_wcoj.json to guard against; exit non-zero if a cyclic query's WCOJ time regresses >10%")
 	)
 	flag.Parse()
 	if *list {
@@ -75,23 +79,28 @@ func main() {
 		}
 		return
 	}
-	if *exp == "rjoin" || *exp == "build" {
+	if *exp == "rjoin" || *exp == "build" || *exp == "wcoj" {
 		// These micros also emit a machine-readable file so bench-compare
 		// and CI can diff runs without parsing the table.
 		var (
-			rep     *bench.Report
-			results any
-			n       int
-			err     error
+			rep      *bench.Report
+			results  any
+			wcojRows []bench.WCOJResult
+			n        int
+			err      error
 		)
-		if *exp == "rjoin" {
+		switch *exp {
+		case "rjoin":
 			var rows []bench.RJoinResult
 			rep, rows, err = r.RJoinMicro()
 			results, n = rows, len(rows)
-		} else {
+		case "build":
 			var rows []bench.BuildResult
 			rep, rows, err = r.BuildMicro()
 			results, n = rows, len(rows)
+		case "wcoj":
+			rep, wcojRows, err = r.WCOJMicro()
+			results, n = wcojRows, len(wcojRows)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
@@ -117,6 +126,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, n)
+		if *exp == "wcoj" && *cmp != "" {
+			if err := compareWCOJ(*cmp, wcojRows); err != nil {
+				fmt.Fprintln(os.Stderr, "fgmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("no WCOJ regression vs %s\n", *cmp)
+		}
 		return
 	}
 	rep, err := r.ByID(*exp)
@@ -125,4 +141,42 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Print(os.Stdout)
+}
+
+// compareWCOJ guards against multiway-join performance regressions: each
+// cyclic query's forced-WCOJ time in head must stay within 10% of the
+// committed baseline (plus a 1ms absolute grace, so sub-millisecond timer
+// noise cannot fail a build). Queries present only on one side are
+// ignored — adding or renaming workloads is not a regression.
+func compareWCOJ(basePath string, head []bench.WCOJResult) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var envelope struct {
+		Results []bench.WCOJResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	base := make(map[string]bench.WCOJResult, len(envelope.Results))
+	for _, b := range envelope.Results {
+		base[b.Name] = b
+	}
+	var failures []string
+	for _, h := range head {
+		b, ok := base[h.Name]
+		if !ok {
+			continue
+		}
+		if allowed := b.WCOJMS*1.10 + 1.0; h.WCOJMS > allowed {
+			failures = append(failures, fmt.Sprintf(
+				"%s: wcoj %.2fms vs baseline %.2fms (allowed %.2fms)",
+				h.Name, h.WCOJMS, b.WCOJMS, allowed))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("WCOJ regression vs %s:\n  %s", basePath, strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -73,7 +73,10 @@ func TestAllSystemsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s bind: %v", w.Name, err)
 		}
-		dpPlan, err := optimizer.OptimizeDP(bind, optimizer.DefaultCostParams())
+		// IGMJ executes binary R-join plans only; keep WCOJ steps out.
+		igmjParams := optimizer.DefaultCostParams()
+		igmjParams.NoWCOJ = true
+		dpPlan, err := optimizer.OptimizeDP(bind, igmjParams)
 		if err != nil {
 			t.Fatalf("%s DP plan: %v", w.Name, err)
 		}
@@ -142,7 +145,10 @@ func TestAllSystemsAgreeCyclic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dpPlan, err := optimizer.OptimizeDP(bind, optimizer.DefaultCostParams())
+		// IGMJ executes binary R-join plans only; keep WCOJ steps out.
+		igmjParams := optimizer.DefaultCostParams()
+		igmjParams.NoWCOJ = true
+		dpPlan, err := optimizer.OptimizeDP(bind, igmjParams)
 		if err != nil {
 			t.Fatal(err)
 		}

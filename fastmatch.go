@@ -110,6 +110,12 @@ const (
 	// — the paper's O(3^n) variant): faster planning, slightly coarser
 	// plans.
 	DPSMerged = exec.DPSMerged
+	// WCOJ forces a single worst-case-optimal multiway R-join over the
+	// whole pattern (leapfrog intersection in one global variable order).
+	// The DP/DPS planners already consider WCOJ steps for cyclic cores and
+	// pick them when cheaper; forcing the full-pattern form exists for
+	// benchmarking and differential testing. Requires a connected pattern.
+	WCOJ = exec.WCOJ
 )
 
 // IOStats reports page-level I/O counters of the engine's buffer pool.

@@ -194,7 +194,10 @@ func TestRunMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", ps, err)
 		}
-		plan, err := optimizer.OptimizeDP(bind, optimizer.DefaultCostParams())
+		// IGMJ executes binary R-join plans only; keep WCOJ steps out.
+		igmjParams := optimizer.DefaultCostParams()
+		igmjParams.NoWCOJ = true
+		plan, err := optimizer.OptimizeDP(bind, igmjParams)
 		if err != nil {
 			t.Fatalf("%s: %v", ps, err)
 		}

@@ -201,7 +201,10 @@ func (r *Runner) timeINTDP(db *gdb.DB, ix *igmj.Index, p *pattern.Pattern) (Meas
 		if err != nil {
 			return Measure{}, err
 		}
-		plan, err := optimizer.OptimizeDP(bind, optimizer.DefaultCostParams())
+		// IGMJ executes binary R-join plans only; keep WCOJ steps out.
+		igmjParams := optimizer.DefaultCostParams()
+		igmjParams.NoWCOJ = true
+		plan, err := optimizer.OptimizeDP(bind, igmjParams)
 		if err != nil {
 			return Measure{}, err
 		}
@@ -317,6 +320,9 @@ func (r *Runner) ByID(id string) (*Report, error) {
 		return rep, err
 	case "build":
 		rep, _, err := r.BuildMicro()
+		return rep, err
+	case "wcoj":
+		rep, _, err := r.WCOJMicro()
 		return rep, err
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/optimizer"
+	"fastmatch/internal/rjoin"
+	"fastmatch/internal/workload"
+)
+
+// WCOJResult is one machine-readable hybrid-vs-binary measurement, the row
+// schema of BENCH_wcoj.json.
+type WCOJResult struct {
+	// Name is the workload name (CY1–CY5) and Pattern its text form.
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Dataset is the ladder dataset the pattern ran on.
+	Dataset string `json:"dataset"`
+	// Rows is the result cardinality (identical across all three plans by
+	// the differential contract).
+	Rows int `json:"rows"`
+	// HybridMS is the hybrid DPS planner's execution time (it may choose a
+	// WCOJ first step or a binary pipeline, whichever costs less);
+	// BinaryMS forces the binary pipeline (planning with NoWCOJ);
+	// WCOJMS forces one full-pattern multiway join.
+	HybridMS float64 `json:"hybrid_ms"`
+	BinaryMS float64 `json:"binary_ms"`
+	WCOJMS   float64 `json:"wcoj_ms"`
+	// HybridPicksWCOJ reports whether the hybrid plan opened with a WCOJ
+	// step.
+	HybridPicksWCOJ bool `json:"hybrid_picks_wcoj"`
+	// Seeks and IterNexts are the forced-WCOJ run's leapfrog iterator
+	// counters: sorted lists opened for intersection and candidate values
+	// produced.
+	Seeks     int64 `json:"seeks"`
+	IterNexts int64 `json:"iter_nexts"`
+}
+
+// timePlan measures executing one prebuilt plan, cold caches, best of Reps.
+func (r *Runner) timePlan(db *gdb.DB, snap *gdb.Snap, plan *optimizer.Plan) (Measure, error) {
+	ctx := context.Background()
+	best := Measure{ElapsedMS: -1}
+	for rep := 0; rep < r.reps(); rep++ {
+		db.ClearCaches()
+		db.ResetIOStats()
+		start := time.Now()
+		res, err := exec.RunSnapConfig(ctx, snap, plan, exec.RunConfig{})
+		if err != nil {
+			return Measure{}, err
+		}
+		el := float64(time.Since(start).Microseconds()) / 1000
+		if best.ElapsedMS < 0 || el < best.ElapsedMS {
+			best = Measure{ElapsedMS: el, IO: db.IOStats().Logical(), Rows: res.Len()}
+		}
+	}
+	return best, nil
+}
+
+// WCOJMicro measures the worst-case-optimal multiway R-join against the
+// binary join pipeline on the cyclic workload battery (CY1–CY5): the
+// hybrid DPS plan (free to pick either), the forced binary pipeline
+// (planned with NoWCOJ), and the forced full-pattern WCOJ. All three must
+// return identical row counts. It returns the paper-style report plus the
+// machine-readable rows for BENCH_wcoj.json.
+func (r *Runner) WCOJMicro() (*Report, []WCOJResult, error) {
+	s := Scales(r.Mult)[0]
+	db, err := r.db(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, release := db.Pin()
+	defer release()
+
+	rep := &Report{
+		ID:    "wcoj",
+		Title: fmt.Sprintf("WCOJ vs binary join pipeline on cyclic patterns (%s)", s.Name),
+		PaperClaim: "cyclic pattern cores are where binary join pipelines produce " +
+			"intermediate results larger than the output; a worst-case-optimal " +
+			"multiway R-join bounds them by the AGM bound and the hybrid " +
+			"optimizer picks it when cheaper",
+		Header: []string{"query", "rows", "hybrid ms", "binary ms", "wcoj ms", "hybrid picks", "seeks", "nexts"},
+	}
+	var results []WCOJResult
+	for _, w := range workload.Cyclic() {
+		bind, err := optimizer.Bind(snap, w.Pattern)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		hybridPlan, err := optimizer.OptimizeDPS(bind, optimizer.DefaultCostParams())
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		binParams := optimizer.DefaultCostParams()
+		binParams.NoWCOJ = true
+		binaryPlan, err := optimizer.OptimizeDPS(bind, binParams)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		wcojPlan, err := optimizer.OptimizeWCOJ(bind, optimizer.DefaultCostParams())
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+
+		hybrid, err := r.timePlan(db, snap, hybridPlan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s hybrid: %w", w.Name, err)
+		}
+		binary, err := r.timePlan(db, snap, binaryPlan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s binary: %w", w.Name, err)
+		}
+		wcoj, err := r.timePlan(db, snap, wcojPlan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s wcoj: %w", w.Name, err)
+		}
+		if hybrid.Rows != binary.Rows || hybrid.Rows != wcoj.Rows {
+			return nil, nil, fmt.Errorf("bench: %s row counts disagree: hybrid %d, binary %d, wcoj %d",
+				w.Name, hybrid.Rows, binary.Rows, wcoj.Rows)
+		}
+		// One instrumented forced-WCOJ run for the iterator counters.
+		rt := rjoin.NewRuntime(1)
+		if _, err := exec.RunSnapConfig(context.Background(), snap, wcojPlan, exec.RunConfig{Runtime: rt}); err != nil {
+			return nil, nil, fmt.Errorf("%s wcoj counters: %w", w.Name, err)
+		}
+		rs := rt.Stats()
+
+		picks := len(hybridPlan.Steps) > 0 && hybridPlan.Steps[0].Kind == optimizer.StepWCOJ
+		res := WCOJResult{
+			Name:            w.Name,
+			Pattern:         w.Pattern.String(),
+			Dataset:         s.Name,
+			Rows:            hybrid.Rows,
+			HybridMS:        hybrid.ElapsedMS,
+			BinaryMS:        binary.ElapsedMS,
+			WCOJMS:          wcoj.ElapsedMS,
+			HybridPicksWCOJ: picks,
+			Seeks:           rs.Seeks,
+			IterNexts:       rs.IterNexts,
+		}
+		results = append(results, res)
+		rep.AddRow(w.Name, fmt.Sprint(res.Rows),
+			fmt.Sprintf("%.2f", res.HybridMS), fmt.Sprintf("%.2f", res.BinaryMS),
+			fmt.Sprintf("%.2f", res.WCOJMS), fmt.Sprint(picks),
+			fmt.Sprint(res.Seeks), fmt.Sprint(res.IterNexts))
+	}
+	return rep, results, nil
+}

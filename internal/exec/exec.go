@@ -34,6 +34,11 @@ type StepTrace struct {
 	// via the per-query center cache (e.g. a Fetch reusing its Filter's
 	// center sets).
 	CenterCacheHits int64
+	// Seeks/IterNexts are the step's sorted-iterator counters: positioning
+	// operations and candidate values advanced through, respectively.
+	// Nonzero only for WCOJ steps (see rjoin.RuntimeStats).
+	Seeks     int64
+	IterNexts int64
 }
 
 // RunConfig tunes one plan execution.
@@ -146,7 +151,7 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 		}
 		stepStart := time.Now()
 		ioBefore := db.IOStats().Logical()
-		hitsBefore := rt.Stats().CenterCacheHits
+		statsBefore := rt.Stats()
 		var err error
 		switch s.Kind {
 		case optimizer.StepHPSJ:
@@ -155,6 +160,16 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 			}
 			pushLimit()
 			t, err = rt.HPSJ(ctx, db, b.Conds[s.Edges[0]])
+		case optimizer.StepWCOJ:
+			if t != nil {
+				return nil, nil, fmt.Errorf("exec: step %d: WCOJ mid-plan", si+1)
+			}
+			conds := make([]rjoin.Cond, len(s.Edges))
+			for i, e := range s.Edges {
+				conds[i] = b.Conds[e]
+			}
+			pushLimit()
+			t, err = rt.WCOJ(ctx, db, conds, s.VarOrder)
 		case optimizer.StepSemijoinGroup:
 			if t == nil {
 				t = extentTable(db.Graph(), b, s.Node)
@@ -212,13 +227,16 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 			return nil, nil, fmt.Errorf("exec: step %d (%v): spill: %w", si+1, s.Kind, err)
 		}
 		if trace {
+			statsAfter := rt.Stats()
 			traces = append(traces, StepTrace{
 				Step:            s,
 				Rows:            t.Len(),
 				IO:              db.IOStats().Logical() - ioBefore,
 				ElapsedMS:       float64(time.Since(stepStart).Microseconds()) / 1000,
 				Workers:         rt.Workers(),
-				CenterCacheHits: rt.Stats().CenterCacheHits - hitsBefore,
+				CenterCacheHits: statsAfter.CenterCacheHits - statsBefore.CenterCacheHits,
+				Seeks:           statsAfter.Seeks - statsBefore.Seeks,
+				IterNexts:       statsAfter.IterNexts - statsBefore.IterNexts,
 			})
 		}
 	}
@@ -288,6 +306,11 @@ const (
 	// DPSMerged is DPS over the reduced status space with B_in and B_out
 	// merged (the O(3^n) variant of Section 4.2).
 	DPSMerged
+	// WCOJ forces the whole pattern through one worst-case-optimal multiway
+	// R-join (leapfrog intersection), bypassing cost-based selection. The
+	// DP/DPS planners already consider WCOJ steps for cyclic cores; this
+	// forced mode exists for differential testing and benchmarking.
+	WCOJ
 )
 
 func (a Algorithm) String() string {
@@ -296,13 +319,15 @@ func (a Algorithm) String() string {
 		return "DP"
 	case DPSMerged:
 		return "DPS-merged"
+	case WCOJ:
+		return "WCOJ"
 	default:
 		return "DPS"
 	}
 }
 
-// ParseAlgorithm maps the common spellings ("dp", "dps", "dps-merged") to
-// an Algorithm; empty selects the default (DPS).
+// ParseAlgorithm maps the common spellings ("dp", "dps", "dps-merged",
+// "wcoj") to an Algorithm; empty selects the default (DPS).
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch s {
 	case "", "dps", "DPS":
@@ -311,8 +336,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return DP, nil
 	case "dps-merged", "dpsmerged", "DPS-merged":
 		return DPSMerged, nil
+	case "wcoj", "WCOJ":
+		return WCOJ, nil
 	default:
-		return DPS, fmt.Errorf("exec: unknown algorithm %q (want dp, dps, or dps-merged)", s)
+		return DPS, fmt.Errorf("exec: unknown algorithm %q (want dp, dps, dps-merged, or wcoj)", s)
 	}
 }
 
@@ -340,6 +367,8 @@ func BuildPlanSnap(s *gdb.Snap, p *pattern.Pattern, algo Algorithm) (*optimizer.
 		return optimizer.OptimizeDP(b, params)
 	case DPSMerged:
 		return optimizer.OptimizeDPSMerged(b, params)
+	case WCOJ:
+		return optimizer.OptimizeWCOJ(b, params)
 	default:
 		return optimizer.OptimizeDPS(b, params)
 	}

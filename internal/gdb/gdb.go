@@ -314,6 +314,8 @@ func (db *DB) newSnap(g *graph.Graph) *Snap {
 		joinSizes: make(map[wKey]int64),
 		distFrom:  make(map[wKey]int64),
 		distTo:    make(map[wKey]int64),
+		projFrom:  make(map[wKey][]graph.NodeID),
+		projTo:    make(map[wKey][]graph.NodeID),
 	}
 }
 
@@ -670,19 +672,26 @@ func IntersectNonEmpty(a, b []graph.NodeID) bool {
 // Intersect returns the elements common to two ascending NodeID slices,
 // galloping through the larger slice when the sizes are heavily skewed.
 func Intersect(a, b []graph.NodeID) []graph.NodeID {
+	return IntersectTo(nil, a, b)
+}
+
+// IntersectTo is Intersect writing into dst (reset to length zero), reusing
+// its capacity. The leapfrog multiway R-join calls it once per trie level
+// per binding, where a fresh allocation per intersection would dominate.
+func IntersectTo(dst, a, b []graph.NodeID) []graph.NodeID {
+	dst = dst[:0]
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a) == 0 {
-		return nil
+		return dst
 	}
-	var out []graph.NodeID
 	if len(b) >= gallopRatio*len(a) {
 		lo := 0
 		for _, v := range a {
 			i, found := gallopSearch(b, lo, v)
 			if found {
-				out = append(out, v)
+				dst = append(dst, v)
 				i++
 			}
 			if i >= len(b) {
@@ -690,13 +699,13 @@ func Intersect(a, b []graph.NodeID) []graph.NodeID {
 			}
 			lo = i
 		}
-		return out
+		return dst
 	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		case a[i] < b[j]:
@@ -705,7 +714,7 @@ func Intersect(a, b []graph.NodeID) []graph.NodeID {
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // gallopSearch finds the insertion point of v in the ascending slice s

@@ -154,6 +154,8 @@ func (w *snapWriter) publish(cur *Snap) {
 		joinSizes:  make(map[wKey]int64),
 		distFrom:   make(map[wKey]int64),
 		distTo:     make(map[wKey]int64),
+		projFrom:   make(map[wKey][]graph.NodeID),
+		projTo:     make(map[wKey][]graph.NodeID),
 	}
 	cur.wmu.RLock()
 	next.wcache = make(map[wKey][]graph.NodeID, len(cur.wcache))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"fastmatch/internal/graph"
@@ -165,6 +166,64 @@ func BenchmarkIntersectLinearReference(b *testing.B) {
 			_ = n
 		})
 	}
+}
+
+// FuzzLeapfrogMultiwayIntersect drives the leapfrog fold the WCOJ
+// operator's candidate stage uses — sort the constraint lists by length,
+// then fold IntersectTo pairwise with buffer reuse — against a naive
+// membership-count oracle over k sorted unique lists.
+func FuzzLeapfrogMultiwayIntersect(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 0, 0, 1, 1})
+	f.Add([]byte{3, 10, 20, 30, 40, 50, 1, 1, 1})
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		k := int(data[0]%4) + 2
+		// Deal the remaining bytes round-robin into k lists, then turn each
+		// list's bytes into strictly increasing values (sorted, duplicate-free
+		// — the iterator contract).
+		lists := make([][]graph.NodeID, k)
+		for i, d := range data[1:] {
+			lists[i%k] = append(lists[i%k], graph.NodeID(d))
+		}
+		for li, deltas := range lists {
+			var cur graph.NodeID
+			out := make([]graph.NodeID, 0, len(deltas))
+			for _, d := range deltas {
+				cur += d%16 + 1
+				out = append(out, cur)
+			}
+			lists[li] = out
+		}
+
+		counts := map[graph.NodeID]int{}
+		for _, l := range lists {
+			for _, v := range l {
+				counts[v]++
+			}
+		}
+		want := []graph.NodeID{}
+		for _, v := range lists[0] {
+			if counts[v] == k {
+				want = append(want, v)
+			}
+		}
+
+		sorted := append([][]graph.NodeID(nil), lists...)
+		sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
+		cur := IntersectTo(nil, sorted[0], sorted[1])
+		var buf []graph.NodeID
+		for _, l := range sorted[2:] {
+			next := IntersectTo(buf, cur, l)
+			cur, buf = next, cur
+		}
+		if !reflect.DeepEqual(cur, want) && !(len(cur) == 0 && len(want) == 0) {
+			t.Fatalf("leapfrog fold of %v = %v, oracle %v", lists, cur, want)
+		}
+	})
 }
 
 func ExampleIntersect() {

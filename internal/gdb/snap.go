@@ -37,10 +37,15 @@ type Snap struct {
 	wcache    map[wKey][]graph.NodeID
 	codeCache *codeCache
 
-	statMu    sync.Mutex     // guards the three memo maps below
+	statMu    sync.Mutex     // guards the memo maps below
 	joinSizes map[wKey]int64 // memoized base-table R-join size estimates
 	distFrom  map[wKey]int64 // memoized |π_X(T_X ⋈ T_Y)|
 	distTo    map[wKey]int64 // memoized |π_Y(T_X ⋈ T_Y)|
+	// projFrom/projTo memoize the sorted distinct projections themselves
+	// (the lists whose lengths distFrom/distTo report): the per-edge
+	// unary iterators of the worst-case-optimal multiway R-join.
+	projFrom map[wKey][]graph.NodeID
+	projTo   map[wKey][]graph.NodeID
 }
 
 // Epoch returns this snapshot's epoch number (0 for the build).
@@ -230,59 +235,89 @@ func (s *Snap) JoinSize(x, y graph.Label) (int64, error) {
 // nodes that reach at least one Y-labeled node, computed exactly as the
 // union of the X-labeled F-subclusters over W(X, Y). Memoized.
 func (s *Snap) DistinctFrom(x, y graph.Label) (int64, error) {
-	k := wKey{x, y}
-	s.statMu.Lock()
-	n, ok := s.distFrom[k]
-	s.statMu.Unlock()
-	if ok {
-		return n, nil
-	}
-	n, err := s.distinctUnion(x, y, dirF, x)
-	if err != nil {
-		return 0, err
-	}
-	s.statMu.Lock()
-	s.distFrom[k] = n
-	s.statMu.Unlock()
-	return n, nil
+	p, err := s.ProjectFrom(x, y)
+	return int64(len(p)), err
 }
 
 // DistinctTo returns |π_Y(T_X ⋈_{X→Y} T_Y)|: the number of Y-labeled nodes
 // reached from at least one X-labeled node. Memoized.
 func (s *Snap) DistinctTo(x, y graph.Label) (int64, error) {
-	k := wKey{x, y}
-	s.statMu.Lock()
-	n, ok := s.distTo[k]
-	s.statMu.Unlock()
-	if ok {
-		return n, nil
-	}
-	n, err := s.distinctUnion(x, y, dirT, y)
-	if err != nil {
-		return 0, err
-	}
-	s.statMu.Lock()
-	s.distTo[k] = n
-	s.statMu.Unlock()
-	return n, nil
+	p, err := s.ProjectTo(x, y)
+	return int64(len(p)), err
 }
 
-func (s *Snap) distinctUnion(x, y graph.Label, dir byte, side graph.Label) (int64, error) {
+// ProjectFrom returns π_X(T_X ⋈_{X→Y} T_Y) as a sorted ascending list: every
+// X-labeled node that reaches at least one Y-labeled node, computed as the
+// sorted-set union of the X-labeled F-subclusters over W(X, Y). The list is
+// memoized per snapshot and shared — callers must not mutate it. It is the
+// unary (first trie level) iterator of edge X→Y in the worst-case-optimal
+// multiway R-join.
+func (s *Snap) ProjectFrom(x, y graph.Label) ([]graph.NodeID, error) {
+	return s.projection(x, y, dirF, x, s.projFrom, s.distFrom)
+}
+
+// ProjectTo returns π_Y(T_X ⋈_{X→Y} T_Y) as a sorted ascending list: every
+// Y-labeled node reached from at least one X-labeled node (union of the
+// Y-labeled T-subclusters over W(X, Y)). Memoized and shared; do not mutate.
+func (s *Snap) ProjectTo(x, y graph.Label) ([]graph.NodeID, error) {
+	return s.projection(x, y, dirT, y, s.projTo, s.distTo)
+}
+
+func (s *Snap) projection(x, y graph.Label, dir byte, side graph.Label, memo map[wKey][]graph.NodeID, count map[wKey]int64) ([]graph.NodeID, error) {
+	k := wKey{x, y}
+	s.statMu.Lock()
+	p, ok := memo[k]
+	s.statMu.Unlock()
+	if ok {
+		return p, nil
+	}
 	ws, err := s.Centers(x, y)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	seen := make(map[graph.NodeID]struct{})
+	var union, scratch []graph.NodeID
 	for _, w := range ws {
 		nodes, err := s.clusterLookup(w, dir, side)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		for _, n := range nodes {
-			seen[n] = struct{}{}
+		if len(nodes) == 0 {
+			continue
+		}
+		if len(union) == 0 {
+			union = append(union, nodes...)
+			continue
+		}
+		scratch = mergeUnionNodes(scratch[:0], union, nodes)
+		union, scratch = scratch, union
+	}
+	s.statMu.Lock()
+	memo[k] = union
+	count[k] = int64(len(union)) // keep the length memo coherent for free
+	s.statMu.Unlock()
+	return union, nil
+}
+
+// mergeUnionNodes appends the sorted-set union of two ascending duplicate-
+// free slices to dst.
+func mergeUnionNodes(dst, a, b []graph.NodeID) []graph.NodeID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		default:
+			dst = append(dst, b[j])
+			j++
 		}
 	}
-	return int64(len(seen)), nil
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // clearCaches empties this epoch's derived data caches (cold-start

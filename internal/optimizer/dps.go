@@ -30,6 +30,7 @@ const (
 	moveRJoin           // HPSJ between two base tables; only from S0
 	moveFilter          // R-semijoin group sharing one scan (Remark 3.1)
 	moveFetch           // Fetch of one included edge (or selection when both sides bound)
+	moveWCOJ            // multiway join of a cyclic core; only from S0
 )
 
 type move struct {
@@ -37,8 +38,9 @@ type move struct {
 	edge    int   // moveRJoin / moveFetch
 	node    int   // moveFilter: the scanned column
 	outSide bool  // moveFilter: out-codes vs in-codes
-	edges   []int // moveFilter: the semijoin group
+	edges   []int // moveFilter: the semijoin group; moveWCOJ: the core
 	isSel   bool  // moveFetch: both sides were bound (selection)
+	order   []int // moveWCOJ: the global variable order
 }
 
 // OptimizeDPS selects a plan by interleaving R-joins with R-semijoins
@@ -136,6 +138,14 @@ func OptimizeDPS(b *Binding, params CostParams) (*Plan, error) {
 				for ei := 0; ei < m; ei++ {
 					cost := st.cost + params.hpsjCost(b.WCount[ei], b.JS[ei])
 					relax(key, makeKey(1<<uint(ei), 0, 0), cost, move{kind: moveRJoin, edge: ei})
+				}
+				// WCOJ-moves: each cyclic core as one multiway step. rowsOf
+				// already yields the independence estimate for the seeded
+				// status, so downstream moves compose identically to a
+				// binary path reaching it.
+				for _, s := range wcojSeeds(b, params) {
+					relax(key, makeKey(s.mask, 0, 0), st.cost+s.cost,
+						move{kind: moveWCOJ, edges: s.edges, order: s.order})
 				}
 			}
 
@@ -236,11 +246,17 @@ func OptimizeDPS(b *Binding, params CostParams) (*Plan, error) {
 		return nil, fmt.Errorf("optimizer: DPS found no complete plan")
 	}
 
-	// Reconstruct the move chain.
-	var movesRev []move
+	// Reconstruct the move chain, annotating each step with the cumulative
+	// cost and estimated rows of the status it reaches.
+	type annMove struct {
+		mv   move
+		cost float64
+		rows float64
+	}
+	var movesRev []annMove
 	for key := best; key != 0; {
 		inf := states[key]
-		movesRev = append(movesRev, inf.mv)
+		movesRev = append(movesRev, annMove{mv: inf.mv, cost: inf.cost, rows: rowsOf(key.parts())})
 		key = inf.pred
 	}
 	plan := &Plan{
@@ -250,24 +266,29 @@ func OptimizeDPS(b *Binding, params CostParams) (*Plan, error) {
 		Algorithm:     "DPS",
 	}
 	for i := len(movesRev) - 1; i >= 0; i-- {
-		mv := movesRev[i]
+		mv := movesRev[i].mv
+		var step Step
 		switch mv.kind {
 		case moveRJoin:
-			plan.Steps = append(plan.Steps, Step{Kind: StepHPSJ, Edges: []int{mv.edge}})
+			step = Step{Kind: StepHPSJ, Edges: []int{mv.edge}}
 		case moveFilter:
-			plan.Steps = append(plan.Steps, Step{
+			step = Step{
 				Kind:    StepSemijoinGroup,
 				Edges:   mv.edges,
 				Node:    mv.node,
 				OutSide: mv.outSide,
-			})
+			}
 		case moveFetch:
 			kind := StepFetch
 			if mv.isSel {
 				kind = StepSelection
 			}
-			plan.Steps = append(plan.Steps, Step{Kind: kind, Edges: []int{mv.edge}})
+			step = Step{Kind: kind, Edges: []int{mv.edge}}
+		case moveWCOJ:
+			step = Step{Kind: StepWCOJ, Edges: mv.edges, VarOrder: mv.order}
 		}
+		step.EstCost, step.EstRows = movesRev[i].cost, movesRev[i].rows
+		plan.Steps = append(plan.Steps, step)
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: DPS produced invalid plan: %w", err)

@@ -98,6 +98,12 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 					cost := st.cost + params.hpsjCost(b.WCount[ei], b.JS[ei])
 					relax(k, key(1<<uint(ei), 0), cost, move{kind: moveRJoin, edge: ei})
 				}
+				// WCOJ-moves: each cyclic core as one multiway first step
+				// (see dps.go).
+				for _, s := range wcojSeeds(b, params) {
+					relax(k, key(s.mask, 0), st.cost+s.cost,
+						move{kind: moveWCOJ, edges: s.edges, order: s.order})
+				}
 			}
 
 			// Filter-move: both code sides of X are read in one scan.
@@ -179,10 +185,18 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 		return nil, fmt.Errorf("optimizer: DPS-merged found no complete plan")
 	}
 
-	var movesRev []move
+	type annMove struct {
+		mv   move
+		cost float64
+		rows float64
+	}
+	var movesRev []annMove
 	for k := best; k != 0; {
 		inf := states[k]
-		movesRev = append(movesRev, inf.mv)
+		movesRev = append(movesRev, annMove{
+			mv: inf.mv, cost: inf.cost,
+			rows: rowsOf(uint32(k&0xFFFF), uint32(k>>16)),
+		})
 		k = inf.pred
 	}
 	plan := &Plan{
@@ -192,10 +206,13 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 		Algorithm:     "DPS-merged",
 	}
 	for i := len(movesRev) - 1; i >= 0; i-- {
-		mv := movesRev[i]
+		mv := movesRev[i].mv
+		cost, rows := movesRev[i].cost, movesRev[i].rows
 		switch mv.kind {
 		case moveRJoin:
-			plan.Steps = append(plan.Steps, Step{Kind: StepHPSJ, Edges: []int{mv.edge}})
+			plan.Steps = append(plan.Steps, Step{
+				Kind: StepHPSJ, Edges: []int{mv.edge}, EstCost: cost, EstRows: rows,
+			})
 		case moveFilter:
 			// The merged Filter-move reads both code columns; emit one
 			// semijoin group per side actually used so the executor's
@@ -211,11 +228,13 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 			if len(outQ) > 0 {
 				plan.Steps = append(plan.Steps, Step{
 					Kind: StepSemijoinGroup, Edges: outQ, Node: mv.node, OutSide: true,
+					EstCost: cost, EstRows: rows,
 				})
 			}
 			if len(inQ) > 0 {
 				plan.Steps = append(plan.Steps, Step{
 					Kind: StepSemijoinGroup, Edges: inQ, Node: mv.node, OutSide: false,
+					EstCost: cost, EstRows: rows,
 				})
 			}
 		case moveFetch:
@@ -223,7 +242,14 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 			if mv.isSel {
 				kind = StepSelection
 			}
-			plan.Steps = append(plan.Steps, Step{Kind: kind, Edges: []int{mv.edge}})
+			plan.Steps = append(plan.Steps, Step{
+				Kind: kind, Edges: []int{mv.edge}, EstCost: cost, EstRows: rows,
+			})
+		case moveWCOJ:
+			plan.Steps = append(plan.Steps, Step{
+				Kind: StepWCOJ, Edges: mv.edges, VarOrder: mv.order,
+				EstCost: cost, EstRows: rows,
+			})
 		}
 	}
 	if err := plan.Validate(); err != nil {

@@ -100,8 +100,8 @@ func TestDPPlansValid(t *testing.T) {
 		if err := plan.Validate(); err != nil {
 			t.Fatalf("%s: invalid DP plan: %v\n%s", ps, err, plan)
 		}
-		if plan.Steps[0].Kind != StepHPSJ {
-			t.Fatalf("%s: DP plan must start with HPSJ:\n%s", ps, plan)
+		if k := plan.Steps[0].Kind; k != StepHPSJ && k != StepWCOJ {
+			t.Fatalf("%s: DP plan must start with HPSJ or WCOJ:\n%s", ps, plan)
 		}
 		if plan.EstimatedCost <= 0 {
 			t.Fatalf("%s: nonpositive cost %v", ps, plan.EstimatedCost)

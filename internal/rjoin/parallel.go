@@ -53,6 +53,8 @@ type Runtime struct {
 	tasks       atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	seeks       atomic.Int64
+	iterNexts   atomic.Int64
 }
 
 // NewRuntime returns a Runtime executing each operator on up to workers
@@ -139,6 +141,14 @@ type RuntimeStats struct {
 	// CenterCacheHits/Misses count per-query center cache lookups.
 	CenterCacheHits   int64
 	CenterCacheMisses int64
+	// Seeks counts WCOJ sorted-iterator positioning operations: one per
+	// constraint list entering a leapfrog intersection plus one per
+	// subcluster list opened while materialising a bound constraint's
+	// partner union.
+	Seeks int64
+	// IterNexts counts candidate values the leapfrog intersections
+	// produced (values the enumeration advanced through).
+	IterNexts int64
 }
 
 // Stats snapshots the runtime's counters.
@@ -149,6 +159,8 @@ func (rt *Runtime) Stats() RuntimeStats {
 		Tasks:             rt.tasks.Load(),
 		CenterCacheHits:   rt.cacheHits.Load(),
 		CenterCacheMisses: rt.cacheMisses.Load(),
+		Seeks:             rt.seeks.Load(),
+		IterNexts:         rt.iterNexts.Load(),
 	}
 }
 

@@ -1,0 +1,345 @@
+package rjoin
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+// Worst-case-optimal multiway R-join (LeapFrog-TrieJoin over the R-join
+// index). Instead of joining the pattern's reachability conditions pairwise
+// and materialising every intermediate cross-product, WCOJ binds the
+// pattern variables one at a time in a global variable order; at each level
+// the candidate values are the intersection of one sorted constraint list
+// per incident condition, so no binding prefix ever extends in a direction
+// some condition will later reject.
+//
+// The sorted tries come straight from the index of Section 3:
+//
+//   - A condition X→Y whose variables are both unbound contributes its
+//     distinct projection π_X (or π_Y) — the union of the X-labeled
+//     F-subclusters (Y-labeled T-subclusters) over W(X, Y), memoized per
+//     snapshot (gdb.ProjectFrom/ProjectTo). This is the trie's first level.
+//   - A condition with one side already bound to node v contributes the
+//     exact set of partners of v: ∪_{w ∈ out(v) ∩ W(X,Y)} getT(w, Y)
+//     forward, ∪_{w ∈ in(v) ∩ W(X,Y)} getF(w, X) reverse — the same
+//     2-hop-code expansion Fetch performs per row, so reachability is
+//     validated as bindings extend, never post-hoc.
+//
+// Every constraint list is ascending and duplicate-free, so the enumeration
+// emits distinct rows in lexicographic order of the variable-order columns.
+// Parallel execution partitions the first level's candidate list into
+// contiguous ranges; per-partition outputs concatenated in partition order
+// reproduce the serial output at every worker degree.
+
+// wcojGrain is the partition grain for the first-level candidate list. A
+// first-level candidate expands an entire enumeration subtree — far heavier
+// than one Fetch row, lighter than an HPSJ center — so the grain sits
+// between rowGrain and centerGrain.
+const wcojGrain = 64
+
+// WCOJ runs the worst-case-optimal multiway R-join single-threaded. See
+// Runtime.WCOJ.
+func WCOJ(ctx context.Context, db *gdb.Snap, conds []Cond, order []int) (*Table, error) {
+	return serial().WCOJ(ctx, db, conds, order)
+}
+
+// wcojPlan is the compiled form of one multiway join: per variable-order
+// level, the fixed projection constraint lists and the bound-side
+// constraints whose partner lists depend on earlier bindings.
+type wcojPlan struct {
+	order  []int
+	levels []wcojLevel
+}
+
+type wcojLevel struct {
+	node int
+	// proj holds the distinct-projection lists of conditions whose other
+	// endpoint binds later: fixed for the whole query, shared with the
+	// snapshot memo (never mutated).
+	proj [][]graph.NodeID
+	// bound holds the conditions whose other endpoint binds earlier; their
+	// candidate lists are per-binding target unions.
+	bound []wcojBound
+}
+
+type wcojBound struct {
+	cond Cond
+	// level is the variable-order level binding the condition's other
+	// endpoint.
+	level int
+	// forward reports that the bound endpoint is the condition's From side
+	// (candidates expand T-subclusters); reverse expands F-subclusters.
+	forward bool
+	ws      []graph.NodeID
+}
+
+func buildWCOJPlan(db *gdb.Snap, conds []Cond, order []int) (*wcojPlan, error) {
+	if len(order) == 0 || len(conds) == 0 {
+		return nil, fmt.Errorf("rjoin: wcoj: empty variable order or condition set")
+	}
+	pos := make(map[int]int, len(order))
+	for i, n := range order {
+		if _, dup := pos[n]; dup {
+			return nil, fmt.Errorf("rjoin: wcoj: node %d repeated in variable order %v", n, order)
+		}
+		pos[n] = i
+	}
+	p := &wcojPlan{order: order, levels: make([]wcojLevel, len(order))}
+	for i, n := range order {
+		p.levels[i].node = n
+	}
+	for _, c := range conds {
+		pf, okF := pos[c.FromNode]
+		pt, okT := pos[c.ToNode]
+		if !okF || !okT {
+			return nil, fmt.Errorf("rjoin: wcoj: condition %v not covered by variable order %v", c, order)
+		}
+		ws, err := db.Centers(c.FromLabel, c.ToLabel)
+		if err != nil {
+			return nil, err
+		}
+		if pf < pt {
+			// From binds first: its level prunes against π_From, the To
+			// level intersects From's forward targets.
+			proj, err := db.ProjectFrom(c.FromLabel, c.ToLabel)
+			if err != nil {
+				return nil, err
+			}
+			p.levels[pf].proj = append(p.levels[pf].proj, proj)
+			p.levels[pt].bound = append(p.levels[pt].bound, wcojBound{cond: c, level: pf, forward: true, ws: ws})
+		} else {
+			proj, err := db.ProjectTo(c.FromLabel, c.ToLabel)
+			if err != nil {
+				return nil, err
+			}
+			p.levels[pt].proj = append(p.levels[pt].proj, proj)
+			p.levels[pf].bound = append(p.levels[pf].bound, wcojBound{cond: c, level: pt, forward: false, ws: ws})
+		}
+	}
+	for i := range p.levels {
+		if len(p.levels[i].proj) == 0 && len(p.levels[i].bound) == 0 {
+			return nil, fmt.Errorf("rjoin: wcoj: variable %d unconstrained in order %v (pattern not connected through the order)", p.levels[i].node, order)
+		}
+	}
+	return p, nil
+}
+
+// wcojTargets is the single-entry memo of one bound constraint's partner
+// list: the bound endpoint's value only changes when its (earlier) level
+// advances, so one entry gives full reuse across the entire subtree
+// enumerated underneath it. Buffers recycle across refills.
+type wcojTargets struct {
+	valid   bool
+	value   graph.NodeID
+	targets []graph.NodeID
+	scratch []graph.NodeID
+}
+
+// wcojRun is one partition's enumeration state.
+type wcojRun struct {
+	rt   *Runtime
+	db   *gdb.Snap
+	plan *wcojPlan
+	out  *Table
+	cc   cancelCheck
+	// limit is the pushed-down result-row target (0 = none): the partition
+	// stops after limit+1 rows, which keeps the concatenated prefix equal to
+	// the serial prefix at every worker degree (see Runtime.PushLimit).
+	limit int
+	done  bool
+
+	binding []graph.NodeID
+	// cand/alt are per-level intersection double-buffers.
+	cand [][]graph.NodeID
+	alt  [][]graph.NodeID
+	memo [][]wcojTargets
+	// lists is the reusable per-level constraint-list collection buffer.
+	lists [][]graph.NodeID
+
+	seeks, nexts int64
+}
+
+func newWCOJRun(rt *Runtime, db *gdb.Snap, plan *wcojPlan, cc cancelCheck) *wcojRun {
+	n := len(plan.levels)
+	r := &wcojRun{
+		rt:      rt,
+		db:      db,
+		plan:    plan,
+		cc:      cc,
+		binding: make([]graph.NodeID, n),
+		cand:    make([][]graph.NodeID, n),
+		alt:     make([][]graph.NodeID, n),
+		memo:    make([][]wcojTargets, n),
+	}
+	for i := range plan.levels {
+		r.memo[i] = make([]wcojTargets, len(plan.levels[i].bound))
+	}
+	return r
+}
+
+// targets returns the partner list of bound constraint j at level k under
+// the current binding, through the single-entry memo. The computation is
+// Fetch's per-row expansion: centers out(v) ∩ W (in(v) ∩ W reverse) via the
+// per-query center cache, then the sorted-set union of their T-subclusters
+// (F-subclusters reverse).
+func (r *wcojRun) targets(k, j int) ([]graph.NodeID, error) {
+	b := &r.plan.levels[k].bound[j]
+	v := r.binding[b.level]
+	m := &r.memo[k][j]
+	if m.valid && m.value == v {
+		return m.targets, nil
+	}
+	cs, err := r.rt.centersFor(r.db, v, b.ws, b.cond, b.forward)
+	if err != nil {
+		return nil, err
+	}
+	r.seeks += int64(len(cs))
+	targets, scratch := m.targets[:0], m.scratch
+	for _, w := range cs {
+		var nodes []graph.NodeID
+		if b.forward {
+			nodes, err = r.db.GetT(w, b.cond.ToLabel)
+		} else {
+			nodes, err = r.db.GetF(w, b.cond.FromLabel)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		if len(targets) == 0 {
+			targets = append(targets, nodes...)
+			continue
+		}
+		scratch = mergeUnion(scratch, targets, nodes)
+		targets, scratch = scratch, targets
+	}
+	m.valid, m.value, m.targets, m.scratch = true, v, targets, scratch
+	return targets, nil
+}
+
+// candidates computes level k's candidate values under the current binding:
+// the multiway intersection of every constraint list, smallest pair first
+// so the running intersection shrinks as fast as possible before the
+// galloping passes over the larger lists.
+func (r *wcojRun) candidates(k int) ([]graph.NodeID, error) {
+	lv := &r.plan.levels[k]
+	lists := append(r.lists[:0], lv.proj...)
+	for j := range lv.bound {
+		t, err := r.targets(k, j)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, t)
+	}
+	r.lists = lists
+	r.seeks += int64(len(lists))
+	slices.SortStableFunc(lists, func(a, b []graph.NodeID) int { return len(a) - len(b) })
+	if len(lists[0]) == 0 {
+		return nil, nil
+	}
+	if len(lists) == 1 {
+		r.nexts += int64(len(lists[0]))
+		return lists[0], nil
+	}
+	cur := gdb.IntersectTo(r.cand[k], lists[0], lists[1])
+	buf := r.alt[k]
+	for _, l := range lists[2:] {
+		if len(cur) == 0 {
+			break
+		}
+		buf = gdb.IntersectTo(buf, cur, l)
+		cur, buf = buf, cur
+	}
+	r.cand[k], r.alt[k] = cur, buf
+	r.nexts += int64(len(cur))
+	return cur, nil
+}
+
+// enumerate walks level k's candidate list, emitting full bindings at the
+// last level and recursing otherwise. Each candidate charges one
+// cancellation work unit; emitted rows are validated against the budget's
+// intermediate-row cap per candidate batch.
+func (r *wcojRun) enumerate(k int, cand []graph.NodeID) error {
+	if err := r.cc.tickN(len(cand)); err != nil {
+		return err
+	}
+	if k == len(r.plan.levels)-1 {
+		for _, v := range cand {
+			r.binding[k] = v
+			row := r.out.NewRow()
+			copy(row, r.binding)
+			r.out.Rows = append(r.out.Rows, row)
+			if r.limit > 0 && len(r.out.Rows) > r.limit {
+				r.done = true
+				return nil
+			}
+		}
+		return r.rt.budget.CheckRows(len(r.out.Rows))
+	}
+	for _, v := range cand {
+		r.binding[k] = v
+		next, err := r.candidates(k + 1)
+		if err != nil {
+			return err
+		}
+		if len(next) == 0 {
+			continue
+		}
+		if err := r.enumerate(k+1, next); err != nil {
+			return err
+		}
+		if r.done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WCOJ evaluates all conds in one worst-case-optimal multiway R-join,
+// binding the pattern variables in the given global order. Every condition
+// endpoint must appear in order; every variable must have at least one
+// incident condition (the pattern must be connected through the order —
+// otherwise the join would be a cross product, which WCOJ refuses to
+// build). The result's columns are order itself and its rows are distinct
+// and lexicographically sorted — identical at every worker degree.
+func (rt *Runtime) WCOJ(ctx context.Context, db *gdb.Snap, conds []Cond, order []int) (*Table, error) {
+	plan, err := buildWCOJPlan(db, conds, order)
+	if err != nil {
+		return nil, err
+	}
+	// The first level's candidates are intersections of snapshot-memoized
+	// projections only — computed once, then partitioned.
+	seed := newWCOJRun(rt, db, plan, rt.check(ctx))
+	c0, err := seed.candidates(0)
+	if err != nil {
+		return nil, err
+	}
+	parts := rt.split(len(c0), wcojGrain)
+	outs := make([]*Table, parts)
+	err = rt.runParts(ctx, len(c0), parts, func(ctx context.Context, part, lo, hi int) error {
+		r := newWCOJRun(rt, db, plan, rt.check(ctx))
+		r.out = rt.newTable(plan.order...)
+		r.limit = rt.rowTarget
+		err := r.enumerate(0, c0[lo:hi])
+		rt.seeks.Add(r.seeks)
+		rt.iterNexts.Add(r.nexts)
+		outs[part] = r.out
+		return err
+	})
+	rt.seeks.Add(seed.seeks)
+	rt.iterNexts.Add(seed.nexts)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(plan.order...)
+	for _, p := range outs {
+		out.Rows = append(out.Rows, p.Rows...)
+	}
+	return rt.finishOp(out)
+}

@@ -51,6 +51,11 @@ type metrics struct {
 	centerHits    atomic.Int64 // per-query center cache hits
 	centerMisses  atomic.Int64 // per-query center cache misses
 
+	// Worst-case-optimal multiway join (leapfrog) observability.
+	wcojQueries atomic.Int64 // queries whose plan opened with a WCOJ step
+	wcojSeeks   atomic.Int64 // trie-iterator lists opened across WCOJ steps
+	wcojNexts   atomic.Int64 // candidate values produced across WCOJ steps
+
 	latency [latencyBuckets]atomic.Int64
 }
 
@@ -62,6 +67,8 @@ func (m *metrics) recordRuntime(rs rjoin.RuntimeStats) {
 	m.operatorTasks.Add(rs.Tasks)
 	m.centerHits.Add(rs.CenterCacheHits)
 	m.centerMisses.Add(rs.CenterCacheMisses)
+	m.wcojSeeks.Add(rs.Seeks)
+	m.wcojNexts.Add(rs.IterNexts)
 }
 
 func (m *metrics) recordQuery(elapsed time.Duration, rowCount int, planCached bool) {
@@ -211,6 +218,14 @@ type Stats struct {
 	// CenterCacheHits/Misses aggregate the per-query center caches.
 	CenterCacheHits   int64 `json:"center_cache_hits"`
 	CenterCacheMisses int64 `json:"center_cache_misses"`
+	// WCOJQueries counts queries whose chosen plan opened with a
+	// worst-case-optimal multiway join step (the hybrid planner picked a
+	// leapfrog core over a binary pipeline, or the client forced algo=wcoj);
+	// WCOJSeeks/WCOJIterNexts aggregate the leapfrog trie-iterator work —
+	// sorted lists opened for intersection and candidate values produced.
+	WCOJQueries   int64 `json:"wcoj_queries"`
+	WCOJSeeks     int64 `json:"wcoj_seeks"`
+	WCOJIterNexts int64 `json:"wcoj_iter_nexts"`
 	// P50ms and P99ms are approximate latency quantiles in milliseconds
 	// (histogram-bucketed; 0 when no queries completed).
 	P50ms float64 `json:"p50_ms"`
@@ -252,6 +267,9 @@ func (s *Server) Stats() Stats {
 		OperatorTasks:         s.met.operatorTasks.Load(),
 		CenterCacheHits:       s.met.centerHits.Load(),
 		CenterCacheMisses:     s.met.centerMisses.Load(),
+		WCOJQueries:           s.met.wcojQueries.Load(),
+		WCOJSeeks:             s.met.wcojSeeks.Load(),
+		WCOJIterNexts:         s.met.wcojNexts.Load(),
 		UptimeSeconds:         time.Since(s.start).Seconds(),
 	}
 	if st.OperatorOps > 0 {

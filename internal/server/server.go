@@ -265,6 +265,9 @@ func (s *Server) QueryPatternOpts(ctx context.Context, p *pattern.Pattern, algo 
 		MaxTableRows: s.cfg.MaxTableRows,
 		MaxBytes:     s.cfg.MaxIntermediateBytes,
 	}
+	if len(plan.Steps) > 0 && plan.Steps[0].Kind == optimizer.StepWCOJ {
+		s.met.wcojQueries.Add(1)
+	}
 	t, err := exec.RunSnapConfig(ctx, snap, plan, exec.RunConfig{Runtime: rt, Budget: bdg})
 	s.met.recordRuntime(rt.Stats())
 	s.met.recordBudget(bdg)

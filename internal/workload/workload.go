@@ -98,6 +98,28 @@ func Graphs5B() []Workload {
 	}
 }
 
+// Cyclic returns CY1–CY5: patterns whose condition graphs contain
+// undirected cycles — triangles, a diamond, and a 4-clique. These are the
+// shapes where the hybrid optimizer can open with a worst-case-optimal
+// multiway R-join over the cyclic core instead of a binary join pipeline;
+// the acyclic batteries above never trigger it. Every pattern is
+// non-empty on xmark graphs: site reaches every element of its document,
+// person reaches categories via profile/interest and open auctions/items
+// via watches, and open_auction reaches persons (bidder/seller/author)
+// and items (itemref).
+func Cyclic() []Workload {
+	return []Workload{
+		// Triangles.
+		mk("CY1", "site->regions; regions->item; site->item"),
+		mk("CY2", "open_auction->person; person->category; open_auction->category"),
+		mk("CY3", "person->open_auction; open_auction->item; person->item"),
+		// Diamond (4-cycle).
+		mk("CY4", "closed_auction->item; closed_auction->person; item->category; person->category"),
+		// 4-clique: all six conditions among four labels.
+		mk("CY5", "site->person; site->item; site->category; person->item; person->category; item->category"),
+	}
+}
+
 // ScalabilityPath is the Figure 7(a) pattern (a path, Figure 4(a) shape).
 func ScalabilityPath() Workload {
 	return mk("F7a-path", "site->regions; regions->item; item->incategory")
@@ -129,6 +151,7 @@ func All() []Workload {
 			out = append(out, Workload{Name: w.Name + b.suffix, Pattern: w.Pattern})
 		}
 	}
+	out = append(out, Cyclic()...)
 	out = append(out, ScalabilityPath(), ScalabilityTree(), ScalabilityGraph())
 	return out
 }

@@ -42,6 +42,12 @@ func TestShapes(t *testing.T) {
 			}
 		}
 	}
+	for _, w := range Cyclic() {
+		if w.Pattern.NumEdges() < w.Pattern.NumNodes() {
+			t.Errorf("%s is acyclic (%d nodes, %d edges): %s — the WCOJ battery needs a cycle",
+				w.Name, w.Pattern.NumNodes(), w.Pattern.NumEdges(), w.Pattern)
+		}
+	}
 	if len(Paths()) != 9 || len(Trees()) != 9 {
 		t.Fatal("workload counts off (want 9 paths, 9 trees)")
 	}
