@@ -156,6 +156,27 @@ func TestServeQuery(t *testing.T) {
 		t.Fatalf("insert: status %d, result %+v", resp.StatusCode, ir)
 	}
 
+	// Incremental edge delete over HTTP: removing the just-inserted edge
+	// and repeating the pair in one batch must come back as 1 applied +
+	// 1 no-op, and queries keep working afterwards.
+	resp, err = client.Post(base+"/delete", "application/json",
+		bytes.NewReader([]byte(`{"edges": [[0, 1], [0, 1]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Applied int `json:"applied"`
+		Noops   int `json:"noops"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || dr.Applied != 1 || dr.Noops != 1 {
+		t.Fatalf("delete: status %d, result %+v", resp.StatusCode, dr)
+	}
+
 	resp, body := post(`{"pattern": "site->regions; regions->item", "limit": 5}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query: %d %s", resp.StatusCode, body)
@@ -260,7 +281,8 @@ func TestServeQuery(t *testing.T) {
 	// Deadline honoring: a server whose default per-query budget (-timeout)
 	// is already elapsed by execution's first context poll answers 504 to
 	// every query. This is deterministic, unlike racing a real clock. The
-	// same instance runs -readonly, so /insert must answer 403.
+	// same instance runs -readonly, so every mutating endpoint must
+	// answer 403.
 	slow := exec.Command(bin, "-graph", graphPath, "-addr", "127.0.0.1:0", "-timeout", "1ns", "-readonly")
 	slowOut, err := slow.StdoutPipe()
 	if err != nil {
@@ -290,14 +312,16 @@ func TestServeQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("deadline: %d %s, want 504", resp.StatusCode, body)
 	}
-	resp, err = client.Post(base+"/insert", "application/json",
-		bytes.NewReader([]byte(`{"edges": [[0, 1]]}`)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusForbidden {
-		t.Fatalf("readonly insert: status %d, want 403", resp.StatusCode)
+	for _, path := range []string{"/insert", "/delete"} {
+		resp, err = client.Post(base+path, "application/json",
+			bytes.NewReader([]byte(`{"edges": [[0, 1]]}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("readonly %s: status %d, want 403", path, resp.StatusCode)
+		}
 	}
 }
 

@@ -9,14 +9,16 @@
 // Endpoints:
 //
 //	POST /query   — {"pattern": "A->B; B->C", "algorithm": "dps", "timeout_ms": 500, "limit": 10}
-//	POST /insert  — {"edges": [[4, 17], [4, 21]]}: incremental edge inserts (403 with -readonly)
+//	POST /insert  — {"edges": [[4, 17], [4, 21]]}: incremental edge inserts
+//	POST /delete  — {"edges": [[4, 17]]}: incremental edge deletes
 //	GET  /stats   — metrics snapshot (queries, cache hits, rejections, latency quantiles, I/O)
 //	GET  /healthz — liveness
 //
 // Overloaded requests are shed with 429 and a Retry-After header; requests
 // past their deadline answer 504; queries killed by the -max-table-rows /
 // -max-intermediate-bytes resource budgets answer 422; request bodies over
-// -max-request-bytes answer 413. Inserts maintain the index in place (no
+// -max-request-bytes answer 413; with -readonly every mutating endpoint
+// answers 403. Inserts and deletes maintain the index in place (no
 // rebuild) and are atomic with respect to concurrent queries.
 package main
 
@@ -57,7 +59,7 @@ func run() error {
 		maxIMBytes   = flag.Int64("max-intermediate-bytes", 0, "per-query intermediate-result byte budget (0 = unbounded; exceeding answers 422)")
 		maxReqBytes  = flag.Int64("max-request-bytes", 0, "max /query request body bytes (default 1 MB; larger answers 413)")
 		buildPar     = flag.Int("build-parallelism", 0, "index-build workers (0/1 = serial, -1 = GOMAXPROCS)")
-		readonly     = flag.Bool("readonly", false, "reject POST /insert with 403; the graph stays immutable")
+		readonly     = flag.Bool("readonly", false, "reject every mutating endpoint (POST /insert, /delete) with 403; the graph stays immutable")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -104,6 +106,7 @@ func run() error {
 		MaxTableRows:         *maxTableRows,
 		MaxIntermediateBytes: *maxIMBytes,
 		MaxRequestBytes:      *maxReqBytes,
+		ReadOnly:             *readonly,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -113,20 +116,10 @@ func run() error {
 	// The integration test parses this line to find the chosen port.
 	fmt.Printf("listening on %s\n", ln.Addr())
 
-	var handler http.Handler = svc.Handler()
-	if *readonly {
-		inner := handler
-		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/insert" {
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(http.StatusForbidden)
-				w.Write([]byte(`{"error": "server is read-only (-readonly)"}` + "\n"))
-				return
-			}
-			inner.ServeHTTP(w, r)
-		})
-	}
-	srv := &http.Server{Handler: handler}
+	// -readonly is enforced inside the server's own mutating-route
+	// registry (every writer endpoint is wired through one guard), not by
+	// matching paths out here where a new route could be forgotten.
+	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -12,6 +12,7 @@ import (
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
 	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
 	"fastmatch/internal/workload"
 	"fastmatch/internal/xmark"
 )
@@ -49,8 +50,41 @@ func sortedRows(t testing.TB, db *gdb.DB, p *pattern.Pattern, algo exec.Algorith
 	return tab.Rows
 }
 
+// sortedRowsNormalized runs p like sortedRows but first remaps the result
+// columns to pattern-node order. WCOJ tables follow the plan's variable
+// order, which may differ between two databases whose statistics diverged
+// (the incremental cover is not the from-scratch cover), so raw rows are
+// not directly comparable.
+func sortedRowsNormalized(t testing.TB, db *gdb.DB, p *pattern.Pattern, algo exec.Algorithm, workers int) [][]graph.NodeID {
+	t.Helper()
+	plan, err := exec.BuildPlan(db, p, algo)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	res, err := exec.RunContextConfig(context.Background(), db, plan, exec.RunConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cols := make([]int, p.NumNodes())
+	for i := range cols {
+		cols[i] = i
+	}
+	norm := rjoin.NewTable(cols...)
+	for _, row := range res.Rows {
+		nr := make([]graph.NodeID, len(row))
+		for i, col := range res.Cols {
+			nr[col] = row[i]
+		}
+		norm.Rows = append(norm.Rows, nr)
+	}
+	norm.SortRows()
+	return norm.Rows
+}
+
 // compareDatabases asserts inc (incrementally maintained) and a fresh
-// rebuild over g agree on the full battery and on sampled reachability.
+// rebuild over g agree on the full battery — DP, DPS, and the forced
+// full-pattern WCOJ plan, each at worker degrees 1 and 4 — and on sampled
+// reachability.
 func compareDatabases(t *testing.T, inc *gdb.DB, g *graph.Graph, rng *rand.Rand, tag string) {
 	t.Helper()
 	rebuilt, err := gdb.Build(g, gdb.Options{})
@@ -68,6 +102,17 @@ func compareDatabases(t *testing.T, inc *gdb.DB, g *graph.Graph, rng *rand.Rand,
 					t.Fatalf("%s: %s %s workers=%d: incremental %d rows, rebuild %d rows",
 						tag, w.Name, algo, workers, len(got), len(want))
 				}
+			}
+		}
+		// Every battery pattern is connected, so the forced WCOJ plan
+		// exists; its column order depends on per-database statistics, so
+		// compare in normalized pattern-node order.
+		for _, workers := range []int{1, 4} {
+			got := sortedRowsNormalized(t, inc, w.Pattern, exec.WCOJ, workers)
+			want := sortedRowsNormalized(t, rebuilt, w.Pattern, exec.WCOJ, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: %s wcoj workers=%d: incremental %d rows, rebuild %d rows",
+					tag, w.Name, workers, len(got), len(want))
 			}
 		}
 	}

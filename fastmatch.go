@@ -285,8 +285,9 @@ func (e *Engine) Reaches(u, v NodeID) (bool, error) {
 	return e.db.Reaches(u, v)
 }
 
-// CoverDelta records one 2-hop label entry added by an edge insert: Center
-// joined L_out(Node) (Out true) or L_in(Node) (Out false).
+// CoverDelta records one 2-hop label entry changed by an edge insert or
+// delete: Center joined (Removed false) or left (Removed true)
+// L_out(Node) (Out true) or L_in(Node) (Out false).
 type CoverDelta = twohop.LabelDelta
 
 // EdgeInsertStats summarises what one InsertEdge changed in the index.
@@ -317,6 +318,38 @@ func (e *Engine) InsertEdge(u, v NodeID) (EdgeInsertStats, error) {
 // which stays applied.
 func (e *Engine) InsertEdges(edges [][2]NodeID) ([]EdgeInsertStats, error) {
 	return e.db.ApplyEdgeInserts(edges)
+}
+
+// EdgeDeleteStats summarises what one DeleteEdge changed in the index.
+type EdgeDeleteStats = gdb.EdgeDeleteStats
+
+// ErrBadDelete is returned by DeleteEdge when an endpoint lies outside the
+// graph's node range; match with errors.Is.
+var ErrBadDelete = gdb.ErrBadDelete
+
+// DeleteEdge removes the edge u→v from the data graph and incrementally
+// repairs every index structure with point updates, no rebuild: stale
+// 2-hop label entries (those whose every support path used the edge) are
+// removed, entries for pairs that stay reachable are re-added, subclusters
+// shrink (centers whose subclusters empty are dropped), and W-table rows
+// that lost their last center are retracted (see DESIGN.md, "Incremental
+// maintenance"). Like inserts, the repaired index is prepared on private
+// copy-on-write pages and published as a new snapshot epoch; queries are
+// never blocked.
+//
+// Deleting an edge that is not present is a cheap no-op (Stats.Missing)
+// publishing no epoch. For a file-backed engine the update is in-memory
+// until Sync.
+func (e *Engine) DeleteEdge(u, v NodeID) (EdgeDeleteStats, error) {
+	return e.db.ApplyEdgeDelete(u, v)
+}
+
+// DeleteEdges applies a batch of edge deletes with ONE snapshot publish at
+// the end (none if the batch changed nothing). The returned slice holds
+// per-edge stats in order; on error it covers the successfully applied
+// prefix, which stays applied.
+func (e *Engine) DeleteEdges(edges [][2]NodeID) ([]EdgeDeleteStats, error) {
+	return e.db.ApplyEdgeDeletes(edges)
 }
 
 // EpochStats reports the snapshot-epoch bookkeeping: the current epoch

@@ -73,10 +73,11 @@ type Manager[T, G any] struct {
 	// the garbage.
 	free func([]G)
 
-	mu      sync.Mutex
-	live    map[uint64]*node[T]
-	pending []garbage[G] // ascending by epoch
-	retired uint64
+	mu       sync.Mutex
+	live     map[uint64]*node[T]
+	pending  []garbage[G] // ascending by epoch
+	retired  uint64
+	onRetire func(minLive uint64)
 }
 
 // garbage is the deferred-free list attached to the publish that created
@@ -144,6 +145,20 @@ func (m *Manager[T, G]) Publish(v T, garb []G) uint64 {
 	return n.epoch
 }
 
+// OnRetire registers fn to run after an epoch retires, with the minimum
+// epoch still live at that moment: every epoch below it is gone for good
+// and can never be pinned or queried again, so per-epoch derived state
+// (e.g. a server's plan-cache entries) keyed below minLive is dead weight.
+// fn runs outside the manager's lock but on whichever goroutine dropped
+// the last reference — publish path or a reader's release — so it must be
+// cheap and must not call back into the manager. One callback is
+// supported; the last registration wins.
+func (m *Manager[T, G]) OnRetire(fn func(minLive uint64)) {
+	m.mu.Lock()
+	m.onRetire = fn
+	m.mu.Unlock()
+}
+
 // release drops one reference; the last one retires the node and releases
 // any pending garbage whose horizon was waiting on it.
 func (m *Manager[T, G]) release(n *node[T]) {
@@ -154,31 +169,37 @@ func (m *Manager[T, G]) release(n *node[T]) {
 	delete(m.live, n.epoch)
 	m.retired++
 	freeable := m.collectFreeableLocked()
+	minLive := m.minLiveLocked()
+	hook := m.onRetire
 	m.mu.Unlock()
 	if m.free != nil {
 		for _, g := range freeable {
 			m.free(g.items)
 		}
 	}
+	if hook != nil {
+		hook(minLive)
+	}
+}
+
+// minLiveLocked returns the smallest live epoch (the reclamation horizon);
+// with no live epoch — transient between retire and the next publish —
+// it reports the maximum. Caller holds m.mu.
+func (m *Manager[T, G]) minLiveLocked() uint64 {
+	min := ^uint64(0)
+	for e := range m.live {
+		if e < min {
+			min = e
+		}
+	}
+	return min
 }
 
 // collectFreeableLocked removes and returns every pending garbage batch
 // whose epoch is ≤ the minimum live epoch — i.e. all snapshots that could
 // still reference it have retired. Caller holds m.mu.
 func (m *Manager[T, G]) collectFreeableLocked() []garbage[G] {
-	min := uint64(0)
-	first := true
-	for e := range m.live {
-		if first || e < min {
-			min = e
-			first = false
-		}
-	}
-	if first {
-		// No live epoch (only possible transiently before the next publish
-		// installs one — in practice current is always live).
-		min = ^uint64(0)
-	}
+	min := m.minLiveLocked()
 	i := 0
 	for i < len(m.pending) && m.pending[i].epoch <= min {
 		i++

@@ -1,0 +1,275 @@
+package gdb
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+// TestApplyEdgeDeleteMaintainsIndex: a mixed stream of random inserts and
+// deletes must keep every persistent structure equivalent to ground truth,
+// checked periodically with the full consistency sweep (Reaches, F/T
+// subclusters, W-table completeness).
+func TestApplyEdgeDeleteMaintainsIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 24
+	g := randomGraph(7, n, 36, 3)
+	db := mustBuild(t, g, Options{})
+	cur := g
+	hasEdge := func(u, v graph.NodeID) bool {
+		for _, w := range cur.Successors(u) {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 60; step++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if rng.Intn(2) == 0 && hasEdge(u, v) {
+			st, err := db.ApplyEdgeDelete(u, v)
+			if err != nil {
+				t.Fatalf("step %d delete %d->%d: %v", step, u, v, err)
+			}
+			if st.Missing {
+				t.Fatalf("step %d: delete of present edge %d->%d reported Missing", step, u, v)
+			}
+			cur = cur.WithoutEdge(u, v)
+		} else {
+			st, err := db.ApplyEdgeInsert(u, v)
+			if err != nil {
+				t.Fatalf("step %d insert %d->%d: %v", step, u, v, err)
+			}
+			if !st.Duplicate {
+				cur = cur.WithEdge(u, v)
+			}
+		}
+		if db.Graph().NumEdges() != cur.NumEdges() {
+			t.Fatalf("step %d: db graph has %d edges, want %d", step, db.Graph().NumEdges(), cur.NumEdges())
+		}
+		if step%8 == 7 {
+			checkIndexConsistent(t, db, cur)
+		}
+	}
+	checkIndexConsistent(t, db, cur)
+}
+
+// TestApplyEdgeDeleteNoopAndRange: deleting an absent edge is a no-op that
+// publishes no epoch; out-of-range endpoints answer ErrBadDelete; a closed
+// database answers ErrClosed.
+func TestApplyEdgeDeleteNoopAndRange(t *testing.T) {
+	g := randomGraph(3, 12, 0, 2) // edgeless: every delete is a no-op
+	db := mustBuild(t, g, Options{})
+	before := db.EpochStats().Current
+	st, err := db.ApplyEdgeDelete(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Missing || st.RemovedLabelEntries != 0 || st.AddedLabelEntries != 0 {
+		t.Fatalf("absent-edge delete reported %+v", st)
+	}
+	if got := db.EpochStats().Current; got != before {
+		t.Fatalf("no-op delete published an epoch: %d -> %d", before, got)
+	}
+	// A whole batch of no-ops also publishes nothing.
+	sts, err := db.ApplyEdgeDeletes([][2]graph.NodeID{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sts {
+		if !s.Missing {
+			t.Fatalf("batch no-op %d reported %+v", i, s)
+		}
+	}
+	if got := db.EpochStats().Current; got != before {
+		t.Fatalf("no-op batch published an epoch: %d -> %d", before, got)
+	}
+
+	if _, err := db.ApplyEdgeDelete(0, graph.NodeID(g.NumNodes())); !errors.Is(err, ErrBadDelete) {
+		t.Fatalf("out-of-range delete: err = %v, want ErrBadDelete", err)
+	}
+	db.Close()
+	if _, err := db.ApplyEdgeDelete(0, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("delete on closed db: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestApplyEdgeDeleteBatchDuplicate: deleting the same single edge twice in
+// one batch removes it once; the second element is a no-op, and the batch
+// still publishes exactly one epoch for the change that did happen.
+func TestApplyEdgeDeleteBatchDuplicate(t *testing.T) {
+	b := graph.NewBuilder()
+	la := b.Intern("A")
+	for i := 0; i < 3; i++ {
+		b.AddNodeLabel(la)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	db := mustBuild(t, g, Options{})
+	before := db.EpochStats().Current
+	sts, err := db.ApplyEdgeDeletes([][2]graph.NodeID{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].Missing || !sts[1].Missing {
+		t.Fatalf("duplicate batch stats: %+v", sts)
+	}
+	if got := db.EpochStats().Current; got != before+1 {
+		t.Fatalf("batch published %d epochs, want 1", got-before)
+	}
+	if got, err := db.Reaches(0, 2); err != nil || got {
+		t.Fatalf("Reaches(0,2) = %v,%v after cutting 0->1", got, err)
+	}
+	checkIndexConsistent(t, db, g.WithoutEdge(0, 1))
+}
+
+// TestApplyEdgeDeleteDropsDeadCenter: deleting the only edges through a
+// center must retract its W-table rows and drop the center — otherwise the
+// index would report spurious center-to-center matches.
+func TestApplyEdgeDeleteDropsDeadCenter(t *testing.T) {
+	// A chain 0->1->2: cutting both edges isolates every node.
+	b := graph.NewBuilder()
+	la := b.Intern("A")
+	for i := 0; i < 3; i++ {
+		b.AddNodeLabel(la)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	db := mustBuild(t, g, Options{})
+	centersBefore := db.NumCenters()
+	if centersBefore == 0 {
+		t.Fatal("built index has no centers")
+	}
+	if _, err := db.ApplyEdgeDeletes([][2]graph.NodeID{{0, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	empty := g.WithoutEdge(0, 1).WithoutEdge(1, 2)
+	checkIndexConsistent(t, db, empty)
+	if got := db.NumCenters(); got != 0 {
+		t.Fatalf("edgeless graph still holds %d centers", got)
+	}
+	ws, err := db.Centers(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 0 {
+		t.Fatalf("edgeless graph still has W-table centers: %v", ws)
+	}
+	if db.CoverSize() != 0 {
+		t.Fatalf("edgeless graph still reports cover size %d", db.CoverSize())
+	}
+	// And the structure recovers: reinserting restores the chain.
+	if _, err := db.ApplyEdgeInserts([][2]graph.NodeID{{0, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	checkIndexConsistent(t, db, g)
+	if centersBefore != 0 && db.NumCenters() == 0 {
+		t.Fatal("reinsert created no centers")
+	}
+}
+
+// TestApplyEdgeDeleteStats: RemovedLabelEntries/AddedLabelEntries track
+// CoverSize exactly across a mixed stream.
+func TestApplyEdgeDeleteStats(t *testing.T) {
+	g := randomGraph(3, 20, 32, 3)
+	db := mustBuild(t, g, Options{})
+	cur := g
+	size := db.CoverSize()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		u := graph.NodeID(rng.Intn(20))
+		v := graph.NodeID(rng.Intn(20))
+		present := false
+		for _, w := range cur.Successors(u) {
+			if w == v {
+				present = true
+				break
+			}
+		}
+		if present {
+			st, err := db.ApplyEdgeDelete(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size += st.AddedLabelEntries - st.RemovedLabelEntries
+			cur = cur.WithoutEdge(u, v)
+		} else {
+			st, err := db.ApplyEdgeInsert(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size += st.LabelEntries
+			cur = cur.WithEdge(u, v)
+		}
+		if db.CoverSize() != size {
+			t.Fatalf("step %d: CoverSize %d, want %d", i, db.CoverSize(), size)
+		}
+	}
+}
+
+// TestApplyEdgeDeleteOnOpenedDB exercises the reconstruction path: deletes
+// against a database whose labeling was reseeded from stored codes, with no
+// Cover object, then durability through Sync and reopen.
+func TestApplyEdgeDeleteOnOpenedDB(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+	g := randomGraph(19, 20, 30, 3)
+	db, err := Build(g, Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rng := rand.New(rand.NewSource(23))
+	cur := re.Graph()
+	for i := 0; i < 20; i++ {
+		u := graph.NodeID(rng.Intn(20))
+		v := graph.NodeID(rng.Intn(20))
+		present := false
+		for _, w := range cur.Successors(u) {
+			if w == v {
+				present = true
+				break
+			}
+		}
+		if present && rng.Intn(2) == 0 {
+			if _, err := re.ApplyEdgeDelete(u, v); err != nil {
+				t.Fatal(err)
+			}
+			cur = cur.WithoutEdge(u, v)
+		} else {
+			st, err := re.ApplyEdgeInsert(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Duplicate {
+				cur = cur.WithEdge(u, v)
+			}
+		}
+	}
+	checkIndexConsistent(t, re, cur)
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	checkIndexConsistent(t, re2, cur)
+}

@@ -364,6 +364,13 @@ func (db *DB) Pin() (*Snap, func()) { return db.mgr.Pin() }
 // superseded epochs have been retired.
 func (db *DB) EpochStats() epoch.Stats { return db.mgr.Stats() }
 
+// OnEpochRetire registers fn to run whenever a snapshot epoch retires,
+// with the minimum still-live epoch. Consumers keying derived state by
+// epoch (the server's plan cache) use it to drop entries no pin can ever
+// reach again. fn may run on any goroutine releasing the last pin of an
+// epoch, so it must be cheap and non-blocking; the last registration wins.
+func (db *DB) OnEpochRetire(fn func(minLive uint64)) { db.mgr.OnRetire(fn) }
+
 // Graph returns the underlying data graph as of the current epoch. The
 // returned handle is immutable: edge inserts publish a copy-on-write
 // successor, so a held pointer keeps describing the graph as of when it

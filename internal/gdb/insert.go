@@ -198,18 +198,12 @@ func (w *snapWriter) applyOne(u, v graph.NodeID) (EdgeInsertStats, error) {
 	if err := w.applyBaseDeltas(deltas); err != nil {
 		return st, err
 	}
-	newF, newT, newCenter, err := w.applyClusterDeltas(u, deltas)
+	cs, err := w.applyCenterDeltas(deltas)
 	if err != nil {
 		return st, err
 	}
-	st.NewCenter = newCenter
-	if newCenter {
-		w.numCenters++
-	}
-	st.NewWPairs, err = w.applyWTableDeltas(u, newF, newT)
-	if err != nil {
-		return st, err
-	}
+	st.NewCenter = cs.born > 0
+	st.NewWPairs = cs.wAdded
 
 	for _, d := range deltas {
 		w.touchedNodes[d.Node] = struct{}{}
@@ -257,9 +251,10 @@ func (w *snapWriter) ensureIncremental() error {
 }
 
 // applyBaseDeltas rewrites the base-table record of every node whose
-// stored code gained a center: read-modify-write through the heap (the old
-// record is orphaned; the heap is append-only) and a copy-on-write upsert
-// of the primary index entry.
+// stored code gained or lost a center: read-modify-write through the heap
+// (the old record is orphaned; the heap is append-only) and a
+// copy-on-write upsert of the primary index entry. A record whose codes
+// empty is kept — the node still exists and its row anchors reattachment.
 func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 	byNode := make(map[graph.NodeID][]twohop.LabelDelta)
 	order := make([]graph.NodeID, 0, len(deltas))
@@ -286,9 +281,14 @@ func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 		}
 		in, out := decodeCodes(rec)
 		for _, d := range byNode[x] {
-			if d.Out {
+			switch {
+			case d.Removed && d.Out:
+				out = removeSorted(out, d.Center)
+			case d.Removed:
+				in = removeSorted(in, d.Center)
+			case d.Out:
 				out = insertSorted(out, d.Center)
-			} else {
+			default:
 				in = insertSorted(in, d.Center)
 			}
 		}
@@ -303,157 +303,6 @@ func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 		w.base[l] = nt
 	}
 	return nil
-}
-
-// applyClusterDeltas extends center w's subclusters with the delta nodes:
-// an out-side delta for node x puts x in F-subcluster (w, F, label(x)), an
-// in-side delta for node y puts y in T-subcluster (w, T, label(y)). It
-// returns the labels of F- and T-subcluster slots that went from empty to
-// non-empty (they drive the W-table update) and whether c is a new center.
-func (w *snapWriter) applyClusterDeltas(c graph.NodeID, deltas []twohop.LabelDelta) (newF, newT []graph.Label, newCenter bool, err error) {
-	type slot struct {
-		dir byte
-		l   graph.Label
-	}
-	adds := make(map[slot][]graph.NodeID)
-	for _, d := range deltas {
-		dir := dirT
-		if d.Out {
-			dir = dirF
-		}
-		s := slot{dir, w.g.LabelOf(d.Node)}
-		adds[s] = append(adds[s], d.Node)
-	}
-	// A center always carries its self entries (c, F, label(c)) and
-	// (c, T, label(c)) — their presence is the "is c a center" test.
-	self := clusterKey(c, dirF, w.g.LabelOf(c))
-	if _, ok, gerr := w.cluster.Get(self); gerr != nil {
-		return nil, nil, false, gerr
-	} else if !ok {
-		newCenter = true
-		adds[slot{dirF, w.g.LabelOf(c)}] = append(adds[slot{dirF, w.g.LabelOf(c)}], c)
-		adds[slot{dirT, w.g.LabelOf(c)}] = append(adds[slot{dirT, w.g.LabelOf(c)}], c)
-	}
-	slots := make([]slot, 0, len(adds))
-	for s := range adds {
-		slots = append(slots, s)
-	}
-	slices.SortFunc(slots, func(a, b slot) int {
-		if a.dir != b.dir {
-			return int(a.dir) - int(b.dir)
-		}
-		return int(a.l) - int(b.l)
-	})
-	for _, s := range slots {
-		key := clusterKey(c, s.dir, s.l)
-		var members []graph.NodeID
-		rid, ok, gerr := w.cluster.Get(key)
-		if gerr != nil {
-			return nil, nil, false, gerr
-		}
-		if ok {
-			rec, rerr := w.db.heap.Read(storage.DecodeRID(rid))
-			if rerr != nil {
-				return nil, nil, false, rerr
-			}
-			members = decodeNodeList(rec)
-		} else {
-			if s.dir == dirF {
-				newF = append(newF, s.l)
-			} else {
-				newT = append(newT, s.l)
-			}
-		}
-		before := len(members)
-		for _, x := range adds[s] {
-			members = insertSorted(members, x)
-		}
-		if len(members) == before {
-			continue
-		}
-		nrid, ierr := w.db.heap.Insert(encodeNodeList(members))
-		if ierr != nil {
-			return nil, nil, false, ierr
-		}
-		nt, ierr := w.cluster.InsertCow(w.cow, key, nrid.Encode())
-		if ierr != nil {
-			return nil, nil, false, ierr
-		}
-		w.cluster = nt
-	}
-	return newF, newT, newCenter, nil
-}
-
-// applyWTableDeltas adds center c to W(X, Y) for every label pair that one
-// of its newly non-empty subclusters completes: (newF × allT) ∪ (allF ×
-// newT), where allF/allT are c's non-empty subcluster labels after the
-// cluster update. Each touched W key is recorded so the next epoch's cache
-// drops its (possibly negative) entry.
-func (w *snapWriter) applyWTableDeltas(c graph.NodeID, newF, newT []graph.Label) (int, error) {
-	if len(newF) == 0 && len(newT) == 0 {
-		return 0, nil
-	}
-	allF, err := w.clusterLabels(c, dirF)
-	if err != nil {
-		return 0, err
-	}
-	allT, err := w.clusterLabels(c, dirT)
-	if err != nil {
-		return 0, err
-	}
-	pairs := make(map[wKey]struct{})
-	for _, x := range newF {
-		for _, y := range allT {
-			pairs[wKey{x, y}] = struct{}{}
-		}
-	}
-	for _, y := range newT {
-		for _, x := range allF {
-			pairs[wKey{x, y}] = struct{}{}
-		}
-	}
-	keys := make([]wKey, 0, len(pairs))
-	for k := range pairs {
-		keys = append(keys, k)
-	}
-	slices.SortFunc(keys, func(a, b wKey) int {
-		if a.x != b.x {
-			return int(a.x) - int(b.x)
-		}
-		return int(a.y) - int(b.y)
-	})
-	added := 0
-	for _, k := range keys {
-		var ws []graph.NodeID
-		rid, ok, err := w.wtable.Get(wtableKey(k.x, k.y))
-		if err != nil {
-			return added, err
-		}
-		if ok {
-			rec, err := w.db.heap.Read(storage.DecodeRID(rid))
-			if err != nil {
-				return added, err
-			}
-			ws = decodeNodeList(rec)
-		}
-		before := len(ws)
-		ws = insertSorted(ws, c)
-		if len(ws) == before {
-			continue
-		}
-		nrid, err := w.db.heap.Insert(encodeNodeList(ws))
-		if err != nil {
-			return added, err
-		}
-		nt, err := w.wtable.InsertCow(w.cow, wtableKey(k.x, k.y), nrid.Encode())
-		if err != nil {
-			return added, err
-		}
-		w.wtable = nt
-		added++
-		w.touchedW[k] = struct{}{}
-	}
-	return added, nil
 }
 
 // clusterLabels returns the labels of center c's non-empty dir-side

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestWithoutEdgeRemovesEdgeAndPreservesOld(t *testing.T) {
+	g := buildRandom(t, 7, 10, 15).WithEdge(3, 7)
+	oldEdges := g.NumEdges()
+	oldSucc := append([]NodeID(nil), g.Successors(3)...)
+	oldPred := append([]NodeID(nil), g.Predecessors(7)...)
+
+	ng := g.WithoutEdge(3, 7)
+
+	if ng.NumEdges() != oldEdges-1 {
+		t.Fatalf("new graph has %d edges, want %d", ng.NumEdges(), oldEdges-1)
+	}
+	// One occurrence is gone, both directions.
+	if n0, n1 := count(oldSucc, 7), count(ng.Successors(3), 7); n1 != n0-1 {
+		t.Fatalf("Successors(3) holds 7 ×%d, want ×%d", n1, n0-1)
+	}
+	if n0, n1 := count(oldPred, 3), count(ng.Predecessors(7), 3); n1 != n0-1 {
+		t.Fatalf("Predecessors(7) holds 3 ×%d, want ×%d", n1, n0-1)
+	}
+	for v := NodeID(0); int(v) < ng.NumNodes(); v++ {
+		for _, adj := range [][]NodeID{ng.Successors(v), ng.Predecessors(v)} {
+			if !slices.IsSorted(adj) {
+				t.Fatalf("adjacency of %d not sorted: %v", v, adj)
+			}
+		}
+	}
+	// Old graph is untouched.
+	if !slices.Equal(g.Successors(3), oldSucc) || !slices.Equal(g.Predecessors(7), oldPred) {
+		t.Fatal("WithoutEdge mutated the receiver")
+	}
+	if g.NumEdges() != oldEdges {
+		t.Fatalf("receiver edge count changed to %d", g.NumEdges())
+	}
+}
+
+func TestWithoutEdgeInvertsWithEdge(t *testing.T) {
+	g := buildRandom(t, 8, 12, 20)
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 30; step++ {
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
+		if slices.Contains(g.Successors(u), v) {
+			continue
+		}
+		h := g.WithEdge(u, v).WithoutEdge(u, v)
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatalf("edge count %d after add+remove, want %d", h.NumEdges(), g.NumEdges())
+		}
+		for x := NodeID(0); int(x) < g.NumNodes(); x++ {
+			if !slices.Equal(h.Successors(x), g.Successors(x)) {
+				t.Fatalf("Successors(%d) = %v after add+remove of %d->%d, want %v",
+					x, h.Successors(x), u, v, g.Successors(x))
+			}
+			if !slices.Equal(h.Predecessors(x), g.Predecessors(x)) {
+				t.Fatalf("Predecessors(%d) changed after add+remove of %d->%d", x, u, v)
+			}
+		}
+	}
+}
+
+func TestWithoutEdgePanicsOnAbsentOrOutOfRange(t *testing.T) {
+	g := buildRandom(t, 10, 5, 0)
+	for _, tc := range []struct {
+		name string
+		u, v NodeID
+	}{
+		{"absent", 0, 1},
+		{"out-of-range-u", 99, 1},
+		{"out-of-range-v", 0, 99},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: WithoutEdge(%d, %d) did not panic", tc.name, tc.u, tc.v)
+				}
+			}()
+			g.WithoutEdge(tc.u, tc.v)
+		}()
+	}
+}
+
+func count(s []NodeID, v NodeID) int {
+	n := 0
+	for _, x := range s {
+		if x == v {
+			n++
+		}
+	}
+	return n
+}

@@ -157,8 +157,9 @@ func TestPlanSingleflightError(t *testing.T) {
 // explicit negative — or a direct zero — disables).
 func TestPlanCacheZeroCapacity(t *testing.T) {
 	c := newPlanCache(0)
-	c.put("k", nil)
-	if _, ok := c.get("k"); ok {
+	k := planKey{epoch: 0, rest: "k"}
+	c.put(k, nil)
+	if _, ok := c.get(k); ok {
 		t.Fatal("zero-capacity cache stored an entry")
 	}
 	if c.len() != 0 {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sort"
 	"time"
 
 	"fastmatch/internal/gdb"
@@ -44,6 +45,7 @@ type errorResponse struct {
 //
 //	POST /query   — evaluate a pattern (JSON QueryRequest → QueryResponse)
 //	POST /insert  — apply edge inserts (JSON InsertRequest → InsertResult)
+//	POST /delete  — apply edge deletes (JSON DeleteRequest → DeleteResult)
 //	GET  /stats   — metrics snapshot (JSON Stats)
 //	GET  /healthz — liveness ("ok", 503 once the database is closed)
 //
@@ -51,14 +53,49 @@ type errorResponse struct {
 // per-request deadline expiry to 504, resource-budget kills to 422, a
 // closed database to 503, and oversized request bodies to 413. Malformed
 // requests and unanswerable patterns are 400; anything unclassified is a
-// server fault and answers 500.
+// server fault and answers 500. With Config.ReadOnly set, every mutating
+// route answers 403.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /insert", s.handleInsert)
+	for pat, h := range mutatingRoutes {
+		mux.HandleFunc(pat, s.guardMutating(h))
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// mutatingRoutes is the single registry of state-changing endpoints. Every
+// entry is wired through guardMutating, so a writer route registered here
+// cannot dodge the read-only guard; handlers registered anywhere else in
+// Handler must be read-only.
+var mutatingRoutes = map[string]func(*Server, http.ResponseWriter, *http.Request){
+	"POST /insert": (*Server).handleInsert,
+	"POST /delete": (*Server).handleDelete,
+}
+
+// MutatingRoutePatterns lists the registered mutating route patterns
+// (method + path), sorted; tests iterate it to prove each one is guarded.
+func MutatingRoutePatterns() []string {
+	pats := make([]string, 0, len(mutatingRoutes))
+	for p := range mutatingRoutes {
+		pats = append(pats, p)
+	}
+	sort.Strings(pats)
+	return pats
+}
+
+// guardMutating rejects the request with 403 when the server is
+// read-only, and dispatches to h otherwise.
+func (s *Server) guardMutating(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ReadOnly {
+			writeError(w, http.StatusForbidden, errors.New("server is read-only"))
+			return
+		}
+		h(s, w, r)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -44,6 +44,12 @@ type metrics struct {
 	insertLabelEntries atomic.Int64 // 2-hop label entries added
 	insertErrors       atomic.Int64 // failed insert requests
 
+	// Edge-delete path (POST /delete, DeleteEdges).
+	edgeDeletes        atomic.Int64 // edges removed (present before)
+	deleteNoops        atomic.Int64 // absent-edge deletes skipped
+	deleteLabelEntries atomic.Int64 // label entries removed + re-added
+	deleteErrors       atomic.Int64 // failed delete requests
+
 	// Intra-query operator parallelism (aggregated rjoin.RuntimeStats).
 	operatorOps   atomic.Int64 // operator executions
 	parallelOps   atomic.Int64 // operators that split across >1 worker
@@ -191,6 +197,14 @@ type Stats struct {
 	InsertDuplicates   int64 `json:"insert_duplicates"`
 	InsertLabelEntries int64 `json:"insert_label_entries"`
 	InsertErrors       int64 `json:"insert_errors"`
+	// EdgeDeletes counts edges removed through the incremental repair
+	// path; DeleteNoops the absent-edge deletes skipped, DeleteLabelEntries
+	// the 2-hop label entries touched by delete repair (stale removals plus
+	// re-adds), DeleteErrors the failed delete requests.
+	EdgeDeletes        int64 `json:"edge_deletes"`
+	DeleteNoops        int64 `json:"delete_noops"`
+	DeleteLabelEntries int64 `json:"delete_label_entries"`
+	DeleteErrors       int64 `json:"delete_errors"`
 	// CurrentEpoch is the published snapshot epoch (increments once per
 	// applied insert batch); PinnedEpochs counts live snapshot versions
 	// (1 when idle: the current epoch's base pin); OldestPinnedAgeSeconds
@@ -261,6 +275,10 @@ func (s *Server) Stats() Stats {
 		InsertDuplicates:      s.met.insertDuplicates.Load(),
 		InsertLabelEntries:    s.met.insertLabelEntries.Load(),
 		InsertErrors:          s.met.insertErrors.Load(),
+		EdgeDeletes:           s.met.edgeDeletes.Load(),
+		DeleteNoops:           s.met.deleteNoops.Load(),
+		DeleteLabelEntries:    s.met.deleteLabelEntries.Load(),
+		DeleteErrors:          s.met.deleteErrors.Load(),
 		QueryParallelism:      s.cfg.QueryParallelism,
 		OperatorOps:           s.met.operatorOps.Load(),
 		OperatorParallelOps:   s.met.parallelOps.Load(),

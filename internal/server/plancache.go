@@ -7,21 +7,31 @@ import (
 	"fastmatch/internal/optimizer"
 )
 
+// planKey identifies one cached plan: the snapshot epoch it was costed
+// against plus "algorithm|canonical pattern". Keeping the epoch as a
+// structured field (rather than folded into one string) lets the cache
+// purge everything below a retirement horizon without parsing keys.
+type planKey struct {
+	epoch uint64
+	rest  string
+}
+
 // planCache is a bounded LRU of optimized plans keyed by (snapshot epoch,
 // algorithm, canonical pattern). Cached *optimizer.Plan values are
 // immutable after optimization (the executor only reads them), so one plan
 // is shared by any number of concurrent runs. Entries keyed by superseded
-// epochs are never invalidated explicitly — they just stop being looked up
-// and fall off the LRU tail.
+// epochs stop being looked up once the epoch retires; purgeBefore — driven
+// by the epoch manager's retire callback — evicts them eagerly so they
+// cannot sit in the LRU displacing live-epoch plans under write churn.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // of *planCacheEntry, front = most recently used
-	items map[string]*list.Element
+	items map[planKey]*list.Element
 }
 
 type planCacheEntry struct {
-	key  string
+	key  planKey
 	plan *optimizer.Plan
 }
 
@@ -33,12 +43,12 @@ func newPlanCache(capacity int) *planCache {
 	c := &planCache{cap: capacity}
 	if capacity > 0 {
 		c.ll = list.New()
-		c.items = make(map[string]*list.Element, capacity)
+		c.items = make(map[planKey]*list.Element, capacity)
 	}
 	return c
 }
 
-func (c *planCache) get(key string) (*optimizer.Plan, bool) {
+func (c *planCache) get(key planKey) (*optimizer.Plan, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
@@ -52,7 +62,7 @@ func (c *planCache) get(key string) (*optimizer.Plan, bool) {
 	return el.Value.(*planCacheEntry).plan, true
 }
 
-func (c *planCache) put(key string, plan *optimizer.Plan) {
+func (c *planCache) put(key planKey, plan *optimizer.Plan) {
 	if c.cap <= 0 {
 		return
 	}
@@ -68,6 +78,26 @@ func (c *planCache) put(key string, plan *optimizer.Plan) {
 		el := c.ll.Back()
 		c.ll.Remove(el)
 		delete(c.items, el.Value.(*planCacheEntry).key)
+	}
+}
+
+// purgeBefore evicts every entry whose epoch is below minLive. Epochs
+// below the horizon have retired: no pin can reach them again, so their
+// plans can never be served and only occupy capacity.
+func (c *planCache) purgeBefore(minLive uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*planCacheEntry)
+		if e.key.epoch < minLive {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
 	}
 }
 

@@ -20,7 +20,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +95,11 @@ type Config struct {
 	MaxIntermediateBytes int64
 	// MaxRequestBytes bounds the /query request body (default 1 MB).
 	MaxRequestBytes int64
+	// ReadOnly rejects every mutating HTTP endpoint (POST /insert,
+	// POST /delete, and any writer route added later) with 403. It guards
+	// the HTTP surface only; the in-process InsertEdges/DeleteEdges
+	// methods stay available to the embedding program.
+	ReadOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -156,7 +160,7 @@ type Server struct {
 	// flight coalesces concurrent plan-cache misses on one canonical key:
 	// one goroutine plans, the rest wait for its result (single-flight).
 	flightMu sync.Mutex
-	flight   map[string]*planCall
+	flight   map[planKey]*planCall
 	// planBuildHook, when non-nil, runs on the planning goroutine after it
 	// claims the flight slot and before it builds — a test seam for
 	// forcing misses to overlap.
@@ -177,14 +181,19 @@ type planCall struct {
 // keeps in-flight queries consistent.
 func New(db *gdb.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		db:     db,
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		plans:  newPlanCache(cfg.PlanCacheSize),
-		flight: make(map[string]*planCall),
+		flight: make(map[planKey]*planCall),
 		start:  time.Now(),
 	}
+	// Epoch retirements evict the retired epochs' plans eagerly; without
+	// this they sit in the LRU until churn pushes them off the tail,
+	// displacing live-epoch plans in the meantime.
+	db.OnEpochRetire(s.plans.purgeBefore)
+	return s
 }
 
 // DB exposes the underlying database (read-only).
@@ -324,7 +333,7 @@ func (s *Server) acquire(ctx context.Context) error {
 // the others share its result (or its error) instead of racing N
 // identical planners.
 func (s *Server) plan(ctx context.Context, snap *gdb.Snap, p *pattern.Pattern, algo exec.Algorithm) (*optimizer.Plan, bool, error) {
-	key := strconv.FormatUint(snap.Epoch(), 10) + "|" + algo.String() + "|" + p.Canonical()
+	key := planKey{epoch: snap.Epoch(), rest: algo.String() + "|" + p.Canonical()}
 	if e, ok := s.plans.get(key); ok {
 		s.met.planHits.Add(1)
 		return e, true, nil

@@ -10,9 +10,10 @@ import (
 // 8-byte values (typically an encoded RID). All page access goes through
 // the buffer pool, so index probes contribute to the I/O cost metric.
 //
-// The tree supports insert (upsert), point lookup, and ordered range scans.
-// Deletion is not supported: every index in the graph database is built
-// once, then read-only — matching the paper's workload.
+// The tree supports insert (upsert), point lookup, ordered range scans,
+// and lazy copy-on-write deletion (DeleteCow): cells are dropped without
+// underflow rebalancing, so sustained delete workloads fragment the file
+// until an offline re-pack rebuilds it.
 //
 // Page layout (both node kinds):
 //

@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeleteCowPreservesOldVersion checks the MVCC property for deletes:
+// the pre-batch tree still reads every key while the new version reads
+// exactly the survivors.
+func TestDeleteCowPreservesOldVersion(t *testing.T) {
+	bp := newTestPool(t, 256)
+	old, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 1500
+	for i := 0; i < base; i++ {
+		if err := old.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCow(bp)
+	cur := old
+	deleted := map[int]bool{}
+	rng := rand.New(rand.NewSource(42))
+	for len(deleted) < 400 {
+		i := rng.Intn(base)
+		var ok bool
+		cur, ok, err = cur.DeleteCow(c, cowKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == deleted[i] {
+			t.Fatalf("DeleteCow(%d) reported %v, but key deleted=%v", i, ok, deleted[i])
+		}
+		deleted[i] = true
+	}
+
+	oldGot := collect(t, old)
+	if len(oldGot) != base {
+		t.Fatalf("old version has %d keys, want %d", len(oldGot), base)
+	}
+	newGot := collect(t, cur)
+	if len(newGot) != base-len(deleted) {
+		t.Fatalf("new version has %d keys, want %d", len(newGot), base-len(deleted))
+	}
+	for i := 0; i < base; i++ {
+		v, ok := newGot[string(cowKey(i))]
+		if deleted[i] {
+			if ok {
+				t.Fatalf("deleted key %d still present with value %d", i, v)
+			}
+			continue
+		}
+		if !ok || v != uint64(i) {
+			t.Fatalf("surviving key %d = %d (present %v), want %d", i, v, ok, i)
+		}
+	}
+	// Point reads agree with the scans.
+	for i := 0; i < base; i += 97 {
+		if _, ok, err := old.Get(cowKey(i)); err != nil || !ok {
+			t.Fatalf("old.Get(%d) = %v,%v, want present", i, ok, err)
+		}
+		_, ok, err := cur.Get(cowKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == deleted[i] {
+			t.Fatalf("new.Get(%d) present=%v, want %v", i, ok, !deleted[i])
+		}
+	}
+}
+
+// TestDeleteCowAbsentKeyIsNoop: deleting a key the tree does not hold
+// returns the receiver unchanged, without copying any pages.
+func TestDeleteCowAbsentKeyIsNoop(t *testing.T) {
+	bp := newTestPool(t, 64)
+	tr, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := tr.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCow(bp)
+	nt, ok, err := tr.DeleteCow(c, cowKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("DeleteCow of absent key reported a deletion")
+	}
+	if nt != tr {
+		t.Fatal("DeleteCow of absent key returned a different tree")
+	}
+	if n := len(c.Freed()); n != 0 {
+		t.Fatalf("no-op delete superseded %d pages, want 0", n)
+	}
+}
+
+// TestDeleteCowAll: deleting every key leaves an empty but fully usable
+// tree — lazy deletion keeps empty leaves, so Get and Scan must tolerate
+// them.
+func TestDeleteCowAll(t *testing.T) {
+	bp := newTestPool(t, 256)
+	tr, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCow(bp)
+	cur := tr
+	for i := 0; i < n; i++ {
+		var ok bool
+		cur, ok, err = cur.DeleteCow(c, cowKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("DeleteCow(%d) did not find the key", i)
+		}
+	}
+	if got := collect(t, cur); len(got) != 0 {
+		t.Fatalf("emptied tree still scans %d keys", len(got))
+	}
+	if _, ok, err := cur.Get(cowKey(7)); err != nil || ok {
+		t.Fatalf("Get on emptied tree = %v,%v, want absent,nil", ok, err)
+	}
+	// The emptied tree accepts new inserts.
+	cur, err = cur.InsertCow(c, cowKey(5), 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cur.Get(cowKey(5)); err != nil || !ok || v != 55 {
+		t.Fatalf("reinsert after empty: Get = %d,%v,%v, want 55,true,nil", v, ok, err)
+	}
+	// The original version still holds everything.
+	if got := collect(t, tr); len(got) != n {
+		t.Fatalf("old version has %d keys, want %d", len(got), n)
+	}
+}
+
+// TestDeleteCowInterleavedWithInserts mixes CoW inserts and deletes in one
+// batch against a model map and checks the final scan matches.
+func TestDeleteCowInterleavedWithInserts(t *testing.T) {
+	bp := newTestPool(t, 256)
+	tr, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int]uint64{}
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(cowKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		model[i] = uint64(i)
+	}
+	c := NewCow(bp)
+	cur := tr
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(800)
+		if rng.Intn(2) == 0 {
+			v := uint64(rng.Intn(1 << 20))
+			cur, err = cur.InsertCow(c, cowKey(i), v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[i] = v
+		} else {
+			_, want := model[i]
+			var ok bool
+			cur, ok, err = cur.DeleteCow(c, cowKey(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != want {
+				t.Fatalf("step %d: DeleteCow(%d) = %v, model has key: %v", step, i, ok, want)
+			}
+			delete(model, i)
+		}
+	}
+	got := collect(t, cur)
+	if len(got) != len(model) {
+		t.Fatalf("final tree has %d keys, model has %d", len(got), len(model))
+	}
+	for i, v := range model {
+		if gv, ok := got[string(cowKey(i))]; !ok || gv != v {
+			t.Fatalf("key %d = %d (present %v), want %d", i, gv, ok, v)
+		}
+	}
+}

@@ -7,10 +7,10 @@ import (
 )
 
 // Incremental maintains a 2-hop reachability labeling under edge
-// insertions — the 2-hop cover update problem the paper cites as [24]
-// (Schenkel et al., ICDE'05). It seeds from a computed Cover and keeps the
-// invariant that u ⇝ v iff out(u) ∩ in(v) ≠ ∅ (with the compact self
-// convention) after every InsertEdge.
+// insertions and deletions — the 2-hop cover update problem the paper
+// cites as [24] (Schenkel et al., ICDE'05). It seeds from a computed Cover
+// and keeps the invariant that u ⇝ v iff out(u) ∩ in(v) ≠ ∅ (with the
+// compact self convention) after every InsertEdge and DeleteEdge.
 //
 // The update strategy for a new edge (u, v) follows the classic
 // center-insertion argument: every newly reachable pair (x, y) decomposes
@@ -24,8 +24,17 @@ import (
 // and membership checks skip entries that already exist, so repeated or
 // redundant insertions are cheap.
 //
-// Deletions are out of scope, as in [24]'s incremental part: they require
-// recomputation in general.
+// Deletions use the standard over-delete/re-insert repair. Removing (u, v)
+// can only break pairs (x, y) with x ∈ Ru = rev-reach(u) and
+// y ∈ Fv = fwd-reach(v) (both taken before the removal): any path that
+// used the edge entered it through u and left it through v. The same
+// localisation bounds the stale entries — an entry c ∈ out(x) whose every
+// support path used (u, v) forces x ∈ Ru and c ∈ Fv, and symmetrically for
+// in-entries — so DeleteEdge validates exactly those suspects with one
+// pruned BFS per affected center in the post-deletion graph, removes the
+// refuted ones, and then re-covers any still-reachable pair in Ru × Fv the
+// removals orphaned by electing the pair's source as a center (mirroring
+// the insertion argument).
 type Incremental struct {
 	fwd, rev [][]graph.NodeID
 	in, out  [][]graph.NodeID
@@ -79,14 +88,16 @@ func NewIncrementalFromLabels(g *graph.Graph, in, out [][]graph.NodeID) *Increme
 	return inc
 }
 
-// LabelDelta records one label entry added by InsertEdge: Center joined the
-// compact L_out(Node) (Out true) or L_in(Node) (Out false). The delta set
-// is exactly what an index built on top of the labeling (base-table codes,
+// LabelDelta records one label entry changed by InsertEdge or DeleteEdge:
+// Center joined (Removed false) or left (Removed true) the compact
+// L_out(Node) (Out true) or L_in(Node) (Out false). The delta set is
+// exactly what an index built on top of the labeling (base-table codes,
 // cluster index, W-table) must absorb to stay consistent.
 type LabelDelta struct {
-	Node   graph.NodeID
-	Center graph.NodeID
-	Out    bool
+	Node    graph.NodeID
+	Center  graph.NodeID
+	Out     bool
+	Removed bool
 }
 
 // NumNodes returns the number of nodes.
@@ -144,6 +155,136 @@ func (inc *Incremental) InsertEdge(u, v graph.NodeID) []LabelDelta {
 	return deltas
 }
 
+// HasEdge reports whether at least one u→v edge is currently present.
+func (inc *Incremental) HasEdge(u, v graph.NodeID) bool {
+	return slices.Contains(inc.fwd[u], v)
+}
+
+// DeleteEdge removes one occurrence of the edge u→v and repairs the
+// labeling by over-delete/re-insert:
+//
+//  1. Suspect entries — out-entries c ∈ out(x) with x ∈ Ru, c ∈ Fv and
+//     in-entries c ∈ in(y) with y ∈ Fv, c ∈ Ru, the only ones whose every
+//     support path can have used (u, v) — are validated with one pruned
+//     re-BFS per affected center in the post-deletion graph; entries the
+//     BFS no longer supports are removed (Removed deltas).
+//  2. Still-reachable pairs in Ru × Fv the removals left uncovered are
+//     repaired by electing the source as a center: x joins in(y)
+//     (addition deltas). Reachability was just verified, so every
+//     re-added entry is sound.
+//
+// Deltas come out in deterministic order: removals for ascending x then
+// ascending y (centers in stored-label order), followed by additions for
+// ascending (x, y). Deleting an edge that is not present is a no-op
+// returning nil; when parallel u→v edges exist exactly one is removed and
+// no label entry can go stale, so the repair finds nothing to do.
+func (inc *Incremental) DeleteEdge(u, v graph.NodeID) []LabelDelta {
+	i := slices.Index(inc.fwd[u], v)
+	if i < 0 {
+		return nil
+	}
+	// Ru / Fv in the pre-deletion graph: the only nodes whose labels or
+	// pair coverage the removal can affect.
+	ruSet := toSet(inc.bfs(inc.rev, u))
+	fvSet := toSet(inc.bfs(inc.fwd, v))
+	inc.fwd[u] = slices.Delete(inc.fwd[u], i, i+1)
+	j := slices.Index(inc.rev[v], u)
+	inc.rev[v] = slices.Delete(inc.rev[v], j, j+1)
+
+	ru := sortedKeys(ruSet)
+	fv := sortedKeys(fvSet)
+
+	// Post-deletion reach sets, one pruned BFS per distinct root, shared
+	// between validation and re-cover.
+	fwdReach := make(map[graph.NodeID]map[graph.NodeID]struct{})
+	revReach := make(map[graph.NodeID]map[graph.NodeID]struct{})
+	reach := func(memo map[graph.NodeID]map[graph.NodeID]struct{}, adj [][]graph.NodeID, s graph.NodeID) map[graph.NodeID]struct{} {
+		r, ok := memo[s]
+		if !ok {
+			r = toSet(inc.bfs(adj, s))
+			memo[s] = r
+		}
+		return r
+	}
+
+	var deltas []LabelDelta
+	removed := 0
+	for _, x := range ru {
+		var drop []graph.NodeID
+		for _, c := range inc.out[x] {
+			if _, suspect := fvSet[c]; !suspect {
+				continue
+			}
+			if _, still := reach(revReach, inc.rev, c)[x]; !still {
+				drop = append(drop, c)
+			}
+		}
+		for _, c := range drop {
+			removeSortedInPlace(&inc.out[x], c)
+			deltas = append(deltas, LabelDelta{Node: x, Center: c, Out: true, Removed: true})
+			removed++
+		}
+	}
+	for _, y := range fv {
+		var drop []graph.NodeID
+		for _, c := range inc.in[y] {
+			if _, suspect := ruSet[c]; !suspect {
+				continue
+			}
+			if _, still := reach(fwdReach, inc.fwd, c)[y]; !still {
+				drop = append(drop, c)
+			}
+		}
+		for _, c := range drop {
+			removeSortedInPlace(&inc.in[y], c)
+			deltas = append(deltas, LabelDelta{Node: y, Center: c, Out: false, Removed: true})
+			removed++
+		}
+	}
+
+	// Re-cover: removing a stale center can orphan a pair it alone
+	// covered; any such pair lies in Ru × Fv and is still reachable.
+	added := 0
+	for _, x := range ru {
+		r := reach(fwdReach, inc.fwd, x)
+		for _, y := range fv {
+			if y == x {
+				continue
+			}
+			if _, reachable := r[y]; !reachable {
+				continue
+			}
+			if inc.Reaches(x, y) {
+				continue
+			}
+			insertSortedInPlace(&inc.in[y], x)
+			deltas = append(deltas, LabelDelta{Node: y, Center: x, Out: false, Removed: false})
+			added++
+		}
+	}
+	inc.size += added - removed
+	return deltas
+}
+
+// toSet converts a node list to a membership set.
+func toSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
+	s := make(map[graph.NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// sortedKeys returns the set's members ascending.
+func sortedKeys(s map[graph.NodeID]struct{}) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // bfs returns all nodes reachable from start over adj (including start).
 func (inc *Incremental) bfs(adj [][]graph.NodeID, start graph.NodeID) []graph.NodeID {
 	visited := make(map[graph.NodeID]struct{}, 64)
@@ -158,6 +299,18 @@ func (inc *Incremental) bfs(adj [][]graph.NodeID, start graph.NodeID) []graph.No
 		}
 	}
 	return queue
+}
+
+// removeSortedInPlace removes v from the sorted slice if present,
+// reporting whether a removal happened.
+func removeSortedInPlace(s *[]graph.NodeID, v graph.NodeID) bool {
+	sl := *s
+	i, found := slices.BinarySearch(sl, v)
+	if !found {
+		return false
+	}
+	*s = slices.Delete(sl, i, i+1)
+	return true
 }
 
 // insertSortedInPlace inserts v into the sorted slice if absent, reporting

@@ -6,12 +6,13 @@ import (
 	"fastmatch/internal/twohop"
 )
 
-// ReachabilityOracle answers u ⇝ v questions over a graph that grows by
-// edge insertions, maintaining a 2-hop labeling incrementally (the update
-// problem of the paper's reference [24]). Unlike Engine — which is built
-// once over an immutable graph — the oracle accepts InsertEdge at any time.
-// It answers reachability only; pattern matching over a changed graph
-// requires rebuilding an Engine.
+// ReachabilityOracle answers u ⇝ v questions over a graph that changes by
+// edge insertions and deletions, maintaining a 2-hop labeling
+// incrementally (the update problem of the paper's reference [24]; deletes
+// use over-delete/re-insert repair). Unlike Engine — which is built over a
+// snapshot and repairs its persistent index through
+// InsertEdge/DeleteEdge — the oracle keeps only the labeling and answers
+// reachability; pattern matching goes through an Engine.
 //
 // Methods are safe for concurrent use.
 type ReachabilityOracle struct {
@@ -20,13 +21,14 @@ type ReachabilityOracle struct {
 }
 
 // NewReachabilityOracle builds the initial labeling for g. Later edge
-// insertions go through InsertEdge and do not affect g itself.
+// insertions and deletions go through InsertEdge/DeleteEdge and do not
+// affect g itself.
 func NewReachabilityOracle(g *Graph) *ReachabilityOracle {
 	cover := twohop.Compute(g, twohop.Options{})
 	return &ReachabilityOracle{inc: twohop.NewIncremental(cover)}
 }
 
-// Reaches reports u ⇝ v under all insertions so far.
+// Reaches reports u ⇝ v under all insertions and deletions so far.
 func (o *ReachabilityOracle) Reaches(u, v NodeID) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -39,6 +41,16 @@ func (o *ReachabilityOracle) InsertEdge(u, v NodeID) []CoverDelta {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.inc.InsertEdge(u, v)
+}
+
+// DeleteEdge removes one occurrence of the edge u→v and repairs the
+// labeling by over-delete/re-insert, returning the label entries removed
+// (Removed true) and re-added. Deleting an absent edge is a no-op
+// returning nil.
+func (o *ReachabilityOracle) DeleteEdge(u, v NodeID) []CoverDelta {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inc.DeleteEdge(u, v)
 }
 
 // LabelEntries returns the current 2-hop labeling size |H|.
