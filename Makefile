@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-fuzz-smoke test-race-stress verify bench bench-wcoj bench-baseline bench-compare clean
+.PHONY: build test test-short test-fuzz-smoke test-race-stress verify bench bench-wcoj bench-fastpath bench-baseline bench-compare clean
 
 # Benchmarks covered by bench-baseline/bench-compare: the sorted-set
 # kernels and the parallel operator suite — the hot paths a perf PR must
@@ -27,6 +27,7 @@ FUZZTIME ?= 30s
 test-fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzEdgeInsertDifferential -fuzztime $(FUZZTIME) .
 	$(GO) test -run XXX -fuzz FuzzEdgeDeleteDifferential -fuzztime $(FUZZTIME) .
+	$(GO) test -run XXX -fuzz FuzzFastPathDifferential -fuzztime $(FUZZTIME) .
 	$(GO) test -run XXX -fuzz FuzzIncrementalInsert -fuzztime $(FUZZTIME) ./internal/twohop
 	$(GO) test -run XXX -fuzz FuzzIncrementalDelete -fuzztime $(FUZZTIME) ./internal/twohop
 	$(GO) test -run XXX -fuzz FuzzLeapfrogMultiwayIntersect -fuzztime $(FUZZTIME) ./internal/gdb
@@ -57,12 +58,19 @@ bench:
 	$(GO) run ./cmd/fgmbench -exp rjoin -out BENCH_rjoin.json
 	$(GO) run ./cmd/fgmbench -exp build -out BENCH_build.json
 	$(GO) run ./cmd/fgmbench -exp wcoj -out BENCH_wcoj.json
+	$(GO) run ./cmd/fgmbench -exp fastpath -out BENCH_fastpath.json
 
 # bench-wcoj measures the worst-case-optimal multiway join against the
 # binary pipeline on the cyclic workload battery and refreshes the
 # committed BENCH_wcoj.json baseline.
 bench-wcoj:
 	$(GO) run ./cmd/fgmbench -exp wcoj -out BENCH_wcoj.json
+
+# bench-fastpath measures the tiered execution router against the forced
+# full pipeline on the fast-path battery and refreshes the committed
+# BENCH_fastpath.json baseline.
+bench-fastpath:
+	$(GO) run ./cmd/fgmbench -exp fastpath -out BENCH_fastpath.json
 
 # bench-baseline records the kernel benchmarks (10 runs, for benchstat
 # confidence intervals) into $(BENCH_BASE); run it on the commit you want
@@ -82,6 +90,7 @@ bench-compare:
 		echo "benchstat not installed; compare $(BENCH_BASE) vs bench-head.txt by hand" >&2; \
 	fi
 	$(GO) run ./cmd/fgmbench -exp wcoj -out bench-wcoj-head.json -compare BENCH_wcoj.json
+	$(GO) run ./cmd/fgmbench -exp fastpath -out bench-fastpath-head.json -compare BENCH_fastpath.json
 
 clean:
 	$(GO) clean ./...

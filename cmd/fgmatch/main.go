@@ -138,6 +138,9 @@ func run() error {
 			if tr.Seeks > 0 || tr.IterNexts > 0 {
 				fmt.Printf(" seeks=%d nexts=%d", tr.Seeks, tr.IterNexts)
 			}
+			if tr.Tier != 0 && tr.Tier != 3 {
+				fmt.Printf(" tier=%d index=%q", tr.Tier, tr.FastIndex)
+			}
 			fmt.Println()
 		}
 	} else if *budgetRows > 0 || *budgetBytes > 0 {

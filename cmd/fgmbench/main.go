@@ -27,7 +27,7 @@ var experimentIDs = []string{
 	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b", "fig7c", "iocost",
 	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
-	"rjoin", "build", "wcoj",
+	"rjoin", "build", "wcoj", "fastpath",
 }
 
 func main() {
@@ -39,7 +39,7 @@ func main() {
 		list = flag.Bool("list", false, "list experiment IDs and exit")
 		out  = flag.String("out", "", "machine-readable output path for -exp rjoin / build / wcoj (default BENCH_<exp>.json)")
 		bp   = flag.Int("build-parallelism", 0, "workers for experiment database builds (0/1 = serial, -1 = GOMAXPROCS)")
-		cmp  = flag.String("compare", "", "for -exp wcoj: committed BENCH_wcoj.json to guard against; exit non-zero if a cyclic query's WCOJ time regresses >10%")
+		cmp  = flag.String("compare", "", "for -exp wcoj / fastpath: committed BENCH_<exp>.json to guard against; exit non-zero on a >10% regression")
 	)
 	flag.Parse()
 	if *list {
@@ -79,13 +79,14 @@ func main() {
 		}
 		return
 	}
-	if *exp == "rjoin" || *exp == "build" || *exp == "wcoj" {
+	if *exp == "rjoin" || *exp == "build" || *exp == "wcoj" || *exp == "fastpath" {
 		// These micros also emit a machine-readable file so bench-compare
 		// and CI can diff runs without parsing the table.
 		var (
 			rep      *bench.Report
 			results  any
 			wcojRows []bench.WCOJResult
+			fpRows   []bench.FastpathResult
 			n        int
 			err      error
 		)
@@ -101,6 +102,9 @@ func main() {
 		case "wcoj":
 			rep, wcojRows, err = r.WCOJMicro()
 			results, n = wcojRows, len(wcojRows)
+		case "fastpath":
+			rep, fpRows, err = r.FastpathMicro()
+			results, n = fpRows, len(fpRows)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
@@ -132,6 +136,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("no WCOJ regression vs %s\n", *cmp)
+		}
+		if *exp == "fastpath" && *cmp != "" {
+			if err := compareFastpath(*cmp, fpRows); err != nil {
+				fmt.Fprintln(os.Stderr, "fgmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("no fast-path regression vs %s\n", *cmp)
 		}
 		return
 	}
@@ -177,6 +188,43 @@ func compareWCOJ(basePath string, head []bench.WCOJResult) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("WCOJ regression vs %s:\n  %s", basePath, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// compareFastpath guards the tiered router's benefit: each battery entry's
+// tiered time in head must stay within 10% of the committed baseline (plus
+// the same 1ms absolute grace as compareWCOJ, since the battery is
+// microsecond-scale). Entries present only on one side are ignored.
+func compareFastpath(basePath string, head []bench.FastpathResult) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var envelope struct {
+		Results []bench.FastpathResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	base := make(map[string]bench.FastpathResult, len(envelope.Results))
+	for _, b := range envelope.Results {
+		base[b.Name] = b
+	}
+	var failures []string
+	for _, h := range head {
+		b, ok := base[h.Name]
+		if !ok {
+			continue
+		}
+		if allowed := b.TieredMS*1.10 + 1.0; h.TieredMS > allowed {
+			failures = append(failures, fmt.Sprintf(
+				"%s: tiered %.3fms vs baseline %.3fms (allowed %.3fms)",
+				h.Name, h.TieredMS, b.TieredMS, allowed))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("fast-path regression vs %s:\n  %s", basePath, strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -60,6 +60,7 @@ func run() error {
 		maxReqBytes  = flag.Int64("max-request-bytes", 0, "max /query request body bytes (default 1 MB; larger answers 413)")
 		buildPar     = flag.Int("build-parallelism", 0, "index-build workers (0/1 = serial, -1 = GOMAXPROCS)")
 		readonly     = flag.Bool("readonly", false, "reject every mutating endpoint (POST /insert, /delete) with 403; the graph stays immutable")
+		noFastPath   = flag.Bool("no-fastpath", false, "disable tiered fast-path execution; every query runs the full operator pipeline")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -107,6 +108,7 @@ func run() error {
 		MaxIntermediateBytes: *maxIMBytes,
 		MaxRequestBytes:      *maxReqBytes,
 		ReadOnly:             *readonly,
+		NoFastPath:           *noFastPath,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -117,6 +117,35 @@ func compareDatabases(t *testing.T, inc *gdb.DB, g *graph.Graph, rng *rand.Rand,
 		}
 	}
 
+	// The incrementally maintained fan-signature table must equal a
+	// from-scratch recomputation over its own epoch's cluster index: dead
+	// centers dropped, zeroed pairs deleted, fan masses exact. (The
+	// rebuilt database's table is NOT a valid oracle — the signature
+	// summarizes the index structure, and an incrementally repaired 2-hop
+	// cover legitimately differs from a fresh one in redundant-but-sound
+	// entries.) Both databases are held to the same invariant.
+	for _, c := range []struct {
+		name string
+		db   *gdb.DB
+	}{{"incremental", inc}, {"rebuilt", rebuilt}} {
+		snap, release := c.db.Pin()
+		sig := snap.Signature()
+		if sig == nil {
+			release()
+			t.Fatalf("%s: %s snapshot lost its fan signature", tag, c.name)
+		}
+		oracle, err := snap.ComputeSignature()
+		if err != nil {
+			release()
+			t.Fatalf("%s: %s ComputeSignature: %v", tag, c.name, err)
+		}
+		release()
+		if !sig.Equal(oracle) {
+			t.Fatalf("%s: %s maintained signature (%d pairs) != recomputed (%d pairs)",
+				tag, c.name, sig.NumPairs(), oracle.NumPairs())
+		}
+	}
+
 	n := g.NumNodes()
 	for i := 0; i < 200; i++ {
 		u := graph.NodeID(rng.Intn(n))

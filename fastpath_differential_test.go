@@ -1,0 +1,306 @@
+package fastmatch_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
+)
+
+// fastpathRandomGraph builds a labeled random digraph for the tiered-router
+// differential (labels A..E, possibly cyclic), plus one isolated Z-labeled
+// node: Z participates in no edge, so any pattern touching Z is provably
+// empty and must route to the tier-2 prefilter.
+func fastpathRandomGraph(seed int64, n, m, nlabels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < nlabels; i++ {
+		b.Intern(string(rune('A' + i)))
+	}
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(nlabels))))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	b.AddNode("Z")
+	return b.Build()
+}
+
+// fastpathBattery spans the router's decision space: shapes the classifier
+// admits to tier 1 (single edges, stars), shapes it must reject to tier 3
+// (paths, cycles, cliques), and signature-refuted patterns for tier 2.
+var fastpathBattery = []string{
+	"A->B",
+	"B->A",
+	"A->B; A->C",
+	"A->C; B->C",
+	"A->B; A->C; A->D",
+	"A->B; B->C",
+	"A->B; B->C; C->A",
+	"A->B; A->C; B->D; C->D",
+	"A->Z",
+	"Z->A; A->B",
+}
+
+// TestFastPathTierClassification pins the router's guarantees that do not
+// depend on cost estimates: a single-edge pattern always classifies tier 1
+// (every planner head shape for one edge is admitted), a pattern with a
+// signature-refuted edge always short-circuits to tier 2, and a cyclic
+// pattern — whose plans need a Selection or a multi-edge WCOJ core — always
+// falls through to tier 3.
+func TestFastPathTierClassification(t *testing.T) {
+	g := fastpathRandomGraph(41, 100, 130, 5)
+	db, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	snap, release := db.Pin()
+	defer release()
+
+	cases := []struct {
+		text string
+		tier int
+	}{
+		{"A->B", 1},
+		{"B->A", 1},
+		{"A->Z", 2},
+		{"Z->A; A->B", 2},
+		{"A->B; B->C; C->A", 3},
+	}
+	for _, algo := range []exec.Algorithm{exec.DP, exec.DPS, exec.DPSMerged, exec.WCOJ} {
+		for _, c := range cases {
+			plan, err := exec.BuildPlanSnapConfig(snap, pattern.MustParse(c.text), algo, exec.PlanConfig{})
+			if err != nil {
+				t.Fatalf("%v %q: %v", algo, c.text, err)
+			}
+			if plan.Tier() != c.tier {
+				t.Errorf("%v %q: tier %d, want %d", algo, c.text, plan.Tier(), c.tier)
+			}
+			forced, err := exec.BuildPlanSnapConfig(snap, pattern.MustParse(c.text), algo, exec.PlanConfig{NoFastPath: true})
+			if err != nil {
+				t.Fatalf("%v %q forced: %v", algo, c.text, err)
+			}
+			if forced.Tier() != 3 {
+				t.Errorf("%v %q: NoFastPath plan routed to tier %d", algo, c.text, forced.Tier())
+			}
+		}
+	}
+}
+
+// TestFastPathDifferential is the tiered router's result-identical proof on
+// random graphs: for every battery pattern, every planner, and worker
+// degrees 1 and 4, the tier-routed execution must return exactly the rows of
+// the forced tier-3 pipeline in exactly its order. Run under -race this also
+// exercises the fast-path epoch memos against the parallel reference
+// pipeline's readers.
+func TestFastPathDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, gc := range []struct {
+		seed int64
+		n, m int
+	}{
+		{41, 100, 130},
+		{42, 140, 190},
+		{43, 80, 120},
+	} {
+		g := fastpathRandomGraph(gc.seed, gc.n, gc.m, 5)
+		db, err := gdb.Build(g, gdb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		snap, release := db.Pin()
+		defer release()
+
+		totalRows, tier1Seen := 0, false
+		for _, ps := range fastpathBattery {
+			p := pattern.MustParse(ps)
+			for _, algo := range []exec.Algorithm{exec.DP, exec.DPS, exec.DPSMerged, exec.WCOJ} {
+				tiered, err := exec.BuildPlanSnapConfig(snap, p, algo, exec.PlanConfig{})
+				if err != nil {
+					t.Fatalf("seed %d %q %v: %v", gc.seed, ps, algo, err)
+				}
+				got, err := exec.RunSnapConfig(ctx, snap, tiered, exec.RunConfig{})
+				if err != nil {
+					t.Fatalf("seed %d %q %v tiered: %v", gc.seed, ps, algo, err)
+				}
+				totalRows += got.Len()
+				if tiered.Tier() == 1 {
+					tier1Seen = true
+				}
+				forcedPlan, err := exec.BuildPlanSnapConfig(snap, p, algo, exec.PlanConfig{NoFastPath: true})
+				if err != nil {
+					t.Fatalf("seed %d %q %v forced plan: %v", gc.seed, ps, algo, err)
+				}
+				for _, workers := range []int{1, 4} {
+					want, err := exec.RunSnapConfig(ctx, snap, forcedPlan, exec.RunConfig{Workers: workers})
+					if err != nil {
+						t.Fatalf("seed %d %q %v workers=%d forced: %v", gc.seed, ps, algo, workers, err)
+					}
+					if !reflect.DeepEqual(got.Cols, want.Cols) {
+						t.Fatalf("seed %d %q %v workers=%d: cols %v vs %v",
+							gc.seed, ps, algo, workers, got.Cols, want.Cols)
+					}
+					if !reflect.DeepEqual(got.Rows, want.Rows) {
+						t.Fatalf("seed %d %q %v workers=%d: tier-%d result (%d rows) differs from forced tier-3 (%d rows)",
+							gc.seed, ps, algo, workers, tiered.Tier(), got.Len(), want.Len())
+					}
+				}
+			}
+		}
+		if totalRows == 0 {
+			t.Fatalf("seed %d: whole battery empty — graph too sparse to prove anything", gc.seed)
+		}
+		if !tier1Seen {
+			t.Fatalf("seed %d: no battery pattern classified tier 1", gc.seed)
+		}
+	}
+}
+
+// TestFastPathBudgetIdentity: the budget and limit semantics on tier-1
+// answers are those of the forced pipeline at one worker — same truncation
+// prefix, same Truncated flag, same typed kills, same byte accounting.
+func TestFastPathBudgetIdentity(t *testing.T) {
+	ctx := context.Background()
+	g := fastpathRandomGraph(42, 140, 190, 5)
+	db, err := gdb.Build(g, gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	snap, release := db.Pin()
+	defer release()
+
+	for _, ps := range []string{"A->B", "A->B; A->C"} {
+		p := pattern.MustParse(ps)
+		tiered, err := exec.BuildPlanSnapConfig(snap, p, exec.DPS, exec.PlanConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tiered.Tier() != 1 {
+			t.Fatalf("%q: tier %d, want 1 (battery assumption)", ps, tiered.Tier())
+		}
+		forced, err := exec.BuildPlanSnapConfig(snap, p, exec.DPS, exec.PlanConfig{NoFastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := exec.RunSnapConfig(ctx, snap, forced, exec.RunConfig{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Len() < 3 {
+			t.Fatalf("%q: only %d rows — graph too sparse for truncation sweeps", ps, full.Len())
+		}
+
+		// Result-row limits: identical prefixes and Truncated flags.
+		for _, limit := range []int{1, 2, full.Len() - 1, full.Len(), full.Len() + 10} {
+			bt := &rjoin.Budget{ResultRows: limit}
+			bf := &rjoin.Budget{ResultRows: limit}
+			got, err := exec.RunSnapConfig(ctx, snap, tiered, exec.RunConfig{Budget: bt})
+			if err != nil {
+				t.Fatalf("%q limit=%d tiered: %v", ps, limit, err)
+			}
+			want, err := exec.RunSnapConfig(ctx, snap, forced, exec.RunConfig{Workers: 1, Budget: bf})
+			if err != nil {
+				t.Fatalf("%q limit=%d forced: %v", ps, limit, err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("%q limit=%d: tiered prefix (%d rows) differs from forced (%d rows)",
+					ps, limit, got.Len(), want.Len())
+			}
+			if bt.Truncated() != bf.Truncated() {
+				t.Fatalf("%q limit=%d: Truncated %v vs forced %v", ps, limit, bt.Truncated(), bf.Truncated())
+			}
+			if wantTrunc := full.Len() > limit; bt.Truncated() != wantTrunc {
+				t.Fatalf("%q limit=%d: Truncated=%v, want %v", ps, limit, bt.Truncated(), wantTrunc)
+			}
+		}
+
+		// Typed kills: both modes must fail with the same sentinel.
+		for _, tc := range []struct {
+			name   string
+			budget func() *rjoin.Budget
+			want   error
+		}{
+			{"rows", func() *rjoin.Budget { return &rjoin.Budget{MaxTableRows: 2} }, rjoin.ErrRowLimit},
+			{"bytes", func() *rjoin.Budget { return &rjoin.Budget{MaxBytes: 16} }, rjoin.ErrBudgetExceeded},
+		} {
+			if _, err := exec.RunSnapConfig(ctx, snap, tiered, exec.RunConfig{Budget: tc.budget()}); !errors.Is(err, tc.want) {
+				t.Fatalf("%q %s tiered: got %v, want %v", ps, tc.name, err, tc.want)
+			}
+			if _, err := exec.RunSnapConfig(ctx, snap, forced, exec.RunConfig{Workers: 1, Budget: tc.budget()}); !errors.Is(err, tc.want) {
+				t.Fatalf("%q %s forced: got %v, want %v", ps, tc.name, err, tc.want)
+			}
+		}
+
+		// Unconstrained accounting: the fast path charges exactly what the
+		// serial pipeline charges (the skipped spill was never
+		// budget-charged), so the counters agree too.
+		bt, bf := &rjoin.Budget{}, &rjoin.Budget{}
+		if _, err := exec.RunSnapConfig(ctx, snap, tiered, exec.RunConfig{Budget: bt}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.RunSnapConfig(ctx, snap, forced, exec.RunConfig{Workers: 1, Budget: bf}); err != nil {
+			t.Fatal(err)
+		}
+		if bt.Bytes() != bf.Bytes() || bt.PeakRows() != bf.PeakRows() {
+			t.Fatalf("%q: tiered accounting (bytes=%d peak=%d) differs from forced (bytes=%d peak=%d)",
+				ps, bt.Bytes(), bt.PeakRows(), bf.Bytes(), bf.PeakRows())
+		}
+	}
+}
+
+// FuzzFastPathDifferential lets the fuzzer choose the graph and the pattern:
+// whatever the topology, the tier-routed result must match the forced
+// tier-3 pipeline row for row, in order, for every planner.
+func FuzzFastPathDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(120))
+	f.Add(int64(7), uint8(3), uint8(200))
+	f.Add(int64(42), uint8(8), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, pick uint8, density uint8) {
+		ps := fastpathBattery[int(pick)%len(fastpathBattery)]
+		p := pattern.MustParse(ps)
+		n := 60
+		m := 20 + int(density)%121 // 20..140 edges
+		g := fastpathRandomGraph(seed, n, m, 5)
+		db, err := gdb.Build(g, gdb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		snap, release := db.Pin()
+		defer release()
+		ctx := context.Background()
+		for _, algo := range []exec.Algorithm{exec.DP, exec.DPS, exec.WCOJ} {
+			tiered, err := exec.BuildPlanSnapConfig(snap, p, algo, exec.PlanConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := exec.RunSnapConfig(ctx, snap, tiered, exec.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			forced, err := exec.BuildPlanSnapConfig(snap, p, algo, exec.PlanConfig{NoFastPath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exec.RunSnapConfig(ctx, snap, forced, exec.RunConfig{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("%q %v: tier-%d result (%d rows) differs from forced tier-3 (%d rows)",
+					ps, algo, tiered.Tier(), got.Len(), want.Len())
+			}
+		}
+	})
+}

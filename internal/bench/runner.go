@@ -324,6 +324,9 @@ func (r *Runner) ByID(id string) (*Report, error) {
 	case "wcoj":
 		rep, _, err := r.WCOJMicro()
 		return rep, err
+	case "fastpath":
+		rep, _, err := r.FastpathMicro()
+		return rep, err
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)
 	}

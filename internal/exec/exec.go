@@ -39,6 +39,13 @@ type StepTrace struct {
 	// Nonzero only for WCOJ steps (see rjoin.RuntimeStats).
 	Seeks     int64
 	IterNexts int64
+	// Tier is the execution tier the plan ran under: 1 = index-only fast
+	// path, 2 = fan-signature prefilter (impossible pattern), 3 = full
+	// operator pipeline.
+	Tier int
+	// FastIndex names the index structure a tier-1/2 answer was read from
+	// (empty on tier 3).
+	FastIndex string
 }
 
 // RunConfig tunes one plan execution.
@@ -61,10 +68,19 @@ type RunConfig struct {
 	Budget *rjoin.Budget
 }
 
-func (cfg RunConfig) runtime() *rjoin.Runtime {
+// runtimeFor returns the operator runtime for one plan execution. A
+// tier-1 fast-path plan (when no runtime is supplied) gets the
+// lightweight serial runtime instead of a worker pool; it reads center
+// sets and subclusters through the snapshot's per-epoch memos rather
+// than a per-query cache.
+func (cfg RunConfig) runtimeFor(plan *optimizer.Plan) *rjoin.Runtime {
 	rt := cfg.Runtime
 	if rt == nil {
-		rt = rjoin.NewRuntime(cfg.Workers)
+		if plan.Fast != nil {
+			rt = rjoin.NewFastRuntime()
+		} else {
+			rt = rjoin.NewRuntime(cfg.Workers)
+		}
 	}
 	if cfg.Budget != nil {
 		rt.SetBudget(cfg.Budget)
@@ -121,15 +137,28 @@ func RunSnapConfig(ctx context.Context, s *gdb.Snap, plan *optimizer.Plan, cfg R
 
 // RunSnapWithTraceConfig is RunWithTraceConfig against a pinned snapshot.
 func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.Plan, trace bool, cfg RunConfig) (*rjoin.Table, []StepTrace, error) {
-	rt := cfg.runtime()
+	if plan.Fast != nil && plan.Fast.Kind == optimizer.FPImpossible {
+		return runImpossible(ctx, plan, trace)
+	}
+	// Tier-1 fast path: the plan's own operators run, but on a serial
+	// runtime with no per-step spill and a dedup-free final projection.
+	// The spill is I/O-charged but never budget-charged, and the admitted
+	// plan shapes produce pairwise distinct rows, so the result rows, their
+	// order, and all budget/limit behaviour are identical to the full
+	// pipeline at workers=1.
+	fast := plan.Fast != nil
+	rt := cfg.runtimeFor(plan)
 	b := plan.Binding
 	// Intermediate results spill through a scratch heap private to this
 	// run: the pages share the database's buffer pool (so their size is
 	// charged as I/O, as in the paper's disk-resident executor) but no
 	// state is shared between concurrent queries, and Release recycles the
 	// pages afterwards.
-	scratch := db.NewScratchHeap()
-	defer scratch.Release()
+	var scratch *storage.HeapFile
+	if !fast {
+		scratch = db.NewScratchHeap()
+		defer scratch.Release()
+	}
 	bdg := cfg.Budget
 	var traces []StepTrace
 	var t *rjoin.Table
@@ -223,12 +252,14 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 		// Materialise the temporal table through the storage engine: the
 		// paper's executor keeps intermediate results in disk-resident
 		// tables, so their size is part of the measured I/O cost.
-		if err := spill(scratch, t); err != nil {
-			return nil, nil, fmt.Errorf("exec: step %d (%v): spill: %w", si+1, s.Kind, err)
+		if !fast {
+			if err := spill(scratch, t); err != nil {
+				return nil, nil, fmt.Errorf("exec: step %d (%v): spill: %w", si+1, s.Kind, err)
+			}
 		}
 		if trace {
 			statsAfter := rt.Stats()
-			traces = append(traces, StepTrace{
+			st := StepTrace{
 				Step:            s,
 				Rows:            t.Len(),
 				IO:              db.IOStats().Logical() - ioBefore,
@@ -237,7 +268,12 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 				CenterCacheHits: statsAfter.CenterCacheHits - statsBefore.CenterCacheHits,
 				Seeks:           statsAfter.Seeks - statsBefore.Seeks,
 				IterNexts:       statsAfter.IterNexts - statsBefore.IterNexts,
-			})
+				Tier:            plan.Tier(),
+			}
+			if fast {
+				st.FastIndex = plan.Fast.Index
+			}
+			traces = append(traces, st)
 		}
 	}
 	if t == nil {
@@ -247,7 +283,15 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 	for i := range nodes {
 		nodes[i] = i
 	}
-	out, err := t.Project(nodes)
+	var out *rjoin.Table
+	var err error
+	if fast {
+		// Tier-1 plans produce pairwise distinct rows by construction, so
+		// the dedup projection reduces to a pure column permutation.
+		out, err = t.Permute(nodes)
+	} else {
+		out, err = t.Project(nodes)
+	}
 	// Safety net for the result-row limit after projection. Operators
 	// already truncated at their merge points, so this only fires if a
 	// future operator forgets the pushdown.
@@ -256,6 +300,32 @@ func RunSnapWithTraceConfig(ctx context.Context, db *gdb.Snap, plan *optimizer.P
 		bdg.MarkTruncated()
 	}
 	return out, traces, err
+}
+
+// runImpossible answers a tier-2 plan — one the fan-signature prefilter
+// proved empty — with zero operator work: an empty table with one column
+// per pattern node, exactly what the full pipeline's final projection of
+// an empty temporal table produces.
+func runImpossible(ctx context.Context, plan *optimizer.Plan, trace bool) (*rjoin.Table, []StepTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]int, plan.Binding.Pattern.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	out := rjoin.NewTable(nodes...)
+	var traces []StepTrace
+	if trace {
+		traces = []StepTrace{{
+			Step:      plan.Steps[0],
+			Rows:      0,
+			Workers:   1,
+			Tier:      2,
+			FastIndex: plan.Fast.Index,
+		}}
+	}
+	return out, traces, nil
 }
 
 // spill writes a temporal table to the query's scratch heap and reads it
@@ -289,8 +359,15 @@ func requireTable(t *rjoin.Table, si int) (*rjoin.Table, error) {
 // pattern node (the base table a leading Filter-move scans).
 func extentTable(g *graph.Graph, b *optimizer.Binding, node int) *rjoin.Table {
 	t := rjoin.NewTable(node)
-	for _, v := range g.Extent(b.Labels[node]) {
-		t.Rows = append(t.Rows, []graph.NodeID{v})
+	ext := g.Extent(b.Labels[node])
+	// One flat backing array for all the single-element rows: the extent
+	// can be the query's largest table, and a per-row allocation here
+	// shows up in every leading-semijoin plan.
+	arena := make([]graph.NodeID, len(ext))
+	copy(arena, ext)
+	t.Rows = make([][]graph.NodeID, len(ext))
+	for i := range ext {
+		t.Rows[i] = arena[i : i+1 : i+1]
 	}
 	return t
 }
@@ -356,22 +433,57 @@ func BuildPlan(db *gdb.DB, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan,
 }
 
 // BuildPlanSnap is BuildPlan against an explicitly pinned snapshot epoch.
+// Plans are tiered by default; use BuildPlanSnapConfig to force tier 3.
 func BuildPlanSnap(s *gdb.Snap, p *pattern.Pattern, algo Algorithm) (*optimizer.Plan, error) {
+	return BuildPlanSnapConfig(s, p, algo, PlanConfig{})
+}
+
+// PlanConfig tunes plan construction.
+type PlanConfig struct {
+	// NoFastPath disables tiered execution: the fan-signature prefilter is
+	// skipped and the optimized plan is not classified, so it always runs
+	// the full tier-3 operator pipeline. Used by the differential tests and
+	// benchmarks as the reference path, and by the server's -no-fastpath
+	// escape hatch.
+	NoFastPath bool
+}
+
+// BuildPlanSnapConfig is BuildPlanSnap with explicit plan configuration.
+// Unless pc.NoFastPath is set, the pattern first passes the tier-2
+// fan-signature prefilter (provably empty patterns get a single-step
+// fast-path plan with no statistics scans at all), and the optimized plan
+// is classified for the tier-1 index-only fast path.
+func BuildPlanSnapConfig(s *gdb.Snap, p *pattern.Pattern, algo Algorithm, pc PlanConfig) (*optimizer.Plan, error) {
+	if !pc.NoFastPath {
+		if plan, err := optimizer.Prefilter(s, p); err != nil {
+			return nil, err
+		} else if plan != nil {
+			return plan, nil
+		}
+	}
 	b, err := optimizer.Bind(s, p)
 	if err != nil {
 		return nil, err
 	}
 	params := optimizer.DefaultCostParams()
+	var plan *optimizer.Plan
 	switch algo {
 	case DP:
-		return optimizer.OptimizeDP(b, params)
+		plan, err = optimizer.OptimizeDP(b, params)
 	case DPSMerged:
-		return optimizer.OptimizeDPSMerged(b, params)
+		plan, err = optimizer.OptimizeDPSMerged(b, params)
 	case WCOJ:
-		return optimizer.OptimizeWCOJ(b, params)
+		plan, err = optimizer.OptimizeWCOJ(b, params)
 	default:
-		return optimizer.OptimizeDPS(b, params)
+		plan, err = optimizer.OptimizeDPS(b, params)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if !pc.NoFastPath {
+		optimizer.Classify(plan)
+	}
+	return plan, nil
 }
 
 // Query binds, optimizes (with default cost parameters), and runs a pattern

@@ -196,15 +196,20 @@ type clusterSlot struct {
 }
 
 func (w *snapWriter) applyOneCenter(c graph.NodeID, ds []twohop.LabelDelta, cs *centerChangeStats) error {
-	allF0, err := w.clusterLabels(c, dirF)
+	allF0, fsz0, err := w.clusterSlotSizes(c, dirF, true)
 	if err != nil {
 		return err
 	}
-	allT0, err := w.clusterLabels(c, dirT)
+	allT0, tsz0, err := w.clusterSlotSizes(c, dirT, true)
 	if err != nil {
 		return err
 	}
 	liveBefore := len(allF0) > 0 // a live center always has its self F entry
+
+	// The fan signature is maintained by contribution replacement: retract
+	// c's pre-update slot sizes now, re-add the post-update sizes below.
+	w.ensureSig()
+	w.sig.removeCenter(allF0, fsz0, allT0, tsz0)
 
 	rem := make(map[clusterSlot][]graph.NodeID)
 	add := make(map[clusterSlot][]graph.NodeID)
@@ -270,14 +275,15 @@ func (w *snapWriter) applyOneCenter(c graph.NodeID, ds []twohop.LabelDelta, cs *
 		}
 	}
 
-	allF1, err := w.clusterLabels(c, dirF)
+	allF1, fsz1, err := w.clusterSlotSizes(c, dirF, true)
 	if err != nil {
 		return err
 	}
-	allT1, err := w.clusterLabels(c, dirT)
+	allT1, tsz1, err := w.clusterSlotSizes(c, dirT, true)
 	if err != nil {
 		return err
 	}
+	w.sig.addCenter(allF1, fsz1, allT1, tsz1)
 	if slices.Equal(allF0, allF1) && slices.Equal(allT0, allT1) {
 		return nil
 	}

@@ -309,6 +309,7 @@ func (db *DB) newSnap(g *graph.Graph) *Snap {
 		db:        db,
 		g:         g,
 		base:      make(map[graph.Label]*storage.BTree),
+		sig:       newSignature(),
 		wcache:    make(map[wKey][]graph.NodeID),
 		codeCache: newCodeCache(db.codeCacheEntries),
 		joinSizes: make(map[wKey]int64),
@@ -478,11 +479,14 @@ func (db *DB) buildClusterIndexAndWTable(s *Snap, workers int) error {
 	// same sweep: centers are visited ascending, keeping every W list
 	// sorted without a per-list sort.
 	wmap := make(map[wKey][]graph.NodeID)
+	sig := newSignature()
 	var err error
 	s.cluster, err = storage.BulkLoad(db.pool, func(emit func([]byte, uint64) error) error {
 		var fls, tls []graph.Label
+		var fsz, tsz []int
 		for ci, w := range inv.centers {
 			fls, tls = fls[:0], tls[:0]
+			fsz, tsz = fsz[:0], tsz[:0]
 			for dir := 0; dir < 2; dir++ {
 				for l := 0; l < L; l++ {
 					s := (ci*2+dir)*L + l
@@ -499,12 +503,16 @@ func (db *DB) buildClusterIndexAndWTable(s *Snap, workers int) error {
 					}
 					if dir == int(dirF) {
 						fls = append(fls, graph.Label(l))
+						fsz = append(fsz, len(seg))
 					} else {
 						tls = append(tls, graph.Label(l))
+						tsz = append(tsz, len(seg))
 					}
 				}
 			}
 			// W-table contributions: every (X-labeled F, Y-labeled T) pair.
+			// The fan signature accumulates from the same segment sizes.
+			sig.addCenter(fls, fsz, tls, tsz)
 			for _, lx := range fls {
 				for _, ly := range tls {
 					k := wKey{lx, ly}
@@ -517,6 +525,7 @@ func (db *DB) buildClusterIndexAndWTable(s *Snap, workers int) error {
 	if err != nil {
 		return err
 	}
+	s.sig = sig
 
 	keys := make([]wKey, 0, len(wmap))
 	for k := range wmap {
@@ -680,6 +689,12 @@ func IntersectNonEmpty(a, b []graph.NodeID) bool {
 // galloping through the larger slice when the sizes are heavily skewed.
 func Intersect(a, b []graph.NodeID) []graph.NodeID {
 	return IntersectTo(nil, a, b)
+}
+
+// Contains reports whether the ascending NodeID slice holds v.
+func Contains(s []graph.NodeID, v graph.NodeID) bool {
+	_, found := gallopSearch(s, 0, v)
+	return found
 }
 
 // IntersectTo is Intersect writing into dst (reset to length zero), reusing

@@ -110,6 +110,12 @@ type snapWriter struct {
 	numCenters int
 	coverSize  int
 
+	// sig is the batch's private fan-signature table, cloned lazily from
+	// the published epoch's before the first cluster mutation; nil means
+	// untouched (publish carries the shared table forward).
+	sig    *Signature
+	curSig *Signature
+
 	touchedNodes map[graph.NodeID]struct{} // stale code-cache entries
 	touchedW     map[wKey]struct{}         // stale W-cache entries
 	changed      bool
@@ -129,6 +135,7 @@ func newSnapWriter(db *DB, cur *Snap) *snapWriter {
 		cluster:      cur.cluster,
 		numCenters:   cur.numCenters,
 		coverSize:    cur.coverSize,
+		curSig:       cur.sig,
 		touchedNodes: make(map[graph.NodeID]struct{}),
 		touchedW:     make(map[wKey]struct{}),
 	}
@@ -141,6 +148,10 @@ func newSnapWriter(db *DB, cur *Snap) *snapWriter {
 func (w *snapWriter) publish(cur *Snap) {
 	db := w.db
 	db.heap.Seal()
+	sig := w.sig
+	if sig == nil {
+		sig = cur.sig // no cluster slot changed: share the table
+	}
 	next := &Snap{
 		db:         db,
 		g:          w.g,
@@ -149,6 +160,7 @@ func (w *snapWriter) publish(cur *Snap) {
 		cluster:    w.cluster,
 		numCenters: w.numCenters,
 		coverSize:  w.coverSize,
+		sig:        sig,
 		epoch:      db.mgr.CurrentEpoch() + 1,
 		codeCache:  cur.codeCache.cloneWithout(w.touchedNodes),
 		joinSizes:  make(map[wKey]int64),
@@ -309,9 +321,19 @@ func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
 // subclusters, ascending, by scanning the writer's private cluster version
 // over c's key range.
 func (w *snapWriter) clusterLabels(c graph.NodeID, dir byte) ([]graph.Label, error) {
-	var out []graph.Label
+	ls, _, err := w.clusterSlotSizes(c, dir, false)
+	return ls, err
+}
+
+// clusterSlotSizes is clusterLabels plus, when sizes is set, the member
+// count of each slot (read from the node-list record's length prefix) —
+// the per-center contribution the fan signature retracts and re-adds
+// around a cluster mutation.
+func (w *snapWriter) clusterSlotSizes(c graph.NodeID, dir byte, sizes bool) ([]graph.Label, []int, error) {
+	var ls []graph.Label
+	var rids []uint64
 	start := clusterKey(c, dir, 0)
-	err := w.cluster.Scan(start, func(key []byte, _ uint64) bool {
+	err := w.cluster.Scan(start, func(key []byte, val uint64) bool {
 		if len(key) != 9 {
 			return false
 		}
@@ -319,9 +341,28 @@ func (w *snapWriter) clusterLabels(c graph.NodeID, dir byte) ([]graph.Label, err
 		if kw != c || key[4] != dir {
 			return false
 		}
-		l := graph.Label(binary.BigEndian.Uint32(key[5:9]))
-		out = append(out, l)
+		ls = append(ls, graph.Label(binary.BigEndian.Uint32(key[5:9])))
+		rids = append(rids, val)
 		return true
 	})
-	return out, err
+	if err != nil || !sizes {
+		return ls, nil, err
+	}
+	ns := make([]int, len(rids))
+	for i, rid := range rids {
+		rec, err := w.db.heap.Read(storage.DecodeRID(rid))
+		if err != nil {
+			return nil, nil, err
+		}
+		ns[i] = int(binary.LittleEndian.Uint32(rec))
+	}
+	return ls, ns, nil
+}
+
+// ensureSig clones the published epoch's fan-signature table into the
+// writer before its first mutation.
+func (w *snapWriter) ensureSig() {
+	if w.sig == nil {
+		w.sig = w.curSig.clone()
+	}
 }

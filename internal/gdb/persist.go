@@ -216,6 +216,15 @@ func Open(path string, opt Options) (*DB, error) {
 		}
 		s.base[l] = storage.OpenBTree(db.pool, storage.PageID(root))
 	}
+	// The fan-signature table is derived state: recompute it from the
+	// cluster index (one scan) instead of persisting it, so the manifest
+	// format and byte-stability are untouched.
+	sig, err := s.ComputeSignature()
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	s.sig = sig
 	db.publishInitial(s)
 	return db, nil
 }

@@ -33,9 +33,25 @@ type Snap struct {
 	coverSize  int
 	epoch      uint64
 
+	// sig is the per-label fan-signature table (see signature.go):
+	// immutable within the epoch, maintained across epochs by the
+	// snapshot writer.
+	sig *Signature
+
 	wmu       sync.RWMutex
 	wcache    map[wKey][]graph.NodeID
 	codeCache *codeCache
+
+	// clmu guards the tier-1 fast path's memos: the decoded-subcluster
+	// memo (FastF/FastT) and the per-value center-set memo (FastCenters).
+	// Only the fast-path runtime reads through them; the full pipeline
+	// keeps the paper's disk-resident cost model, fetching every
+	// subcluster and code through the buffer pool.
+	clmu    sync.RWMutex
+	clcache map[clKey][]graph.NodeID
+	clNodes int // total node IDs held, for the memo's size bound
+	ccache  map[ccKey][]graph.NodeID
+	ccNodes int
 
 	statMu    sync.Mutex     // guards the memo maps below
 	joinSizes map[wKey]int64 // memoized base-table R-join size estimates
@@ -119,6 +135,110 @@ func (s *Snap) GetF(w graph.NodeID, x graph.Label) ([]graph.NodeID, error) {
 // w ⇝ v), sorted ascending; nil when empty.
 func (s *Snap) GetT(w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
 	return s.clusterLookup(w, dirT, y)
+}
+
+// clKey identifies one decoded subcluster in the fast-path memo.
+type clKey struct {
+	w   graph.NodeID
+	dir byte
+	l   graph.Label
+}
+
+// fastClusterCacheNodes bounds the fast-path subcluster memo: the total
+// node IDs held across all cached lists (≈4 MB at the 1M default). On
+// overflow the memo resets — an epoch-local cache, not a second index.
+const fastClusterCacheNodes = 1 << 20
+
+// FastF is GetF through the epoch's decoded-subcluster memo: the tier-1
+// index-only read path. The first access per (center, label) decodes the
+// list from storage; repeats are served from memory without buffer-pool
+// traffic. The returned slice is shared — callers must not mutate it.
+func (s *Snap) FastF(w graph.NodeID, x graph.Label) ([]graph.NodeID, error) {
+	return s.fastClusterLookup(w, dirF, x)
+}
+
+// FastT is GetT through the epoch's decoded-subcluster memo (see FastF).
+func (s *Snap) FastT(w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
+	return s.fastClusterLookup(w, dirT, y)
+}
+
+func (s *Snap) fastClusterLookup(w graph.NodeID, dir byte, l graph.Label) ([]graph.NodeID, error) {
+	k := clKey{w, dir, l}
+	s.clmu.RLock()
+	nodes, ok := s.clcache[k]
+	s.clmu.RUnlock()
+	if ok {
+		return nodes, nil
+	}
+	nodes, err := s.clusterLookup(w, dir, l)
+	if err != nil {
+		return nil, err
+	}
+	s.clmu.Lock()
+	if s.clNodes+len(nodes) > fastClusterCacheNodes {
+		s.clcache, s.clNodes = nil, 0
+	}
+	if s.clcache == nil {
+		s.clcache = make(map[clKey][]graph.NodeID)
+	}
+	if _, dup := s.clcache[k]; !dup {
+		s.clcache[k] = nodes
+		s.clNodes += len(nodes)
+	}
+	s.clmu.Unlock()
+	return nodes, nil
+}
+
+// ccKey identifies one bound value's center set in the fast-path memo.
+type ccKey struct {
+	v    graph.NodeID
+	x, y graph.Label
+	fwd  bool
+}
+
+// FastCenters returns getCenters for one bound value — out(v) ∩ W(X, Y)
+// forward, in(v) ∩ W(X, Y) reverse — through the epoch's memo: the tier-1
+// index-only read path behind Fetch. The intersection is a pure function of
+// the epoch's codes and W-table, so a value revisited by any later query on
+// the same snapshot costs a map lookup instead of a code fetch and a
+// gallop. Bounded and reset like the subcluster memo; the returned slice is
+// shared — callers must not mutate it.
+func (s *Snap) FastCenters(v graph.NodeID, x, y graph.Label, forward bool) ([]graph.NodeID, error) {
+	k := ccKey{v, x, y, forward}
+	s.clmu.RLock()
+	cs, ok := s.ccache[k]
+	s.clmu.RUnlock()
+	if ok {
+		return cs, nil
+	}
+	var code []graph.NodeID
+	var err error
+	if forward {
+		code, err = s.OutCode(v)
+	} else {
+		code, err = s.InCode(v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ws, err := s.Centers(x, y)
+	if err != nil {
+		return nil, err
+	}
+	cs = Intersect(code, ws)
+	s.clmu.Lock()
+	if s.ccNodes+len(cs)+1 > fastClusterCacheNodes {
+		s.ccache, s.ccNodes = nil, 0
+	}
+	if s.ccache == nil {
+		s.ccache = make(map[ccKey][]graph.NodeID)
+	}
+	if _, dup := s.ccache[k]; !dup {
+		s.ccache[k] = cs
+		s.ccNodes += len(cs) + 1 // +1 so empty sets still count toward the bound
+	}
+	s.clmu.Unlock()
+	return cs, nil
 }
 
 func (s *Snap) clusterLookup(w graph.NodeID, dir byte, l graph.Label) ([]graph.NodeID, error) {
@@ -328,5 +448,9 @@ func (s *Snap) clearCaches() {
 	s.wmu.Lock()
 	s.wcache = make(map[wKey][]graph.NodeID)
 	s.wmu.Unlock()
+	s.clmu.Lock()
+	s.clcache, s.clNodes = nil, 0
+	s.ccache, s.ccNodes = nil, 0
+	s.clmu.Unlock()
 	s.codeCache.clear()
 }

@@ -39,8 +39,14 @@ type Binding struct {
 
 // Bind resolves p against db and collects statistics. It fails when a
 // pattern label does not occur in the data graph.
+//
+// Per-edge join sizes and W counts come from the snapshot's fan-signature
+// table (maintained incrementally; exactly the values the JoinSize /
+// Centers scans would compute) so binding pays no W-table reads for them;
+// the distinct projections stay exact via the memoized projection scans.
 func Bind(db *gdb.Snap, p *pattern.Pattern) (*Binding, error) {
 	g := db.Graph()
+	sig := db.Signature()
 	b := &Binding{
 		Pattern: p,
 		Labels:  make([]graph.Label, p.NumNodes()),
@@ -66,9 +72,21 @@ func Bind(db *gdb.Snap, p *pattern.Pattern) (*Binding, error) {
 			FromLabel: b.Labels[e.From],
 			ToLabel:   b.Labels[e.To],
 		}
-		js, err := db.JoinSize(b.Labels[e.From], b.Labels[e.To])
-		if err != nil {
-			return nil, err
+		var js int64
+		var wcount int
+		if sig != nil {
+			ps := sig.Pair(b.Labels[e.From], b.Labels[e.To])
+			js, wcount = ps.JoinSize, ps.Centers
+		} else {
+			v, err := db.JoinSize(b.Labels[e.From], b.Labels[e.To])
+			if err != nil {
+				return nil, err
+			}
+			ws, err := db.Centers(b.Labels[e.From], b.Labels[e.To])
+			if err != nil {
+				return nil, err
+			}
+			js, wcount = v, len(ws)
 		}
 		df, err := db.DistinctFrom(b.Labels[e.From], b.Labels[e.To])
 		if err != nil {
@@ -78,17 +96,13 @@ func Bind(db *gdb.Snap, p *pattern.Pattern) (*Binding, error) {
 		if err != nil {
 			return nil, err
 		}
-		ws, err := db.Centers(b.Labels[e.From], b.Labels[e.To])
-		if err != nil {
-			return nil, err
-		}
 		b.JS[ei] = float64(js)
 		if ddt := float64(df) * float64(dt); b.JS[ei] > ddt {
 			b.JS[ei] = ddt // duplicate-covered pairs cannot exceed df·dt
 		}
 		b.DF[ei] = float64(df)
 		b.DT[ei] = float64(dt)
-		b.WCount[ei] = float64(len(ws))
+		b.WCount[ei] = float64(wcount)
 	}
 	return b, nil
 }

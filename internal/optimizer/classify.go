@@ -1,0 +1,189 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/rjoin"
+)
+
+// Tiered execution (see DESIGN.md "Tiered execution"): every plan is
+// routed to one of three tiers with a result-identical guarantee — the
+// same rows in the same deterministic order as the full pipeline.
+//
+//	tier 1 — index-only fast path: the classified plan's operators run on
+//	         a lightweight serial runtime that skips the worker pool, the
+//	         per-step scratch-heap spill, and the dedup projection.
+//	tier 2 — fan-signature prefilter: the pattern is provably empty; the
+//	         executor answers it with zero operator work.
+//	tier 3 — the existing DP/DPS/WCOJ pipeline.
+
+// FastPathKind discriminates the fast-path classifications.
+type FastPathKind int
+
+const (
+	// FPImpossible marks a pattern the fan-signature prefilter proved
+	// empty: some edge's label pair has no W-table centers.
+	FPImpossible FastPathKind = iota
+	// FPEdge marks an index-only plan: a single-edge pattern, a point-
+	// reachability probe, or a star whose satellite edges all fetch from
+	// the head step's bindings.
+	FPEdge
+)
+
+// FastPath is a plan's tier classification.
+type FastPath struct {
+	Kind FastPathKind
+	// Probe marks a point-reachability probe: a single-edge pattern whose
+	// two label extents are singletons.
+	Probe bool
+	// Index names the index structure that answers the query, for
+	// -explain and StepTrace.
+	Index string
+}
+
+// Describe renders the classification for -explain output.
+func (f *FastPath) Describe() string {
+	if f.Kind == FPImpossible {
+		return "impossible pattern (" + f.Index + ")"
+	}
+	return "index-only (" + f.Index + ")"
+}
+
+// Classify inspects an optimized plan and marks it tier-1 when its shape
+// is answerable index-only with provably distinct output rows:
+//
+//   - the head step is an HPSJ, a single-edge WCOJ, or a semijoin group,
+//     and
+//   - every remaining step is a Fetch whose bound side was bound by the
+//     head step (no chained fetches) — covering single-edge patterns and
+//     stars around the head's bindings.
+//
+// Selection and JoinFilterFetch steps, multi-edge WCOJ cores, and fetch
+// chains fall through to tier 3. Admitted shapes produce pairwise
+// distinct rows at every step (HPSJ emits distinct pairs, a fetch of a
+// distinct input stays distinct), which is what lets the tier-1 executor
+// replace the final dedup projection with a pure column permutation and
+// still return exactly the pipeline's rows in the pipeline's order.
+func Classify(p *Plan) {
+	if p.Fast != nil || len(p.Steps) == 0 {
+		return
+	}
+	pat := p.Binding.Pattern
+	head := p.Steps[0]
+	bound0 := make([]bool, pat.NumNodes())
+	var index string
+	switch head.Kind {
+	case StepHPSJ:
+		e := pat.Edges[head.Edges[0]]
+		bound0[e.From], bound0[e.To] = true, true
+		index = "W-table center list + cluster index"
+	case StepWCOJ:
+		if len(head.Edges) != 1 {
+			return
+		}
+		e := pat.Edges[head.Edges[0]]
+		bound0[e.From], bound0[e.To] = true, true
+		index = "distinct projections + cluster index"
+	case StepSemijoinGroup:
+		bound0[head.Node] = true
+		index = "graph codes + W-table + cluster index"
+	default:
+		return
+	}
+	bound := make([]bool, len(bound0))
+	copy(bound, bound0)
+	for _, s := range p.Steps[1:] {
+		if s.Kind != StepFetch {
+			return
+		}
+		e := pat.Edges[s.Edges[0]]
+		var bs, other int
+		switch {
+		case bound[e.From] && !bound[e.To]:
+			bs, other = e.From, e.To
+		case bound[e.To] && !bound[e.From]:
+			bs, other = e.To, e.From
+		default:
+			return
+		}
+		if !bound0[bs] {
+			return
+		}
+		bound[other] = true
+	}
+	probe := false
+	if pat.NumEdges() == 1 {
+		e := pat.Edges[0]
+		if p.Binding.Ext[e.From] == 1 && p.Binding.Ext[e.To] == 1 {
+			probe = true
+			index += " (point probe)"
+		}
+	}
+	p.Fast = &FastPath{Kind: FPEdge, Probe: probe, Index: index}
+}
+
+// Prefilter is the tier-2 admission check, run before Bind: it resolves
+// the pattern's labels (failing with Bind's error for an unknown label)
+// and consults the fan-signature table for every edge. A pair (X, Y)
+// with no signature entry has W(X, Y) = ∅, and by the index invariant
+// (Section 3.2: x ⇝ y between distinct labels iff some W(X, Y) center
+// covers the pair) the edge — hence the whole pattern — has no matches.
+// For such patterns Prefilter returns a single-StepFastPath plan the
+// executor answers with an empty, correctly-columned table in
+// O(pattern); otherwise it returns (nil, nil) and planning proceeds.
+func Prefilter(db *gdb.Snap, p *pattern.Pattern) (*Plan, error) {
+	sig := db.Signature()
+	if sig == nil {
+		return nil, nil
+	}
+	g := db.Graph()
+	labels := make([]graph.Label, p.NumNodes())
+	ext := make([]float64, p.NumNodes())
+	for i, name := range p.Nodes {
+		l := g.Labels().Lookup(name)
+		if l == graph.InvalidLabel {
+			return nil, fmt.Errorf("optimizer: label %q not in data graph", name)
+		}
+		labels[i] = l
+		ext[i] = float64(g.ExtentSize(l))
+	}
+	conds := make([]rjoin.Cond, p.NumEdges())
+	allEdges := make([]int, p.NumEdges())
+	impossible := false
+	for ei, e := range p.Edges {
+		conds[ei] = rjoin.Cond{
+			FromNode:  e.From,
+			ToNode:    e.To,
+			FromLabel: labels[e.From],
+			ToLabel:   labels[e.To],
+		}
+		allEdges[ei] = ei
+		if sig.Pair(labels[e.From], labels[e.To]).Centers == 0 {
+			impossible = true
+		}
+	}
+	if !impossible {
+		return nil, nil
+	}
+	// A minimal binding: labels, conditions, and extents only — the plan
+	// never reaches a cost model, so no statistics scans are paid.
+	b := &Binding{
+		Pattern: p,
+		Labels:  labels,
+		Conds:   conds,
+		Ext:     ext,
+		JS:      make([]float64, p.NumEdges()),
+		DF:      make([]float64, p.NumEdges()),
+		DT:      make([]float64, p.NumEdges()),
+		WCount:  make([]float64, p.NumEdges()),
+	}
+	return &Plan{
+		Binding:   b,
+		Steps:     []Step{{Kind: StepFastPath, Edges: allEdges}},
+		Algorithm: "fastpath",
+		Fast:      &FastPath{Kind: FPImpossible, Index: "fan-signature prefilter"},
+	}, nil
+}

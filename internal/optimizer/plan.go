@@ -31,6 +31,11 @@ const (
 	// nodes of VarOrder by leapfrog intersection; always the first step of
 	// a plan when present.
 	StepWCOJ
+	// StepFastPath is the single step of a plan the tier-2 fan-signature
+	// prefilter proved empty (some pattern edge (X, Y) has W(X, Y) = ∅):
+	// the executor answers it with an empty, correctly-columned result in
+	// O(pattern) with no operator work.
+	StepFastPath
 )
 
 func (k StepKind) String() string {
@@ -47,6 +52,8 @@ func (k StepKind) String() string {
 		return "selection"
 	case StepWCOJ:
 		return "wcoj"
+	case StepFastPath:
+		return "fastpath"
 	default:
 		return fmt.Sprintf("StepKind(%d)", int(k))
 	}
@@ -84,12 +91,35 @@ type Plan struct {
 	EstimatedRows float64
 	// Algorithm names the planner that produced the plan ("DP" or "DPS").
 	Algorithm string
+	// Fast is the tier router's classification, set by Classify (tier 1)
+	// or the prefilter (tier 2); nil means the plan runs on the full
+	// pipeline (tier 3). See classify.go for the admission rules.
+	Fast *FastPath
+}
+
+// Tier returns the execution tier the plan runs under: 1 for an
+// index-only fast-path plan, 2 for a pattern the fan-signature prefilter
+// proved empty, 3 for the full operator pipeline.
+func (p *Plan) Tier() int {
+	switch {
+	case p.Fast == nil:
+		return 3
+	case p.Fast.Kind == FPImpossible:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // String renders the plan one step per line.
 func (p *Plan) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s plan (est cost %.1f, est rows %.1f)\n", p.Algorithm, p.EstimatedCost, p.EstimatedRows)
+	if p.Fast != nil {
+		fmt.Fprintf(&sb, "  tier %d fast path: %s\n", p.Tier(), p.Fast.Describe())
+	} else {
+		sb.WriteString("  tier 3: full operator pipeline\n")
+	}
 	for i, s := range p.Steps {
 		fmt.Fprintf(&sb, "  %2d. %-9s", i+1, s.Kind)
 		switch s.Kind {
@@ -212,6 +242,20 @@ func (p *Plan) Validate() error {
 				if !incident[v] {
 					return fmt.Errorf("plan: WCOJ variable %d has no incident edge", v)
 				}
+				bound[v] = true
+			}
+			anyBound = true
+		case StepFastPath:
+			if si != 0 || len(p.Steps) != 1 {
+				return fmt.Errorf("plan: fastpath step must be the only step")
+			}
+			if p.Fast == nil || p.Fast.Kind != FPImpossible {
+				return fmt.Errorf("plan: fastpath step without an impossible-pattern classification")
+			}
+			for e := range done {
+				done[e] = true
+			}
+			for v := range bound {
 				bound[v] = true
 			}
 			anyBound = true

@@ -110,14 +110,14 @@ func (rt *Runtime) HPSJ(ctx context.Context, db *gdb.Snap, c Cond) (*Table, erro
 		cc := rt.check(ctx)
 		var pairs []uint64
 		for _, w := range ws[lo:hi] {
-			xs, err := db.GetF(w, c.FromLabel)
+			xs, err := rt.getF(db, w, c.FromLabel)
 			if err != nil {
 				return err
 			}
 			if len(xs) == 0 {
 				continue
 			}
-			ys, err := db.GetT(w, c.ToLabel)
+			ys, err := rt.getT(db, w, c.ToLabel)
 			if err != nil {
 				return err
 			}
@@ -310,6 +310,32 @@ func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.Snap, t *Table, cond
 		}
 		wss[i] = ws
 	}
+	// Fast path: the per-row code test out(v) ∩ W(X, Y) ≠ ∅ is, for a
+	// v carrying the condition's bound-side label, exactly membership in
+	// the memoized distinct projection π_X(T_X ⋈ T_Y) — the cluster index
+	// defines F(w) = {u : w ∈ out(u)}, so some center of W lies in out(v)
+	// iff v is in some X-labeled F-subcluster over W (dually for in-codes
+	// and π_Y). Bound columns only ever hold values of their pattern
+	// node's label, so the semijoin group reduces to sorted-list searches
+	// against per-epoch memos: no per-row code fetch at all. Kept rows,
+	// their order, ticks, and limit handling are identical.
+	var projs [][]graph.NodeID
+	if rt.fast {
+		projs = make([][]graph.NodeID, len(conds))
+		for i, c := range conds {
+			var p []graph.NodeID
+			var err error
+			if outSide {
+				p, err = db.ProjectFrom(c.FromLabel, c.ToLabel)
+			} else {
+				p, err = db.ProjectTo(c.FromLabel, c.ToLabel)
+			}
+			if err != nil {
+				return nil, err
+			}
+			projs[i] = p
+		}
+	}
 	parts := rt.split(len(t.Rows), rowGrain)
 	kept := make([][][]graph.NodeID, parts)
 	limit := rt.rowTarget
@@ -320,21 +346,30 @@ func (rt *Runtime) FilterGroup(ctx context.Context, db *gdb.Snap, t *Table, cond
 			if err := cc.tick(); err != nil {
 				return err
 			}
-			var code []graph.NodeID
-			var err error
-			if outSide {
-				code, err = db.OutCode(row[col])
-			} else {
-				code, err = db.InCode(row[col])
-			}
-			if err != nil {
-				return err
-			}
 			keep := true
-			for _, ws := range wss {
-				if !gdb.IntersectNonEmpty(code, ws) {
-					keep = false
-					break
+			if rt.fast {
+				for _, p := range projs {
+					if !gdb.Contains(p, row[col]) {
+						keep = false
+						break
+					}
+				}
+			} else {
+				var code []graph.NodeID
+				var err error
+				if outSide {
+					code, err = db.OutCode(row[col])
+				} else {
+					code, err = db.InCode(row[col])
+				}
+				if err != nil {
+					return err
+				}
+				for _, ws := range wss {
+					if !gdb.IntersectNonEmpty(code, ws) {
+						keep = false
+						break
+					}
 				}
 			}
 			if keep {
@@ -415,9 +450,9 @@ func (rt *Runtime) Fetch(ctx context.Context, db *gdb.Snap, t *Table, c Cond) (*
 			for _, w := range cs {
 				var nodes []graph.NodeID
 				if forward {
-					nodes, err = db.GetT(w, fetchLabel)
+					nodes, err = rt.getT(db, w, fetchLabel)
 				} else {
-					nodes, err = db.GetF(w, fetchLabel)
+					nodes, err = rt.getF(db, w, fetchLabel)
 				}
 				if err != nil {
 					return err

@@ -38,6 +38,12 @@ const minParallelGrains = 8
 type Runtime struct {
 	workers int
 	centers *centerCache
+	// fast routes subcluster reads through the snapshot's decoded-list
+	// memo (gdb.Snap.FastF/FastT) instead of the buffer pool: the tier-1
+	// index-only read path. The decoded lists are identical to what GetF/
+	// GetT return, so operator results are unchanged; only the read cost
+	// moves from per-record page fetches to a per-epoch memory cache.
+	fast bool
 
 	// budget is the query's resource governor (nil = unbudgeted). Set it
 	// with SetBudget before the first operator runs.
@@ -72,6 +78,34 @@ func NewRuntime(workers int) *Runtime {
 // Runtime API and must stay independent across calls (they may be used
 // against many databases).
 func serial() *Runtime { return &Runtime{workers: 1} }
+
+// NewFastRuntime returns the tier-1 fast-path runtime: a single worker (no
+// pool, no partition bookkeeping) and no per-query center cache — fast-path
+// center sets come from the snapshot's per-epoch memo (gdb.Snap.FastCenters),
+// which outlives the query. Budget, limit-pushdown, and operator semantics
+// are exactly NewRuntime(1)'s, which is what makes tier-1 results and budget
+// kills identical to the pipeline's at one worker.
+func NewFastRuntime() *Runtime {
+	return &Runtime{workers: 1, fast: true}
+}
+
+// getF reads an F-subcluster through the runtime's read path: the
+// snapshot's decoded-list memo on the fast path, the buffer pool
+// otherwise. Both return the same list; callers must not mutate it.
+func (rt *Runtime) getF(db *gdb.Snap, w graph.NodeID, x graph.Label) ([]graph.NodeID, error) {
+	if rt.fast {
+		return db.FastF(w, x)
+	}
+	return db.GetF(w, x)
+}
+
+// getT is getF for T-subclusters.
+func (rt *Runtime) getT(db *gdb.Snap, w graph.NodeID, y graph.Label) ([]graph.NodeID, error) {
+	if rt.fast {
+		return db.FastT(w, y)
+	}
+	return db.GetT(w, y)
+}
 
 // Workers returns the resolved parallelism degree.
 func (rt *Runtime) Workers() int {
@@ -291,8 +325,12 @@ func (c *centerCache) put(k centerKey, v []graph.NodeID) {
 
 // centersFor computes getCenters for one bound value — out(v) ∩ W(X, Y)
 // forward, in(v) ∩ W(X, Y) reverse — through the per-query cache when the
-// runtime has one.
+// runtime has one. The fast path reads the snapshot's per-epoch memo
+// instead: same intersection, amortised across every query on the epoch.
 func (rt *Runtime) centersFor(db *gdb.Snap, v graph.NodeID, ws []graph.NodeID, c Cond, forward bool) ([]graph.NodeID, error) {
+	if rt.fast {
+		return db.FastCenters(v, c.FromLabel, c.ToLabel, forward)
+	}
 	if rt.centers == nil {
 		return centersFor(db, v, ws, forward)
 	}

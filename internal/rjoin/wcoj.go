@@ -202,9 +202,9 @@ func (r *wcojRun) targets(k, j int) ([]graph.NodeID, error) {
 	for _, w := range cs {
 		var nodes []graph.NodeID
 		if b.forward {
-			nodes, err = r.db.GetT(w, b.cond.ToLabel)
+			nodes, err = r.rt.getT(r.db, w, b.cond.ToLabel)
 		} else {
-			nodes, err = r.db.GetF(w, b.cond.FromLabel)
+			nodes, err = r.rt.getF(r.db, w, b.cond.FromLabel)
 		}
 		if err != nil {
 			return nil, err

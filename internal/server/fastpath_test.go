@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+)
+
+// fastpathTestServer builds a server over a layered DAG plus one isolated
+// Z-labeled node, so the battery below can hit all three tiers: Z
+// participates in no edge, making any pattern touching it provably empty.
+func fastpathTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder()
+	labels := []string{"A", "B", "C", "D"}
+	n := 60
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[i%len(labels)])
+	}
+	for i := 0; i < 2*n; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	b.AddNode("Z")
+	db, err := gdb.Build(b.Build(), gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db, cfg)
+}
+
+// TestStatsTierCounters: /stats attributes each served query to the tier
+// the router chose — index-only answers, signature prunes, and pipeline
+// queries — with per-tier latency sums.
+func TestStatsTierCounters(t *testing.T) {
+	s := fastpathTestServer(t, Config{})
+	ctx := context.Background()
+
+	if _, err := s.Query(ctx, "A->B", ""); err != nil { // single edge → tier 1
+		t.Fatal(err)
+	}
+	if _, err := s.Query(ctx, "B->C", ""); err != nil { // single edge → tier 1
+		t.Fatal(err)
+	}
+	res, err := s.Query(ctx, "A->Z", "") // signature-refuted → tier 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("impossible pattern returned %d rows", len(res.Rows))
+	}
+	if _, err := s.Query(ctx, "A->B; B->C; C->A", ""); err != nil { // cyclic → tier 3
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.FastpathTier1Queries != 2 || st.FastpathTier2Prunes != 1 || st.Tier3Queries != 1 {
+		t.Fatalf("tier counters = %d/%d/%d, want 2/1/1",
+			st.FastpathTier1Queries, st.FastpathTier2Prunes, st.Tier3Queries)
+	}
+	if st.FastpathTier1LatencyMs < 0 || st.FastpathTier2LatencyMs < 0 || st.Tier3LatencyMs < 0 {
+		t.Fatalf("negative tier latency sums: %+v", st)
+	}
+}
+
+// TestNoFastPathConfig: the -no-fastpath escape hatch forces every query
+// down the pipeline — results unchanged, tier counters all tier 3.
+func TestNoFastPathConfig(t *testing.T) {
+	tiered := fastpathTestServer(t, Config{})
+	forced := fastpathTestServer(t, Config{NoFastPath: true})
+	ctx := context.Background()
+
+	for _, q := range []string{"A->B", "A->Z", "A->B; B->C"} {
+		rt, err := tiered.Query(ctx, q, "")
+		if err != nil {
+			t.Fatalf("%s tiered: %v", q, err)
+		}
+		rf, err := forced.Query(ctx, q, "")
+		if err != nil {
+			t.Fatalf("%s forced: %v", q, err)
+		}
+		if len(rt.Rows) != len(rf.Rows) {
+			t.Fatalf("%s: tiered %d rows, forced %d rows", q, len(rt.Rows), len(rf.Rows))
+		}
+	}
+	st := forced.Stats()
+	if st.FastpathTier1Queries != 0 || st.FastpathTier2Prunes != 0 {
+		t.Fatalf("NoFastPath server still fast-pathed: %+v", st)
+	}
+	if st.Tier3Queries != 3 {
+		t.Fatalf("NoFastPath tier-3 count = %d, want 3", st.Tier3Queries)
+	}
+}

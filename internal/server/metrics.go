@@ -62,6 +62,16 @@ type metrics struct {
 	wcojSeeks   atomic.Int64 // trie-iterator lists opened across WCOJ steps
 	wcojNexts   atomic.Int64 // candidate values produced across WCOJ steps
 
+	// Tiered fast-path execution (see optimizer.Classify/Prefilter). Each
+	// successful query is attributed to exactly one tier; the latency sums
+	// (µs) divide by the tier counters for per-tier means.
+	tier1Queries   atomic.Int64 // answered index-only (tier 1)
+	tier2Prunes    atomic.Int64 // proven empty by the signature prefilter
+	tier3Queries   atomic.Int64 // ran the full operator pipeline
+	tier1LatencyUS atomic.Int64
+	tier2LatencyUS atomic.Int64
+	tier3LatencyUS atomic.Int64
+
 	latency [latencyBuckets]atomic.Int64
 }
 
@@ -85,6 +95,25 @@ func (m *metrics) recordQuery(elapsed time.Duration, rowCount int, planCached bo
 		us = 0
 	}
 	m.latency[bits.Len64(uint64(us))].Add(1)
+}
+
+// recordTier attributes one successful query to its execution tier.
+func (m *metrics) recordTier(tier int, elapsed time.Duration) {
+	us := elapsed.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	switch tier {
+	case 1:
+		m.tier1Queries.Add(1)
+		m.tier1LatencyUS.Add(us)
+	case 2:
+		m.tier2Prunes.Add(1)
+		m.tier2LatencyUS.Add(us)
+	default:
+		m.tier3Queries.Add(1)
+		m.tier3LatencyUS.Add(us)
+	}
 }
 
 func (m *metrics) recordError(err error) {
@@ -240,6 +269,17 @@ type Stats struct {
 	WCOJQueries   int64 `json:"wcoj_queries"`
 	WCOJSeeks     int64 `json:"wcoj_seeks"`
 	WCOJIterNexts int64 `json:"wcoj_iter_nexts"`
+	// FastpathTier1Queries counts successful queries answered on the tier-1
+	// index-only fast path; FastpathTier2Prunes patterns the fan-signature
+	// prefilter proved empty (tier 2); Tier3Queries the full operator
+	// pipeline. The latency fields are per-tier cumulative server-side
+	// latency in milliseconds — divide by the matching counter for a mean.
+	FastpathTier1Queries   int64   `json:"fastpath_tier1_queries"`
+	FastpathTier2Prunes    int64   `json:"fastpath_tier2_prunes"`
+	Tier3Queries           int64   `json:"tier3_queries"`
+	FastpathTier1LatencyMs float64 `json:"fastpath_tier1_latency_ms"`
+	FastpathTier2LatencyMs float64 `json:"fastpath_tier2_latency_ms"`
+	Tier3LatencyMs         float64 `json:"tier3_latency_ms"`
 	// P50ms and P99ms are approximate latency quantiles in milliseconds
 	// (histogram-bucketed; 0 when no queries completed).
 	P50ms float64 `json:"p50_ms"`
@@ -254,41 +294,47 @@ type Stats struct {
 // counter is read atomically; the set is not cut at one instant).
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries:               s.met.queries.Load(),
-		Errors:                s.met.errs.Load(),
-		Rejections:            s.met.rejected.Load(),
-		Deadline:              s.met.deadline.Load(),
-		BudgetKills:           s.met.budgetKills.Load(),
-		TruncatedQueries:      s.met.truncated.Load(),
-		IntermediateBytes:     s.met.imBytes.Load(),
-		PeakIntermediateBytes: s.met.peakImBytes.Load(),
-		PeakIntermediateRows:  s.met.peakImRows.Load(),
-		Queued:                s.met.queued.Load(),
-		InFlight:              s.InFlight(),
-		MaxInFlight:           s.cfg.MaxInFlight,
-		PlanCacheHits:         s.met.planHits.Load(),
-		PlanCacheMisses:       s.met.planMisses.Load(),
-		PlanCoalesced:         s.met.planCoalesced.Load(),
-		PlanCacheSize:         s.plans.len(),
-		RowsReturned:          s.met.rows.Load(),
-		EdgeInserts:           s.met.edgeInserts.Load(),
-		InsertDuplicates:      s.met.insertDuplicates.Load(),
-		InsertLabelEntries:    s.met.insertLabelEntries.Load(),
-		InsertErrors:          s.met.insertErrors.Load(),
-		EdgeDeletes:           s.met.edgeDeletes.Load(),
-		DeleteNoops:           s.met.deleteNoops.Load(),
-		DeleteLabelEntries:    s.met.deleteLabelEntries.Load(),
-		DeleteErrors:          s.met.deleteErrors.Load(),
-		QueryParallelism:      s.cfg.QueryParallelism,
-		OperatorOps:           s.met.operatorOps.Load(),
-		OperatorParallelOps:   s.met.parallelOps.Load(),
-		OperatorTasks:         s.met.operatorTasks.Load(),
-		CenterCacheHits:       s.met.centerHits.Load(),
-		CenterCacheMisses:     s.met.centerMisses.Load(),
-		WCOJQueries:           s.met.wcojQueries.Load(),
-		WCOJSeeks:             s.met.wcojSeeks.Load(),
-		WCOJIterNexts:         s.met.wcojNexts.Load(),
-		UptimeSeconds:         time.Since(s.start).Seconds(),
+		Queries:                s.met.queries.Load(),
+		Errors:                 s.met.errs.Load(),
+		Rejections:             s.met.rejected.Load(),
+		Deadline:               s.met.deadline.Load(),
+		BudgetKills:            s.met.budgetKills.Load(),
+		TruncatedQueries:       s.met.truncated.Load(),
+		IntermediateBytes:      s.met.imBytes.Load(),
+		PeakIntermediateBytes:  s.met.peakImBytes.Load(),
+		PeakIntermediateRows:   s.met.peakImRows.Load(),
+		Queued:                 s.met.queued.Load(),
+		InFlight:               s.InFlight(),
+		MaxInFlight:            s.cfg.MaxInFlight,
+		PlanCacheHits:          s.met.planHits.Load(),
+		PlanCacheMisses:        s.met.planMisses.Load(),
+		PlanCoalesced:          s.met.planCoalesced.Load(),
+		PlanCacheSize:          s.plans.len(),
+		RowsReturned:           s.met.rows.Load(),
+		EdgeInserts:            s.met.edgeInserts.Load(),
+		InsertDuplicates:       s.met.insertDuplicates.Load(),
+		InsertLabelEntries:     s.met.insertLabelEntries.Load(),
+		InsertErrors:           s.met.insertErrors.Load(),
+		EdgeDeletes:            s.met.edgeDeletes.Load(),
+		DeleteNoops:            s.met.deleteNoops.Load(),
+		DeleteLabelEntries:     s.met.deleteLabelEntries.Load(),
+		DeleteErrors:           s.met.deleteErrors.Load(),
+		QueryParallelism:       s.cfg.QueryParallelism,
+		OperatorOps:            s.met.operatorOps.Load(),
+		OperatorParallelOps:    s.met.parallelOps.Load(),
+		OperatorTasks:          s.met.operatorTasks.Load(),
+		CenterCacheHits:        s.met.centerHits.Load(),
+		CenterCacheMisses:      s.met.centerMisses.Load(),
+		WCOJQueries:            s.met.wcojQueries.Load(),
+		WCOJSeeks:              s.met.wcojSeeks.Load(),
+		WCOJIterNexts:          s.met.wcojNexts.Load(),
+		FastpathTier1Queries:   s.met.tier1Queries.Load(),
+		FastpathTier2Prunes:    s.met.tier2Prunes.Load(),
+		Tier3Queries:           s.met.tier3Queries.Load(),
+		FastpathTier1LatencyMs: float64(s.met.tier1LatencyUS.Load()) / 1000,
+		FastpathTier2LatencyMs: float64(s.met.tier2LatencyUS.Load()) / 1000,
+		Tier3LatencyMs:         float64(s.met.tier3LatencyUS.Load()) / 1000,
+		UptimeSeconds:          time.Since(s.start).Seconds(),
 	}
 	if st.OperatorOps > 0 {
 		degree := s.cfg.QueryParallelism
