@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-fuzz-smoke test-race-stress verify bench bench-wcoj bench-fastpath bench-baseline bench-compare clean
+.PHONY: build test test-short test-cover test-fuzz-smoke test-race-stress verify bench bench-wcoj bench-fastpath bench-reach bench-baseline bench-compare clean
 
 # Benchmarks covered by bench-baseline/bench-compare: the sorted-set
 # kernels and the parallel operator suite — the hot paths a perf PR must
@@ -27,10 +27,27 @@ FUZZTIME ?= 30s
 test-fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzEdgeInsertDifferential -fuzztime $(FUZZTIME) .
 	$(GO) test -run XXX -fuzz FuzzEdgeDeleteDifferential -fuzztime $(FUZZTIME) .
+	$(GO) test -run XXX -fuzz FuzzReachCrossBackend -fuzztime $(FUZZTIME) .
 	$(GO) test -run XXX -fuzz FuzzFastPathDifferential -fuzztime $(FUZZTIME) .
-	$(GO) test -run XXX -fuzz FuzzIncrementalInsert -fuzztime $(FUZZTIME) ./internal/twohop
-	$(GO) test -run XXX -fuzz FuzzIncrementalDelete -fuzztime $(FUZZTIME) ./internal/twohop
+	$(GO) test -run XXX -fuzz FuzzIncrementalInsert -fuzztime $(FUZZTIME) ./internal/reach
+	$(GO) test -run XXX -fuzz FuzzIncrementalDelete -fuzztime $(FUZZTIME) ./internal/reach
 	$(GO) test -run XXX -fuzz FuzzLeapfrogMultiwayIntersect -fuzztime $(FUZZTIME) ./internal/gdb
+
+# test-cover enforces a per-package statement-coverage floor on the
+# reachability-index packages: the generic labeling core and registry, and
+# both backends. These packages carry the correctness story for every
+# graph code the engine stores, so untested lines there are disallowed
+# rather than discouraged.
+COVER_FLOOR ?= 80
+COVER_PKGS   = ./internal/reach ./internal/pll ./internal/twohop
+test-cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover $$pkg); echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported" >&2; exit 1; fi; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
+			{ echo "$$pkg: coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }; \
+	done
 
 # test-race-stress repeats the MVCC snapshot-epoch stress tests under the
 # race detector: concurrent insert batches against lock-free readers
@@ -45,11 +62,13 @@ test-race-stress:
 
 # verify is the gating tier: vet plus the full suite under the race
 # detector, so concurrency regressions in the query-serving path cannot
-# land silently, then the MVCC stress smoke and a fuzz smoke over the
-# incremental-maintenance harnesses.
+# land silently, then the coverage floor on the reachability packages, the
+# MVCC stress smoke, and a fuzz smoke over the incremental-maintenance
+# harnesses.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) test-cover
 	$(MAKE) test-race-stress
 	$(MAKE) test-fuzz-smoke
 
@@ -59,6 +78,7 @@ bench:
 	$(GO) run ./cmd/fgmbench -exp build -out BENCH_build.json
 	$(GO) run ./cmd/fgmbench -exp wcoj -out BENCH_wcoj.json
 	$(GO) run ./cmd/fgmbench -exp fastpath -out BENCH_fastpath.json
+	$(GO) run ./cmd/fgmbench -exp reach -out BENCH_reach.json
 
 # bench-wcoj measures the worst-case-optimal multiway join against the
 # binary pipeline on the cyclic workload battery and refreshes the
@@ -72,6 +92,12 @@ bench-wcoj:
 bench-fastpath:
 	$(GO) run ./cmd/fgmbench -exp fastpath -out BENCH_fastpath.json
 
+# bench-reach compares the registered reachability-index backends (build
+# time, labeling size, probe and query latency) and refreshes the
+# committed BENCH_reach.json baseline.
+bench-reach:
+	$(GO) run ./cmd/fgmbench -exp reach -out BENCH_reach.json
+
 # bench-baseline records the kernel benchmarks (10 runs, for benchstat
 # confidence intervals) into $(BENCH_BASE); run it on the commit you want
 # to compare against, then run bench-compare on your change.
@@ -80,7 +106,10 @@ bench-baseline:
 
 # bench-compare reruns the same benchmarks and diffs them against the
 # stored baseline with benchstat when it is installed (golang.org/x/perf);
-# without benchstat it leaves both files for manual inspection.
+# without benchstat it leaves both files for manual inspection. Each named
+# BENCH_*.json guard runs only when its baseline is committed — a missing
+# baseline skips that guard (with a note) instead of failing, so partial
+# checkouts and fresh experiment IDs don't break the target.
 bench-compare:
 	@test -f $(BENCH_BASE) || { echo "no $(BENCH_BASE); run 'make bench-baseline' on the base commit first" >&2; exit 1; }
 	$(GO) test -run XXX -bench $(BENCH_FILTER) -benchmem -count 10 $(BENCH_PKGS) | tee bench-head.txt
@@ -89,8 +118,13 @@ bench-compare:
 	else \
 		echo "benchstat not installed; compare $(BENCH_BASE) vs bench-head.txt by hand" >&2; \
 	fi
-	$(GO) run ./cmd/fgmbench -exp wcoj -out bench-wcoj-head.json -compare BENCH_wcoj.json
-	$(GO) run ./cmd/fgmbench -exp fastpath -out bench-fastpath-head.json -compare BENCH_fastpath.json
+	@for exp in wcoj fastpath reach; do \
+		if [ -f BENCH_$$exp.json ]; then \
+			$(GO) run ./cmd/fgmbench -exp $$exp -out bench-$$exp-head.json -compare BENCH_$$exp.json || exit 1; \
+		else \
+			echo "no BENCH_$$exp.json baseline; skipping $$exp guard (run 'make bench-$$exp' to record one)"; \
+		fi; \
+	done
 
 clean:
 	$(GO) clean ./...

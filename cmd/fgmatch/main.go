@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fastmatch"
 	"fastmatch/internal/graph"
@@ -45,6 +46,7 @@ func run() error {
 		budgetBytes = flag.Int64("budget-bytes", 0, "kill the query once intermediate results exceed this many bytes (0 = unbounded)")
 		pool        = flag.Int("pool", 0, "buffer pool bytes (default 1 MB)")
 		buildPar    = flag.Int("build-parallelism", 0, "index-build workers (0/1 = serial, -1 = GOMAXPROCS)")
+		reachIndex  = flag.String("reach-index", "", "reachability-index backend: "+strings.Join(fastmatch.ReachBackends(), ", ")+" (default twohop)")
 		dot         = flag.String("dot", "", "write the data graph in Graphviz DOT format to this file and exit")
 		dotMax      = flag.Int("dotmax", 200, "max nodes in -dot output (0 = all)")
 		dbPath      = flag.String("db", "", "persisted database file (for -repack)")
@@ -80,7 +82,7 @@ func run() error {
 		return graph.WriteDOT(f, g, *dotMax)
 	}
 
-	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool, BuildParallelism: *buildPar})
+	eng, err := fastmatch.NewEngine(g, fastmatch.Options{PoolBytes: *pool, BuildParallelism: *buildPar, ReachIndex: *reachIndex})
 	if err != nil {
 		return err
 	}

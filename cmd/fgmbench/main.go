@@ -9,6 +9,7 @@
 //	fgmbench -exp fig6a -mult 0.5    # half-size datasets
 //	fgmbench -exp rjoin              # operator micros + BENCH_rjoin.json
 //	fgmbench -exp wcoj               # WCOJ vs binary joins + BENCH_wcoj.json
+//	fgmbench -exp reach              # reachability-index backends + BENCH_reach.json
 //	fgmbench -exp wcoj -compare BENCH_wcoj.json  # fail on >10% WCOJ regression
 //	fgmbench -list                   # list experiment IDs
 package main
@@ -27,7 +28,7 @@ var experimentIDs = []string{
 	"table2", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7a", "fig7b", "fig7c", "iocost",
 	"ablation-order", "ablation-wcache", "ablation-pool", "ablation-merged", "ablation-naive",
-	"rjoin", "build", "wcoj", "fastpath",
+	"rjoin", "build", "wcoj", "fastpath", "reach",
 }
 
 func main() {
@@ -79,16 +80,17 @@ func main() {
 		}
 		return
 	}
-	if *exp == "rjoin" || *exp == "build" || *exp == "wcoj" || *exp == "fastpath" {
+	if *exp == "rjoin" || *exp == "build" || *exp == "wcoj" || *exp == "fastpath" || *exp == "reach" {
 		// These micros also emit a machine-readable file so bench-compare
 		// and CI can diff runs without parsing the table.
 		var (
-			rep      *bench.Report
-			results  any
-			wcojRows []bench.WCOJResult
-			fpRows   []bench.FastpathResult
-			n        int
-			err      error
+			rep       *bench.Report
+			results   any
+			wcojRows  []bench.WCOJResult
+			fpRows    []bench.FastpathResult
+			reachRows []bench.ReachResult
+			n         int
+			err       error
 		)
 		switch *exp {
 		case "rjoin":
@@ -105,6 +107,9 @@ func main() {
 		case "fastpath":
 			rep, fpRows, err = r.FastpathMicro()
 			results, n = fpRows, len(fpRows)
+		case "reach":
+			rep, reachRows, err = r.ReachMicro()
+			results, n = reachRows, len(reachRows)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgmbench:", err)
@@ -143,6 +148,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("no fast-path regression vs %s\n", *cmp)
+		}
+		if *exp == "reach" && *cmp != "" {
+			if err := compareReach(*cmp, reachRows); err != nil {
+				fmt.Fprintln(os.Stderr, "fgmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("no reach-backend regression vs %s\n", *cmp)
 		}
 		return
 	}
@@ -225,6 +237,43 @@ func compareFastpath(basePath string, head []bench.FastpathResult) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("fast-path regression vs %s:\n  %s", basePath, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// compareReach guards each backend's end-to-end query time against the
+// committed baseline with the same 10% + 1ms tolerance as the other micro
+// guards. Backends present only on one side are ignored — registering a
+// new backend is not a regression.
+func compareReach(basePath string, head []bench.ReachResult) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var envelope struct {
+		Results []bench.ReachResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	base := make(map[string]bench.ReachResult, len(envelope.Results))
+	for _, b := range envelope.Results {
+		base[b.Backend+"/"+b.Dataset] = b
+	}
+	var failures []string
+	for _, h := range head {
+		b, ok := base[h.Backend+"/"+h.Dataset]
+		if !ok {
+			continue
+		}
+		if allowed := b.QueryMS*1.10 + 1.0; h.QueryMS > allowed {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: query %.2fms vs baseline %.2fms (allowed %.2fms)",
+				h.Backend, h.Dataset, h.QueryMS, b.QueryMS, allowed))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("reach-backend regression vs %s:\n  %s", basePath, strings.Join(failures, "\n  "))
 	}
 	return nil
 }

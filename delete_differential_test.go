@@ -10,6 +10,7 @@ import (
 	"fastmatch/internal/exec"
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/workload"
 	"fastmatch/internal/xmark"
 )
@@ -42,51 +43,55 @@ func TestDifferentialMixedStreamMatchesRebuild(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	d := xmark.Generate(xmark.Config{Nodes: 2500, Seed: 17})
-	g := d.Graph
-	inc, err := gdb.Build(g, gdb.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer inc.Close()
+	for _, backend := range reach.Names() {
+		t.Run(backend, func(t *testing.T) {
+			d := xmark.Generate(xmark.Config{Nodes: 2500, Seed: 17})
+			g := d.Graph
+			inc, err := gdb.Build(g, gdb.Options{ReachIndex: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inc.Close()
 
-	rng := rand.New(rand.NewSource(103))
-	cur := g
-	n := g.NumNodes()
-	deletes := 0
-	const ops = 240
-	for i := 1; i <= ops; i++ {
-		if rng.Intn(3) == 0 { // ~1/3 deletes keeps the graph from draining
-			u, v, ok := pickPresentEdge(cur, rng)
-			if !ok {
-				t.Fatalf("op %d: graph ran out of edges", i)
+			rng := rand.New(rand.NewSource(103))
+			cur := g
+			n := g.NumNodes()
+			deletes := 0
+			const ops = 240
+			for i := 1; i <= ops; i++ {
+				if rng.Intn(3) == 0 { // ~1/3 deletes keeps the graph from draining
+					u, v, ok := pickPresentEdge(cur, rng)
+					if !ok {
+						t.Fatalf("op %d: graph ran out of edges", i)
+					}
+					st, err := inc.ApplyEdgeDelete(u, v)
+					if err != nil {
+						t.Fatalf("op %d delete %d->%d: %v", i, u, v, err)
+					}
+					if st.Missing {
+						t.Fatalf("op %d: delete of present edge %d->%d reported Missing", i, u, v)
+					}
+					cur = cur.WithoutEdge(u, v)
+					deletes++
+				} else {
+					u := graph.NodeID(rng.Intn(n))
+					v := graph.NodeID(rng.Intn(n))
+					st, err := inc.ApplyEdgeInsert(u, v)
+					if err != nil {
+						t.Fatalf("op %d insert %d->%d: %v", i, u, v, err)
+					}
+					if !st.Duplicate {
+						cur = cur.WithEdge(u, v)
+					}
+				}
+				if i%60 == 0 {
+					compareDatabases(t, inc, cur, rng, "mixed checkpoint")
+				}
 			}
-			st, err := inc.ApplyEdgeDelete(u, v)
-			if err != nil {
-				t.Fatalf("op %d delete %d->%d: %v", i, u, v, err)
+			if deletes < 40 {
+				t.Fatalf("stream held only %d deletes; not a meaningful mixed workload", deletes)
 			}
-			if st.Missing {
-				t.Fatalf("op %d: delete of present edge %d->%d reported Missing", i, u, v)
-			}
-			cur = cur.WithoutEdge(u, v)
-			deletes++
-		} else {
-			u := graph.NodeID(rng.Intn(n))
-			v := graph.NodeID(rng.Intn(n))
-			st, err := inc.ApplyEdgeInsert(u, v)
-			if err != nil {
-				t.Fatalf("op %d insert %d->%d: %v", i, u, v, err)
-			}
-			if !st.Duplicate {
-				cur = cur.WithEdge(u, v)
-			}
-		}
-		if i%60 == 0 {
-			compareDatabases(t, inc, cur, rng, "mixed checkpoint")
-		}
-	}
-	if deletes < 40 {
-		t.Fatalf("stream held only %d deletes; not a meaningful mixed workload", deletes)
+		})
 	}
 }
 
@@ -173,69 +178,73 @@ func FuzzEdgeDeleteDifferential(f *testing.F) {
 		d := xmark.Generate(xmark.Config{Nodes: 100, Seed: seed % 8})
 		g := d.Graph
 		n := g.NumNodes()
-		inc, err := gdb.Build(g, gdb.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer inc.Close()
-		cur := g
-		hasEdge := func(u, v graph.NodeID) bool {
-			for _, w := range cur.Successors(u) {
-				if w == v {
-					return true
-				}
-			}
-			return false
-		}
-		for i := 0; i+2 < len(data); i += 3 {
-			del := data[i]&0x80 != 0
-			u := graph.NodeID(int(data[i+1]) % n)
-			v := graph.NodeID(int(data[i+2]) % n)
-			if del {
-				st, err := inc.ApplyEdgeDelete(u, v)
-				if err != nil {
-					t.Fatalf("delete %d->%d: %v", u, v, err)
-				}
-				if st.Missing != !hasEdge(u, v) {
-					t.Fatalf("delete %d->%d: Missing=%v but edge present=%v", u, v, st.Missing, hasEdge(u, v))
-				}
-				if !st.Missing {
-					cur = cur.WithoutEdge(u, v)
-				}
-			} else {
-				st, err := inc.ApplyEdgeInsert(u, v)
-				if err != nil {
-					t.Fatalf("insert %d->%d: %v", u, v, err)
-				}
-				if !st.Duplicate {
-					cur = cur.WithEdge(u, v)
-				}
-			}
-		}
-		rebuilt, err := gdb.Build(cur, gdb.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer rebuilt.Close()
-		p := workload.Paths()[0].Pattern // site->regions; regions->item
-		for _, workers := range []int{1, 4} {
-			got := sortedRows(t, inc, p, exec.DPS, workers)
-			want := sortedRows(t, rebuilt, p, exec.DPS, workers)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("workers=%d: incremental %d rows, rebuild %d rows", workers, len(got), len(want))
-			}
-		}
-		rng := rand.New(rand.NewSource(int64(len(data))))
-		for i := 0; i < 60; i++ {
-			u := graph.NodeID(rng.Intn(n))
-			v := graph.NodeID(rng.Intn(n))
-			gi, err := inc.Reaches(u, v)
+		for _, backend := range reach.Names() {
+			inc, err := gdb.Build(g, gdb.Options{ReachIndex: backend})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := graph.Reaches(cur, u, v); gi != want {
-				t.Fatalf("Reaches(%d,%d) = %v, BFS says %v", u, v, gi, want)
+			cur := g
+			hasEdge := func(u, v graph.NodeID) bool {
+				for _, w := range cur.Successors(u) {
+					if w == v {
+						return true
+					}
+				}
+				return false
 			}
+			for i := 0; i+2 < len(data); i += 3 {
+				del := data[i]&0x80 != 0
+				u := graph.NodeID(int(data[i+1]) % n)
+				v := graph.NodeID(int(data[i+2]) % n)
+				if del {
+					st, err := inc.ApplyEdgeDelete(u, v)
+					if err != nil {
+						t.Fatalf("%s: delete %d->%d: %v", backend, u, v, err)
+					}
+					if st.Missing != !hasEdge(u, v) {
+						t.Fatalf("%s: delete %d->%d: Missing=%v but edge present=%v",
+							backend, u, v, st.Missing, hasEdge(u, v))
+					}
+					if !st.Missing {
+						cur = cur.WithoutEdge(u, v)
+					}
+				} else {
+					st, err := inc.ApplyEdgeInsert(u, v)
+					if err != nil {
+						t.Fatalf("%s: insert %d->%d: %v", backend, u, v, err)
+					}
+					if !st.Duplicate {
+						cur = cur.WithEdge(u, v)
+					}
+				}
+			}
+			rebuilt, err := gdb.Build(cur, gdb.Options{ReachIndex: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := workload.Paths()[0].Pattern // site->regions; regions->item
+			for _, workers := range []int{1, 4} {
+				got := sortedRows(t, inc, p, exec.DPS, workers)
+				want := sortedRows(t, rebuilt, p, exec.DPS, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: workers=%d: incremental %d rows, rebuild %d rows",
+						backend, workers, len(got), len(want))
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(len(data))))
+			for i := 0; i < 60; i++ {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				gi, err := inc.Reaches(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := graph.Reaches(cur, u, v); gi != want {
+					t.Fatalf("%s: Reaches(%d,%d) = %v, BFS says %v", backend, u, v, gi, want)
+				}
+			}
+			rebuilt.Close()
+			inc.Close()
 		}
 	})
 }

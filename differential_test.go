@@ -12,6 +12,7 @@ import (
 	"fastmatch/internal/gdb"
 	"fastmatch/internal/graph"
 	"fastmatch/internal/pattern"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/rjoin"
 	"fastmatch/internal/workload"
 	"fastmatch/internal/xmark"
@@ -22,8 +23,11 @@ import (
 // from scratch over the same mutated graph — identical DP and DPS result
 // rows on the paper's pattern workloads at worker degrees 1 and 4, and
 // identical Reaches answers on sampled node pairs. This is the correctness
-// story for the whole incremental-maintenance path (2-hop deltas → base
-// tables → cluster index → W-table); see DESIGN.md.
+// story for the whole incremental-maintenance path (label deltas → base
+// tables → cluster index → W-table); see DESIGN.md. The whole harness is
+// parameterized over every registered reachability backend: the engine
+// consumes any labeling through the same delta stream, so each backend
+// must survive the identical battery.
 
 // diffWorkloads is the pattern battery both databases answer.
 func diffWorkloads() []workload.Workload {
@@ -82,12 +86,12 @@ func sortedRowsNormalized(t testing.TB, db *gdb.DB, p *pattern.Pattern, algo exe
 }
 
 // compareDatabases asserts inc (incrementally maintained) and a fresh
-// rebuild over g agree on the full battery — DP, DPS, and the forced
-// full-pattern WCOJ plan, each at worker degrees 1 and 4 — and on sampled
-// reachability.
+// rebuild over g — with the same reachability backend — agree on the full
+// battery: DP, DPS, and the forced full-pattern WCOJ plan, each at worker
+// degrees 1 and 4, plus sampled reachability.
 func compareDatabases(t *testing.T, inc *gdb.DB, g *graph.Graph, rng *rand.Rand, tag string) {
 	t.Helper()
-	rebuilt, err := gdb.Build(g, gdb.Options{})
+	rebuilt, err := gdb.Build(g, gdb.Options{ReachIndex: inc.ReachBackend()})
 	if err != nil {
 		t.Fatalf("%s: rebuild: %v", tag, err)
 	}
@@ -172,31 +176,35 @@ func TestDifferentialEdgeInsertsMatchRebuild(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	d := xmark.Generate(xmark.Config{Nodes: 2500, Seed: 11})
-	g := d.Graph
-	inc, err := gdb.Build(g, gdb.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer inc.Close()
+	for _, backend := range reach.Names() {
+		t.Run(backend, func(t *testing.T) {
+			d := xmark.Generate(xmark.Config{Nodes: 2500, Seed: 11})
+			g := d.Graph
+			inc, err := gdb.Build(g, gdb.Options{ReachIndex: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inc.Close()
 
-	rng := rand.New(rand.NewSource(101))
-	cur := g
-	n := g.NumNodes()
-	const inserts = 220
-	for i := 1; i <= inserts; i++ {
-		u := graph.NodeID(rng.Intn(n))
-		v := graph.NodeID(rng.Intn(n))
-		st, err := inc.ApplyEdgeInsert(u, v)
-		if err != nil {
-			t.Fatalf("insert %d (%d->%d): %v", i, u, v, err)
-		}
-		if !st.Duplicate {
-			cur = cur.WithEdge(u, v)
-		}
-		if i%55 == 0 {
-			compareDatabases(t, inc, cur, rng, "checkpoint")
-		}
+			rng := rand.New(rand.NewSource(101))
+			cur := g
+			n := g.NumNodes()
+			const inserts = 220
+			for i := 1; i <= inserts; i++ {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				st, err := inc.ApplyEdgeInsert(u, v)
+				if err != nil {
+					t.Fatalf("insert %d (%d->%d): %v", i, u, v, err)
+				}
+				if !st.Duplicate {
+					cur = cur.WithEdge(u, v)
+				}
+				if i%55 == 0 {
+					compareDatabases(t, inc, cur, rng, "checkpoint")
+				}
+			}
+		})
 	}
 }
 
@@ -268,47 +276,50 @@ func FuzzEdgeInsertDifferential(f *testing.F) {
 		d := xmark.Generate(xmark.Config{Nodes: 100, Seed: seed % 8})
 		g := d.Graph
 		n := g.NumNodes()
-		inc, err := gdb.Build(g, gdb.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer inc.Close()
-		cur := g
-		for i := 0; i+1 < len(data); i += 2 {
-			u := graph.NodeID(int(data[i]) % n)
-			v := graph.NodeID(int(data[i+1]) % n)
-			st, err := inc.ApplyEdgeInsert(u, v)
-			if err != nil {
-				t.Fatalf("insert %d->%d: %v", u, v, err)
-			}
-			if !st.Duplicate {
-				cur = cur.WithEdge(u, v)
-			}
-		}
-		rebuilt, err := gdb.Build(cur, gdb.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer rebuilt.Close()
-		p := workload.Paths()[0].Pattern // site->regions; regions->item
-		for _, workers := range []int{1, 4} {
-			got := sortedRows(t, inc, p, exec.DPS, workers)
-			want := sortedRows(t, rebuilt, p, exec.DPS, workers)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("workers=%d: incremental %d rows, rebuild %d rows", workers, len(got), len(want))
-			}
-		}
-		rng := rand.New(rand.NewSource(int64(len(data))))
-		for i := 0; i < 60; i++ {
-			u := graph.NodeID(rng.Intn(n))
-			v := graph.NodeID(rng.Intn(n))
-			gi, err := inc.Reaches(u, v)
+		for _, backend := range reach.Names() {
+			inc, err := gdb.Build(g, gdb.Options{ReachIndex: backend})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := graph.Reaches(cur, u, v); gi != want {
-				t.Fatalf("Reaches(%d,%d) = %v, BFS says %v", u, v, gi, want)
+			cur := g
+			for i := 0; i+1 < len(data); i += 2 {
+				u := graph.NodeID(int(data[i]) % n)
+				v := graph.NodeID(int(data[i+1]) % n)
+				st, err := inc.ApplyEdgeInsert(u, v)
+				if err != nil {
+					t.Fatalf("%s: insert %d->%d: %v", backend, u, v, err)
+				}
+				if !st.Duplicate {
+					cur = cur.WithEdge(u, v)
+				}
 			}
+			rebuilt, err := gdb.Build(cur, gdb.Options{ReachIndex: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := workload.Paths()[0].Pattern // site->regions; regions->item
+			for _, workers := range []int{1, 4} {
+				got := sortedRows(t, inc, p, exec.DPS, workers)
+				want := sortedRows(t, rebuilt, p, exec.DPS, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: workers=%d: incremental %d rows, rebuild %d rows",
+						backend, workers, len(got), len(want))
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(len(data))))
+			for i := 0; i < 60; i++ {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				gi, err := inc.Reaches(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := graph.Reaches(cur, u, v); gi != want {
+					t.Fatalf("%s: Reaches(%d,%d) = %v, BFS says %v", backend, u, v, gi, want)
+				}
+			}
+			rebuilt.Close()
+			inc.Close()
 		}
 	})
 }

@@ -36,10 +36,10 @@ import (
 	"fastmatch/internal/graph"
 	"fastmatch/internal/optimizer"
 	"fastmatch/internal/pattern"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/rjoin"
 	"fastmatch/internal/server"
 	"fastmatch/internal/storage"
-	"fastmatch/internal/twohop"
 )
 
 // ErrClosed is returned by Engine and Service methods called after Close.
@@ -144,7 +144,20 @@ type Options struct {
 	// identical at every setting. Ignored by OpenEngine (nothing is
 	// rebuilt).
 	BuildParallelism int
+	// ReachIndex names the reachability-index backend that computes the
+	// graph codes the engine is built on. Empty selects the default
+	// ("twohop", the paper's SCC-condensed 2-hop cover); "pll" selects
+	// pruned landmark labeling over the raw digraph. See ReachBackends for
+	// the registered names. Query results are identical under every
+	// backend; only index size and build/query cost differ. For OpenEngine
+	// the stored database's backend wins, and a non-empty mismatching
+	// ReachIndex is an error.
+	ReachIndex string
 }
+
+// ReachBackends lists the registered reachability-index backend names,
+// sorted; any of them is a valid Options.ReachIndex.
+func ReachBackends() []string { return reach.Names() }
 
 // Engine is a queryable graph database built from a data graph. Build
 // once, query many times. Methods are safe for concurrent use and queries
@@ -170,6 +183,7 @@ func NewEngine(g *Graph, opt Options) (*Engine, error) {
 		PoolBytes:        opt.PoolBytes,
 		CodeCacheEntries: opt.CodeCacheEntries,
 		BuildParallelism: opt.BuildParallelism,
+		ReachIndex:       opt.ReachIndex,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +198,7 @@ func OpenEngine(path string, opt Options) (*Engine, error) {
 	db, err := gdb.Open(path, gdb.Options{
 		PoolBytes:        opt.PoolBytes,
 		CodeCacheEntries: opt.CodeCacheEntries,
+		ReachIndex:       opt.ReachIndex,
 	})
 	if err != nil {
 		return nil, err
@@ -285,10 +300,10 @@ func (e *Engine) Reaches(u, v NodeID) (bool, error) {
 	return e.db.Reaches(u, v)
 }
 
-// CoverDelta records one 2-hop label entry changed by an edge insert or
-// delete: Center joined (Removed false) or left (Removed true)
+// CoverDelta records one reachability-label entry changed by an edge
+// insert or delete: Center joined (Removed false) or left (Removed true)
 // L_out(Node) (Out true) or L_in(Node) (Out false).
-type CoverDelta = twohop.LabelDelta
+type CoverDelta = reach.LabelDelta
 
 // EdgeInsertStats summarises what one InsertEdge changed in the index.
 type EdgeInsertStats = gdb.EdgeInsertStats
@@ -424,16 +439,22 @@ func (s Stats) String() string {
 		s.Nodes, s.Edges, s.Labels, s.CoverSize, s.CoverRatio, s.Centers, s.SizeBytes/1024)
 }
 
-// CoverStats exposes the full 2-hop cover statistics. The second return is
-// false for an engine reattached with OpenEngine (only the cover's size is
-// persisted; see Stats).
-func (e *Engine) CoverStats() (twohop.Stats, bool) {
-	c := e.db.Cover()
-	if c == nil {
-		return twohop.Stats{}, false
+// CoverStats exposes the full reachability-index statistics of the active
+// backend. The second return is false for an engine reattached with
+// OpenEngine (only the index's size is persisted; see Stats).
+func (e *Engine) CoverStats() (reach.Stats, bool) {
+	idx := e.db.Index()
+	if idx == nil {
+		return reach.Stats{}, false
 	}
-	return c.Stats(), true
+	return idx.Stats(), true
 }
+
+// ReachBackend reports the name of the reachability-index backend the
+// engine's graph codes were computed by ("twohop", "pll", ...). For an
+// engine reattached with OpenEngine this is the backend recorded in the
+// manifest.
+func (e *Engine) ReachBackend() string { return e.db.ReachBackend() }
 
 // Service is a concurrent query server over one engine: a bounded worker
 // pool (admission control with queue timeout), an LRU plan cache keyed by

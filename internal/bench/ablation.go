@@ -47,7 +47,7 @@ func (r *Runner) AblationCenterOrder() (*Report, error) {
 	for _, ord := range []twohop.CenterOrder{twohop.OrderDegreeProduct, twohop.OrderTopological, twohop.OrderRandom} {
 		start := time.Now()
 		cover := twohop.Compute(g, twohop.Options{Order: ord, Seed: 7})
-		db, err := gdb.BuildFromCover(g, cover, gdb.Options{CodeCacheEntries: 4096})
+		db, err := gdb.BuildFromIndex(g, cover, gdb.Options{CodeCacheEntries: 4096})
 		if err != nil {
 			return nil, err
 		}

@@ -44,7 +44,7 @@ func buildOnce(g *graph.Graph, workers int) (*twohop.Cover, *gdb.DB, float64, fl
 	cover := twohop.Compute(g, twohop.Options{Parallelism: workers})
 	coverMS := float64(time.Since(t0).Microseconds()) / 1e3
 	t1 := time.Now()
-	db, err := gdb.BuildFromCover(g, cover, gdb.Options{PoolBytes: 16 << 20, BuildParallelism: workers})
+	db, err := gdb.BuildFromIndex(g, cover, gdb.Options{PoolBytes: 16 << 20, BuildParallelism: workers})
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}

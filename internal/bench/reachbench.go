@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
+	"fastmatch/internal/workload"
+)
+
+// ReachResult is one machine-readable reachability-backend measurement,
+// the row schema of BENCH_reach.json.
+type ReachResult struct {
+	// Backend is the registered reach backend name ("twohop", "pll", ...).
+	Backend string `json:"backend"`
+	// Dataset is the ladder dataset the measurement ran on.
+	Dataset string `json:"dataset"`
+	// BuildMS is the index build time (best of Reps).
+	BuildMS float64 `json:"build_ms"`
+	// Size is the labeling size |H|; Ratio is |H|/|V|.
+	Size  int     `json:"size"`
+	Ratio float64 `json:"ratio"`
+	// ReachesNS is the mean latency of one Reaches probe over a fixed
+	// random pair sample (best of Reps over the whole sample).
+	ReachesNS float64 `json:"reaches_ns"`
+	// QueryMS / QueryIO / QueryRows measure the Figure 7(c) pattern on a
+	// database built from this backend's labeling (best of Reps, cold
+	// caches) — the end-to-end cost of the codes the backend produces.
+	QueryMS   float64 `json:"query_ms"`
+	QueryIO   int64   `json:"query_io"`
+	QueryRows int     `json:"query_rows"`
+	// Agreed reports that every sampled Reaches probe matched the first
+	// backend's answer (cross-backend equivalence on this dataset).
+	Agreed bool `json:"agreed"`
+}
+
+// reachSample is the fixed probe set: random pairs plus all pairs among a
+// small node sample, the same shape as the build experiment's crosscheck.
+func reachSample(n int, seed int64) [][2]graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]graph.NodeID, 0, 20000+60*60)
+	for i := 0; i < 20000; i++ {
+		pairs = append(pairs, [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))})
+	}
+	sample := make([]graph.NodeID, 60)
+	for i := range sample {
+		sample[i] = graph.NodeID(rng.Intn(n))
+	}
+	for _, u := range sample {
+		for _, v := range sample {
+			pairs = append(pairs, [2]graph.NodeID{u, v})
+		}
+	}
+	return pairs
+}
+
+// ReachMicro compares every registered reachability backend on the
+// smallest ladder dataset: index build time, labeling size, raw Reaches
+// probe latency, and the Figure 7(c) pattern query over a database built
+// from each backend's codes. Every backend's sampled Reaches answers are
+// crosschecked against the first backend's; a disagreement fails the
+// experiment. Returns the report plus the rows for BENCH_reach.json.
+func (r *Runner) ReachMicro() (*Report, []ReachResult, error) {
+	s := Scales(r.Mult)[0]
+	g := r.dataset(s).Graph
+	w := workload.ScalabilityGraph()
+	pairs := reachSample(g.NumNodes(), r.Seed)
+
+	rep := &Report{
+		ID:    "reach",
+		Title: fmt.Sprintf("reachability-index backends (%s dataset)", s.Name),
+		PaperClaim: "the engine consumes reachability labelings through a backend interface; " +
+			"any labeling with the 2-hop query shape (SCC-condensed 2-hop cover, pruned " +
+			"landmark labeling) answers identical queries, trading build time against index size",
+		Header: []string{"backend", "build ms", "|H|", "|H|/|V|", "reaches ns", "query ms", "query io", "rows", "agreed"},
+	}
+
+	var results []ReachResult
+	var truth []bool // first backend's sampled answers
+	for _, name := range reach.Names() {
+		b, err := reach.Lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		res := ReachResult{Backend: name, Dataset: s.Name, BuildMS: -1, Agreed: true}
+		var idx reach.Index
+		for rep := 0; rep < r.reps(); rep++ {
+			t0 := time.Now()
+			built := b.Build(g, reach.Options{Parallelism: r.BuildParallelism})
+			el := float64(time.Since(t0).Microseconds()) / 1e3
+			if res.BuildMS < 0 || el < res.BuildMS {
+				res.BuildMS, idx = el, built
+			}
+		}
+		st := idx.Stats()
+		res.Size, res.Ratio = st.Size, st.Ratio
+
+		answers := make([]bool, len(pairs))
+		bestNS := -1.0
+		for rep := 0; rep < r.reps(); rep++ {
+			t0 := time.Now()
+			for i, p := range pairs {
+				answers[i] = idx.Reaches(p[0], p[1])
+			}
+			ns := float64(time.Since(t0).Nanoseconds()) / float64(len(pairs))
+			if bestNS < 0 || ns < bestNS {
+				bestNS = ns
+			}
+		}
+		res.ReachesNS = bestNS
+		if truth == nil {
+			truth = answers
+		} else {
+			for i := range answers {
+				if answers[i] != truth[i] {
+					res.Agreed = false
+					return nil, nil, fmt.Errorf("bench: reach: %s disagrees with %s on Reaches(%d,%d)",
+						name, results[0].Backend, pairs[i][0], pairs[i][1])
+				}
+			}
+		}
+
+		db, err := gdb.BuildFromIndex(g, idx, gdb.Options{PoolBytes: 16 << 20, CodeCacheEntries: 4096})
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := r.timeQuery(db, w.Pattern, exec.DPS)
+		db.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		res.QueryMS, res.QueryIO, res.QueryRows = m.ElapsedMS, m.IO, m.Rows
+
+		results = append(results, res)
+		rep.AddRow(name, ms(res.BuildMS), fmt.Sprint(res.Size), fmt.Sprintf("%.3f", res.Ratio),
+			fmt.Sprintf("%.0f", res.ReachesNS), ms(res.QueryMS), fmt.Sprint(res.QueryIO),
+			fmt.Sprint(res.QueryRows), fmt.Sprint(res.Agreed))
+	}
+	// Same pattern answered from every backend's codes — row counts must agree.
+	for _, res := range results[1:] {
+		if res.QueryRows != results[0].QueryRows {
+			return nil, nil, fmt.Errorf("bench: reach: %s query returned %d rows, %s returned %d",
+				res.Backend, res.QueryRows, results[0].Backend, results[0].QueryRows)
+		}
+	}
+	return rep, results, nil
+}

@@ -327,6 +327,9 @@ func (r *Runner) ByID(id string) (*Report, error) {
 	case "fastpath":
 		rep, _, err := r.FastpathMicro()
 		return rep, err
+	case "reach":
+		rep, _, err := r.ReachMicro()
+		return rep, err
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)
 	}

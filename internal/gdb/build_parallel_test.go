@@ -101,7 +101,7 @@ func TestParallelBuildServesIdentically(t *testing.T) {
 		cover := twohop.Compute(g, twohop.Options{})
 		var ref *dbSnapshot
 		for _, workers := range buildDegrees() {
-			db, err := BuildFromCover(g, cover, Options{BuildParallelism: workers})
+			db, err := BuildFromIndex(g, cover, Options{BuildParallelism: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,7 +150,7 @@ func TestParallelBuildReaches(t *testing.T) {
 func TestInvertCoverMatchesReference(t *testing.T) {
 	g := randomGraph(14, 250, 800, 3)
 	cover := twohop.Compute(g, twohop.Options{})
-	db, err := BuildFromCover(g, cover, Options{})
+	db, err := BuildFromIndex(g, cover, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,8 +6,8 @@ import (
 	"slices"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/storage"
-	"fastmatch/internal/twohop"
 )
 
 // ErrBadDelete reports an edge delete whose endpoints lie outside the
@@ -50,7 +50,7 @@ func (db *DB) ApplyEdgeDelete(u, v graph.NodeID) (EdgeDeleteStats, error) {
 // repairs every persistent structure — no rebuild. Per edge:
 //
 //  1. The 2-hop cover is repaired by over-delete/re-insert
-//     (twohop.Incremental.DeleteEdge): label entries whose only support
+//     (reach.Incremental.DeleteEdge): label entries whose only support
 //     path used u→v are identified by pruned re-BFS from the affected
 //     centers and removed, then any still-supported pairs the removals
 //     orphaned are re-covered. Both directions are reported as deltas.
@@ -170,9 +170,9 @@ type centerChangeStats struct {
 //
 // Emptied subcluster slots and retracted W rows are real B+-tree key
 // deletions (DeleteCow), so readers of the next epoch never see them.
-func (w *snapWriter) applyCenterDeltas(deltas []twohop.LabelDelta) (centerChangeStats, error) {
+func (w *snapWriter) applyCenterDeltas(deltas []reach.LabelDelta) (centerChangeStats, error) {
 	var cs centerChangeStats
-	byCenter := make(map[graph.NodeID][]twohop.LabelDelta)
+	byCenter := make(map[graph.NodeID][]reach.LabelDelta)
 	centers := make([]graph.NodeID, 0, 4)
 	for _, d := range deltas {
 		if _, ok := byCenter[d.Center]; !ok {
@@ -195,7 +195,7 @@ type clusterSlot struct {
 	l   graph.Label
 }
 
-func (w *snapWriter) applyOneCenter(c graph.NodeID, ds []twohop.LabelDelta, cs *centerChangeStats) error {
+func (w *snapWriter) applyOneCenter(c graph.NodeID, ds []reach.LabelDelta, cs *centerChangeStats) error {
 	allF0, fsz0, err := w.clusterSlotSizes(c, dirF, true)
 	if err != nil {
 		return err

@@ -23,14 +23,20 @@ package gdb
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"fastmatch/internal/epoch"
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/storage"
-	"fastmatch/internal/twohop"
+
+	// Register the built-in reachability backends so every database user can
+	// select them by name through Options.ReachIndex.
+	_ "fastmatch/internal/pll"
+	_ "fastmatch/internal/twohop"
 )
 
 // ErrClosed is returned by DB (and Engine) methods called after Close.
@@ -43,8 +49,12 @@ type Options struct {
 	// PoolBytes sizes the buffer pool (default storage.DefaultPoolBytes,
 	// the paper's 1 MB).
 	PoolBytes int
-	// Cover configures 2-hop cover computation.
-	Cover twohop.Options
+	// ReachIndex names the reachability-index backend that computes the
+	// labeling the database is built on ("twohop", "pll", ...; empty selects
+	// reach.DefaultBackend). The choice is recorded in the manifest of a
+	// file-backed database, and Open refuses to reattach under a different
+	// backend.
+	ReachIndex string
 	// DisableWTableCache turns off the in-memory W-table cache. The paper
 	// keeps frequently used W entries in memory (Section 3.4); the cache is
 	// on by default and this switch exists for ablation benchmarks.
@@ -53,12 +63,11 @@ type Options struct {
 	// (the paper's getCenters cache). Default 65536; negative disables.
 	CodeCacheEntries int
 	// BuildParallelism is the worker count for the build pipeline: batched
-	// 2-hop labeling (unless Cover.Parallelism is set explicitly), code
-	// encoding, and the sharded cover inversion feeding the cluster index.
-	// 0 or 1 builds serially, n > 1 uses n workers, < 0 uses GOMAXPROCS.
-	// The built database is identical at every setting except the cover
-	// itself, which at parallelism > 1 may carry a few extra (still valid)
-	// entries — see twohop.Options.Parallelism.
+	// reachability labeling, code encoding, and the sharded cover inversion
+	// feeding the cluster index. 0 or 1 builds serially, n > 1 uses n
+	// workers, < 0 uses GOMAXPROCS. The built database is identical at every
+	// setting except the labeling itself, which at parallelism > 1 may carry
+	// a few extra (still valid) entries — see reach.PrunedLabeling.
 	BuildParallelism int
 }
 
@@ -72,8 +81,9 @@ type Options struct {
 // publish it atomically. Pages superseded by a publish are returned to the
 // pool's free list once the last epoch referencing them retires.
 type DB struct {
-	cover *twohop.Cover
-	inc   *twohop.Incremental // lazily seeded by ApplyEdgeInsert
+	idx     reach.Index   // nil for a database reattached with Open
+	inc     reach.Dynamic // lazily seeded by ApplyEdgeInsert
+	backend reach.Backend
 
 	pager storage.Pager
 	pool  *storage.BufferPool
@@ -242,20 +252,30 @@ const (
 	dirT byte = 1
 )
 
-// Build constructs the database for g: computes the 2-hop cover, writes the
-// base tables, the cluster-based R-join index, and the W-table.
+// Build constructs the database for g: computes the reachability labeling
+// with the backend Options.ReachIndex selects, then writes the base
+// tables, the cluster-based R-join index, and the W-table.
 func Build(g *graph.Graph, opt Options) (*DB, error) {
-	copt := opt.Cover
-	if copt.Parallelism == 0 {
-		copt.Parallelism = opt.BuildParallelism
+	backend, err := reach.Lookup(opt.ReachIndex)
+	if err != nil {
+		return nil, err
 	}
-	cover := twohop.Compute(g, copt)
-	return BuildFromCover(g, cover, opt)
+	idx := backend.Build(g, reach.Options{Parallelism: opt.BuildParallelism})
+	return BuildFromIndex(g, idx, opt)
 }
 
-// BuildFromCover is Build with a precomputed cover (to share one cover
-// across several database configurations in benchmarks).
-func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, error) {
+// BuildFromIndex is Build with a precomputed reachability index (to share
+// one labeling across several database configurations in benchmarks). The
+// index's backend must be registered; a non-empty Options.ReachIndex that
+// names a different backend is an error.
+func BuildFromIndex(g *graph.Graph, idx reach.Index, opt Options) (*DB, error) {
+	if opt.ReachIndex != "" && opt.ReachIndex != idx.Backend() {
+		return nil, fmt.Errorf("gdb: index built by backend %q, options ask for %q", idx.Backend(), opt.ReachIndex)
+	}
+	backend, err := reach.Lookup(idx.Backend())
+	if err != nil {
+		return nil, err
+	}
 	if opt.PoolBytes == 0 {
 		opt.PoolBytes = storage.DefaultPoolBytes
 	}
@@ -273,7 +293,8 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 		pager = fp
 	}
 	db := &DB{
-		cover:            cover,
+		idx:              idx,
+		backend:          backend,
 		pager:            pager,
 		pool:             storage.NewBufferPool(pager, opt.PoolBytes),
 		wcacheOn:         !opt.DisableWTableCache,
@@ -283,7 +304,7 @@ func BuildFromCover(g *graph.Graph, cover *twohop.Cover, opt Options) (*DB, erro
 	db.path = opt.Path
 	db.bulkBuilt = true
 	s := db.newSnap(g)
-	s.coverSize = cover.Size()
+	s.coverSize = idx.Size()
 	workers := buildWorkers(opt.BuildParallelism)
 	if err := db.buildBaseTables(s, workers); err != nil {
 		db.Close()
@@ -378,12 +399,17 @@ func (db *DB) OnEpochRetire(fn func(minLive uint64)) { db.mgr.OnRetire(fn) }
 // was taken.
 func (db *DB) Graph() *graph.Graph { return db.mgr.Current().g }
 
-// Cover returns the 2-hop cover the database was built from, or nil for a
-// database reattached with Open (the cover's information lives in the
-// stored graph codes; only the object is not reloaded).
-func (db *DB) Cover() *twohop.Cover { return db.cover }
+// Index returns the reachability index the database was built from, or
+// nil for a database reattached with Open (the labeling's information
+// lives in the stored graph codes; only the object is not reloaded).
+func (db *DB) Index() reach.Index { return db.idx }
 
-// CoverSize returns the 2-hop cover size |H| as of the current epoch,
+// ReachBackend returns the name of the reachability backend the database
+// was built with — available on both built and opened databases (Open
+// reads it from the manifest).
+func (db *DB) ReachBackend() string { return db.backend.Name() }
+
+// CoverSize returns the labeling size |H| as of the current epoch,
 // available on both built and opened databases.
 func (db *DB) CoverSize() int { return db.mgr.Current().coverSize }
 
@@ -433,7 +459,7 @@ func (db *DB) buildBaseTables(s *Snap, workers int) error {
 	recs := make([][]byte, n)
 	parallelRanges(n, workers, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			recs[v] = encodeCodes(db.cover.In(graph.NodeID(v)), db.cover.Out(graph.NodeID(v)))
+			recs[v] = encodeCodes(db.idx.In(graph.NodeID(v)), db.idx.Out(graph.NodeID(v)))
 		}
 	})
 	rids := make([]uint64, n)

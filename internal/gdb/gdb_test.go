@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/twohop"
 )
 
@@ -397,15 +398,15 @@ func TestIntersectHelpers(t *testing.T) {
 	}
 }
 
-func TestBuildFromCoverSharesCover(t *testing.T) {
+func TestBuildFromIndexSharesIndex(t *testing.T) {
 	g, _ := figure1Graph()
 	cover := twohop.Compute(g, twohop.Options{})
-	db, err := BuildFromCover(g, cover, Options{})
+	db, err := BuildFromIndex(g, cover, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if db.Cover() != cover {
+	if db.Index() != reach.Index(cover) {
 		t.Fatal("DB should retain the provided cover")
 	}
 	if db.NumCenters() == 0 {

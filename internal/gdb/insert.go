@@ -7,8 +7,8 @@ import (
 	"slices"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/storage"
-	"fastmatch/internal/twohop"
 )
 
 // ErrBadInsert reports an edge insert whose endpoints lie outside the
@@ -43,7 +43,7 @@ func (db *DB) ApplyEdgeInsert(u, v graph.NodeID) (EdgeInsertStats, error) {
 // ApplyEdgeInserts adds the edges u→v in order and incrementally repairs
 // every persistent structure — no rebuild. Per edge:
 //
-//  1. The 2-hop cover is updated by center insertion (twohop.Incremental),
+//  1. The 2-hop cover is updated by center insertion (reach.Incremental),
 //     which reports exactly the label entries added.
 //  2. Each delta "center u joined stored-Out(x)/In(y)" becomes a point
 //     update of x/y's base-table record (T_X in/out codes).
@@ -224,8 +224,8 @@ func (w *snapWriter) applyOne(u, v graph.NodeID) (EdgeInsertStats, error) {
 	return st, nil
 }
 
-// ensureIncremental lazily seeds the updatable 2-hop labeling: from the
-// build-time cover when present, otherwise (a database reattached with
+// ensureIncremental lazily seeds the updatable reachability labeling: from
+// the build-time index when present, otherwise (a database reattached with
 // Open) by scanning the stored compact codes back out of the base tables.
 // The seed state persists on the DB across batches; it is only read and
 // mutated under writeMu.
@@ -237,10 +237,10 @@ func (w *snapWriter) ensureIncremental() error {
 	n := w.g.NumNodes()
 	in := make([][]graph.NodeID, n)
 	out := make([][]graph.NodeID, n)
-	if db.cover != nil {
+	if db.idx != nil {
 		for v := graph.NodeID(0); int(v) < n; v++ {
-			in[v] = db.cover.In(v)
-			out[v] = db.cover.Out(v)
+			in[v] = db.idx.In(v)
+			out[v] = db.idx.Out(v)
 		}
 	} else {
 		for v := graph.NodeID(0); int(v) < n; v++ {
@@ -258,7 +258,7 @@ func (w *snapWriter) ensureIncremental() error {
 			in[v], out[v] = decodeCodes(rec)
 		}
 	}
-	db.inc = twohop.NewIncrementalFromLabels(w.g, in, out)
+	db.inc = db.backend.DynamicFromLabels(w.g, in, out)
 	return nil
 }
 
@@ -267,8 +267,8 @@ func (w *snapWriter) ensureIncremental() error {
 // (the old record is orphaned; the heap is append-only) and a
 // copy-on-write upsert of the primary index entry. A record whose codes
 // empty is kept — the node still exists and its row anchors reattachment.
-func (w *snapWriter) applyBaseDeltas(deltas []twohop.LabelDelta) error {
-	byNode := make(map[graph.NodeID][]twohop.LabelDelta)
+func (w *snapWriter) applyBaseDeltas(deltas []reach.LabelDelta) error {
+	byNode := make(map[graph.NodeID][]reach.LabelDelta)
 	order := make([]graph.NodeID, 0, len(deltas))
 	for _, d := range deltas {
 		if _, ok := byNode[d.Node]; !ok {

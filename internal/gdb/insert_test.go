@@ -169,7 +169,7 @@ func TestApplyEdgeInsertOnOpenedDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if re.Cover() != nil {
+	if re.Index() != nil {
 		t.Fatal("opened db unexpectedly has a cover object")
 	}
 	rng := rand.New(rand.NewSource(23))

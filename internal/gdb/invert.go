@@ -8,7 +8,7 @@ import (
 )
 
 // buildWorkers resolves Options.BuildParallelism to a worker count, with
-// the same convention as twohop.Options.Parallelism.
+// the same convention as reach.Options.Parallelism.
 func buildWorkers(p int) int {
 	if p < 0 {
 		return runtime.GOMAXPROCS(0)
@@ -78,7 +78,7 @@ type inversion struct {
 // The result is identical at every worker count: slot layout depends only
 // on the cover, and segment order only on node order.
 func (db *DB) invertCover(g *graph.Graph, workers int) *inversion {
-	cover := db.cover
+	cover := db.idx
 	n := g.NumNodes()
 	L := g.Labels().Len()
 

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 	"fastmatch/internal/storage"
 )
 
@@ -26,6 +27,11 @@ type manifest struct {
 	EdgesRID   uint64            `json:"edges_rid"` // heap record: edge list
 	NumCenters int               `json:"num_centers"`
 	CoverSize  int               `json:"cover_size"`
+	// ReachBackend names the reachability backend the stored labeling was
+	// computed by. Absent (manifests written before backends were pluggable)
+	// means reach.DefaultBackend; Open refuses to reattach under a
+	// different backend than the manifest records.
+	ReachBackend string `json:"reach_backend,omitempty"`
 	// BulkBuilt records that the trees were bulk-loaded and have not been
 	// point-updated since, so a reopened database knows whether the dense
 	// bulk layout survives. Informational for tooling; both layouts read
@@ -85,16 +91,17 @@ func (db *DB) Persist(path string) error {
 	}
 
 	m := manifest{
-		Version:    manifestVersion,
-		Labels:     g.Labels().Names(),
-		BaseRoots:  make(map[string]uint32, len(s.base)),
-		WTableRoot: uint32(s.wtable.Root()),
-		ClustRoot:  uint32(s.cluster.Root()),
-		NodesRID:   db.nodesRID,
-		EdgesRID:   db.edgesRID,
-		NumCenters: s.numCenters,
-		CoverSize:  s.coverSize,
-		BulkBuilt:  db.bulkBuilt,
+		Version:      manifestVersion,
+		Labels:       g.Labels().Names(),
+		BaseRoots:    make(map[string]uint32, len(s.base)),
+		WTableRoot:   uint32(s.wtable.Root()),
+		ClustRoot:    uint32(s.cluster.Root()),
+		NodesRID:     db.nodesRID,
+		EdgesRID:     db.edgesRID,
+		NumCenters:   s.numCenters,
+		CoverSize:    s.coverSize,
+		ReachBackend: db.backend.Name(),
+		BulkBuilt:    db.bulkBuilt,
 	}
 	for l, bt := range s.base {
 		m.BaseRoots[g.Labels().Name(l)] = uint32(bt.Root())
@@ -131,9 +138,13 @@ func (db *DB) Sync() error {
 }
 
 // Open reattaches to a database previously built with a non-empty
-// Options.Path. The 2-hop cover object itself is not reloaded (its
-// information lives in the stored graph codes); Cover returns nil on an
-// opened database and CoverSize reports the persisted size.
+// Options.Path. The reachability-index object itself is not reloaded (its
+// information lives in the stored graph codes); Index returns nil on an
+// opened database and CoverSize reports the persisted size. The manifest
+// records which backend computed the stored labeling; Open resolves it
+// (so incremental maintenance resumes under the same backend) and refuses
+// a non-empty Options.ReachIndex that names a different one — the stored
+// codes are the other backend's labeling, not a drop-in.
 func Open(path string, opt Options) (*DB, error) {
 	raw, err := os.ReadFile(manifestPath(path))
 	if err != nil {
@@ -146,6 +157,14 @@ func Open(path string, opt Options) (*DB, error) {
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("gdb: manifest version %d (want %d)", m.Version, manifestVersion)
 	}
+	backend, err := reach.Lookup(m.ReachBackend)
+	if err != nil {
+		return nil, fmt.Errorf("gdb: manifest names unavailable reach backend: %w", err)
+	}
+	if opt.ReachIndex != "" && opt.ReachIndex != backend.Name() {
+		return nil, fmt.Errorf("gdb: database was built with reach backend %q, options ask for %q",
+			backend.Name(), opt.ReachIndex)
+	}
 	if opt.PoolBytes == 0 {
 		opt.PoolBytes = storage.DefaultPoolBytes
 	}
@@ -157,6 +176,7 @@ func Open(path string, opt Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
+		backend:          backend,
 		pager:            pager,
 		pool:             storage.NewBufferPool(pager, opt.PoolBytes),
 		wcacheOn:         !opt.DisableWTableCache,

@@ -54,7 +54,7 @@ func TestPersistAndOpen(t *testing.T) {
 	}
 	defer db.Close()
 
-	if db.Cover() != nil {
+	if db.Index() != nil {
 		t.Fatal("opened DB should have nil cover object")
 	}
 	if db.CoverSize() != wantCover {

@@ -39,12 +39,11 @@ func Repack(src, dst string, opt Options) error {
 			return err
 		}
 	}
-	// Serial build everywhere: parallel 2-hop labeling may emit a slightly
-	// different (still valid) cover per run, which would break the
+	// Serial build everywhere: parallel labeling may emit a slightly
+	// different (still valid) labeling per run, which would break the
 	// byte-stability contract.
 	opt.Path = dst
 	opt.BuildParallelism = 0
-	opt.Cover.Parallelism = 1
 	db, err := Build(g, opt)
 	if err != nil {
 		return fmt.Errorf("gdb: repack build %s: %w", dst, err)

@@ -230,7 +230,11 @@ func OptimizeDPS(b *Binding, params CostParams) (*Plan, error) {
 		}
 	}
 
-	// Pick the cheapest complete status.
+	// Pick the cheapest complete status. Cost ties are broken by the
+	// smaller status key: map iteration order is randomized per range, and
+	// equal-cost statuses are common (e.g. the two directions of a single
+	// edge), so without the tie-break two optimizer calls on the same
+	// binding could return differently-ordered plans.
 	var best statusKey
 	bestInfo := (*info)(nil)
 	for key, inf := range states {
@@ -238,7 +242,8 @@ func OptimizeDPS(b *Binding, params CostParams) (*Plan, error) {
 		if e != fullE {
 			continue
 		}
-		if bestInfo == nil || inf.cost < bestInfo.cost {
+		if bestInfo == nil || inf.cost < bestInfo.cost ||
+			(inf.cost == bestInfo.cost && key < best) {
 			best, bestInfo = key, inf
 		}
 	}

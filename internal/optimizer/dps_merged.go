@@ -171,13 +171,16 @@ func OptimizeDPSMerged(b *Binding, params CostParams) (*Plan, error) {
 		}
 	}
 
+	// Cost ties break toward the smaller key — same determinism argument
+	// as OptimizeDPS: map iteration order must not pick the plan.
 	var best uint64
 	var bestInfo *info
 	for k, inf := range states {
 		if uint32(k&0xFFFF) != fullE {
 			continue
 		}
-		if bestInfo == nil || inf.cost < bestInfo.cost {
+		if bestInfo == nil || inf.cost < bestInfo.cost ||
+			(inf.cost == bestInfo.cost && k < best) {
 			best, bestInfo = k, inf
 		}
 	}

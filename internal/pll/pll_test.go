@@ -1,0 +1,308 @@
+package pll_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pll"
+	"fastmatch/internal/reach"
+)
+
+func randomGraph(seed int64, n, m, nlabels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	labels := make([]graph.Label, nlabels)
+	for i := range labels {
+		labels[i] = b.Intern(string(rune('A' + i)))
+	}
+	for i := 0; i < n; i++ {
+		b.AddNodeLabel(labels[rng.Intn(nlabels)])
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func chainGraph(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	l := b.Intern("A")
+	for i := 0; i < n; i++ {
+		b.AddNodeLabel(l)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build()
+}
+
+// bfsClosure computes the full reachability closure by BFS from every node.
+func bfsClosure(g *graph.Graph) [][]bool {
+	n := g.NumNodes()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		seen := make([]bool, n)
+		seen[s] = true
+		queue := []graph.NodeID{graph.NodeID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Successors(u) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		reach[s] = seen
+	}
+	return reach
+}
+
+// TestVerifyAgainstBFS: Reaches agrees with BFS truth on every pair, on
+// cyclic random graphs, a DAG-ish sparse graph, and a chain.
+func TestVerifyAgainstBFS(t *testing.T) {
+	graphs := []*graph.Graph{
+		randomGraph(1, 120, 360, 3), // cycle-heavy
+		randomGraph(2, 150, 170, 4), // sparse
+		chainGraph(40),
+	}
+	for gi, g := range graphs {
+		idx := pll.Compute(g, reach.Options{})
+		if err := idx.Verify(); err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		truth := bfsClosure(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if got := idx.Reaches(graph.NodeID(u), graph.NodeID(v)); got != truth[u][v] {
+					t.Fatalf("graph %d: Reaches(%d,%d)=%v, BFS %v", gi, u, v, got, truth[u][v])
+				}
+			}
+		}
+	}
+}
+
+// TestLabelMinimality spot-checks the pruned-BFS invariant: a compact
+// entry c ∈ In(v) survives pruning only when no strictly higher-ranked
+// vertex h lies between them (c ⇝ h ⇝ v, h ≠ c) — such an h was labeled
+// first and its labels would have pruned c's BFS at v. Symmetrically for
+// Out. In particular the top-ranked vertex's own compact lists are empty.
+func TestLabelMinimality(t *testing.T) {
+	for _, seed := range []int64{3, 4, 5} {
+		g := randomGraph(seed, 60, 150, 3)
+		idx := pll.Compute(g, reach.Options{})
+		truth := bfsClosure(g)
+
+		// Recompute the build's degree rank: (din+1)(dout+1) desc, id asc.
+		n := g.NumNodes()
+		rank := make([]int, n)
+		{
+			order := make([]graph.NodeID, 0, n)
+			for v := 0; v < n; v++ {
+				order = append(order, graph.NodeID(v))
+			}
+			score := func(v graph.NodeID) int64 {
+				return int64(g.InDegree(v)+1) * int64(g.OutDegree(v)+1)
+			}
+			for i := 1; i < len(order); i++ { // insertion sort, stable
+				for j := i; j > 0 && score(order[j]) > score(order[j-1]); j-- {
+					order[j], order[j-1] = order[j-1], order[j]
+				}
+			}
+			for r, v := range order {
+				rank[v] = r
+			}
+		}
+
+		for v := 0; v < n; v++ {
+			for _, c := range idx.In(graph.NodeID(v)) {
+				if !truth[c][v] {
+					t.Fatalf("seed %d: unsound entry %d ∈ In(%d)", seed, c, v)
+				}
+				for h := 0; h < n; h++ {
+					if h != int(c) && rank[h] < rank[c] && truth[c][h] && truth[h][v] {
+						t.Fatalf("seed %d: redundant entry %d ∈ In(%d): higher-ranked %d between", seed, c, v, h)
+					}
+				}
+			}
+			for _, c := range idx.Out(graph.NodeID(v)) {
+				if !truth[v][c] {
+					t.Fatalf("seed %d: unsound entry %d ∈ Out(%d)", seed, c, v)
+				}
+				for h := 0; h < n; h++ {
+					if h != int(c) && rank[h] < rank[c] && truth[v][h] && truth[h][c] {
+						t.Fatalf("seed %d: redundant entry %d ∈ Out(%d): higher-ranked %d between", seed, c, v, h)
+					}
+				}
+			}
+		}
+
+		// The top-ranked vertex is labeled first: nothing can prune it, and
+		// nothing else may appear in its compact lists.
+		top := 0
+		for v := 1; v < n; v++ {
+			if rank[v] < rank[top] {
+				top = v
+			}
+		}
+		if len(idx.In(graph.NodeID(top)))+len(idx.Out(graph.NodeID(top))) != 0 {
+			t.Fatalf("seed %d: top-ranked vertex %d has non-empty compact labels In=%v Out=%v",
+				seed, top, idx.In(graph.NodeID(top)), idx.Out(graph.NodeID(top)))
+		}
+	}
+}
+
+// TestDeterministicAcrossParallelism: at every parallelism degree the
+// build is deterministic (two builds agree entry for entry), and every
+// degree answers Reaches identically to the serial build.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	g := randomGraph(6, 200, 600, 3)
+	serial := pll.Compute(g, reach.Options{})
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		a := pll.Compute(g, reach.Options{Parallelism: workers})
+		b := pll.Compute(g, reach.Options{Parallelism: workers})
+		for v := 0; v < g.NumNodes(); v++ {
+			if !reflect.DeepEqual(a.In(graph.NodeID(v)), b.In(graph.NodeID(v))) ||
+				!reflect.DeepEqual(a.Out(graph.NodeID(v)), b.Out(graph.NodeID(v))) {
+				t.Fatalf("workers=%d: two builds disagree at node %d", workers, v)
+			}
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for u := 0; u < g.NumNodes(); u += 3 {
+			for v := 0; v < g.NumNodes(); v += 3 {
+				if a.Reaches(graph.NodeID(u), graph.NodeID(v)) != serial.Reaches(graph.NodeID(u), graph.NodeID(v)) {
+					t.Fatalf("workers=%d: Reaches(%d,%d) differs from serial", workers, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStats checks the derived statistics against directly computed values.
+func TestStats(t *testing.T) {
+	g := chainGraph(10)
+	idx := pll.Compute(g, reach.Options{})
+	st := idx.Stats()
+	if st.Backend != pll.BackendName {
+		t.Fatalf("Backend = %q", st.Backend)
+	}
+	if st.Nodes != 10 || st.Edges != 9 {
+		t.Fatalf("|V|=%d |E|=%d", st.Nodes, st.Edges)
+	}
+	if st.Components != 10 {
+		t.Fatalf("chain has 10 trivial SCCs, got %d", st.Components)
+	}
+	size := 0
+	maxIn, maxOut := 0, 0
+	for v := 0; v < 10; v++ {
+		size += len(idx.In(graph.NodeID(v))) + len(idx.Out(graph.NodeID(v)))
+		maxIn = max(maxIn, len(idx.In(graph.NodeID(v))))
+		maxOut = max(maxOut, len(idx.Out(graph.NodeID(v))))
+	}
+	if st.Size != size || st.Size != idx.Size() {
+		t.Fatalf("Size=%d, recounted %d, idx.Size %d", st.Size, size, idx.Size())
+	}
+	if st.MaxIn != maxIn || st.MaxOut != maxOut {
+		t.Fatalf("MaxIn/MaxOut = %d/%d, recounted %d/%d", st.MaxIn, st.MaxOut, maxIn, maxOut)
+	}
+	if st.Ratio != float64(size)/10 {
+		t.Fatalf("Ratio = %v", st.Ratio)
+	}
+	if st.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+// TestRegistered: the package registers itself under "pll" and the
+// registry round-trips Build/Dynamic through the interface.
+func TestRegistered(t *testing.T) {
+	b, err := reach.Lookup(pll.BackendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != pll.BackendName {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	g := chainGraph(6)
+	idx := b.Build(g, reach.Options{})
+	if idx.Backend() != pll.BackendName {
+		t.Fatalf("Backend = %q", idx.Backend())
+	}
+	dyn := b.Dynamic(idx)
+	if !dyn.Reaches(0, 5) || dyn.Reaches(5, 0) {
+		t.Fatal("dynamic wrapper answers wrong")
+	}
+	dyn.InsertEdge(5, 0)
+	if !dyn.Reaches(5, 0) {
+		t.Fatal("insert through dynamic wrapper lost")
+	}
+}
+
+// TestPersistOpenPersistByteStable: a gdb database built on the PLL
+// backend persists, reopens under the same backend (recorded in the
+// manifest), and re-persists byte-identically — page file and manifest.
+func TestPersistOpenPersistByteStable(t *testing.T) {
+	g := randomGraph(7, 150, 400, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pll.fdb")
+
+	db, err := gdb.Build(g, gdb.Options{Path: path, ReachIndex: pll.BackendName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.ReachBackend() != pll.BackendName {
+		t.Fatalf("built backend = %q", db.ReachBackend())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	page1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man1, err := os.ReadFile(path + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := gdb.Open(path, gdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.ReachBackend() != pll.BackendName {
+		t.Fatalf("reopened backend = %q", re.ReachBackend())
+	}
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	page2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, err := os.ReadFile(path + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(page1, page2) {
+		t.Fatal("page file changed across persist→open→persist")
+	}
+	if !reflect.DeepEqual(man1, man2) {
+		t.Fatalf("manifest changed across persist→open→persist:\n%s\nvs\n%s", man1, man2)
+	}
+
+	// Opening under a mismatching explicit backend must refuse.
+	if _, err := gdb.Open(path, gdb.Options{ReachIndex: "twohop"}); err == nil {
+		t.Fatal("open with mismatching -reach-index should fail")
+	}
+}

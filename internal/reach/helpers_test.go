@@ -1,0 +1,68 @@
+package reach_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
+
+	// Register both backends so the shared-engine tests run over every one.
+	_ "fastmatch/internal/pll"
+	_ "fastmatch/internal/twohop"
+)
+
+func randomGraph(seed int64, n, m, nlabels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(nlabels))))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// chainGraph builds a simple path v0→v1→…→v(n-1).
+func chainGraph(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("X")
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build()
+}
+
+func containsSorted(a []graph.NodeID, x graph.NodeID) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}
+
+// forEachBackend runs f as a subtest once per registered backend, so every
+// shared-engine invariant is proven for every labeling family.
+func forEachBackend(t *testing.T, f func(t *testing.T, b reach.Backend)) {
+	t.Helper()
+	for _, name := range reach.Names() {
+		b, err := reach.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, b) })
+	}
+}
+
+// newInc seeds the shared Incremental from a fresh build of b over g.
+func newInc(b reach.Backend, g *graph.Graph) *reach.Incremental {
+	return reach.NewIncremental(b.Build(g, reach.Options{}))
+}

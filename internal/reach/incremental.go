@@ -1,4 +1,4 @@
-package twohop
+package reach
 
 import (
 	"slices"
@@ -6,11 +6,14 @@ import (
 	"fastmatch/internal/graph"
 )
 
-// Incremental maintains a 2-hop reachability labeling under edge
+// Incremental maintains a 2-hop-style reachability labeling under edge
 // insertions and deletions — the 2-hop cover update problem the paper
-// cites as [24] (Schenkel et al., ICDE'05). It seeds from a computed Cover
+// cites as [24] (Schenkel et al., ICDE'05). It seeds from any built Index
 // and keeps the invariant that u ⇝ v iff out(u) ∩ in(v) ≠ ∅ (with the
-// compact self convention) after every InsertEdge and DeleteEdge.
+// compact self convention) after every InsertEdge and DeleteEdge. The
+// repair arguments below never appeal to how the seed labeling was
+// constructed — only to its validity — so one Incremental serves every
+// backend.
 //
 // The update strategy for a new edge (u, v) follows the classic
 // center-insertion argument: every newly reachable pair (x, y) decomposes
@@ -41,23 +44,23 @@ type Incremental struct {
 	size     int
 }
 
-// NewIncremental seeds an updatable labeling from a computed cover and its
+// NewIncremental seeds an updatable labeling from a built index and its
 // graph's adjacency.
-func NewIncremental(c *Cover) *Incremental {
-	g := c.Graph()
+func NewIncremental(idx Index) *Incremental {
+	g := idx.Graph()
 	n := g.NumNodes()
 	inc := &Incremental{
 		fwd:  make([][]graph.NodeID, n),
 		rev:  make([][]graph.NodeID, n),
 		in:   make([][]graph.NodeID, n),
 		out:  make([][]graph.NodeID, n),
-		size: c.Size(),
+		size: idx.Size(),
 	}
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		inc.fwd[v] = append([]graph.NodeID(nil), g.Successors(v)...)
 		inc.rev[v] = append([]graph.NodeID(nil), g.Predecessors(v)...)
-		inc.in[v] = append([]graph.NodeID(nil), c.In(v)...)
-		inc.out[v] = append([]graph.NodeID(nil), c.Out(v)...)
+		inc.in[v] = append([]graph.NodeID(nil), idx.In(v)...)
+		inc.out[v] = append([]graph.NodeID(nil), idx.Out(v)...)
 	}
 	return inc
 }
@@ -66,11 +69,11 @@ func NewIncremental(c *Cover) *Incremental {
 // and already-materialised compact label lists (sorted ascending, excluding
 // the node itself) — the form stored in the graph database's base tables,
 // so a reattached database can resume incremental maintenance without the
-// original Cover object. The label slices are copied.
+// original index object. The label slices are copied.
 func NewIncrementalFromLabels(g *graph.Graph, in, out [][]graph.NodeID) *Incremental {
 	n := g.NumNodes()
 	if len(in) != n || len(out) != n {
-		panic("twohop: NewIncrementalFromLabels: label lists do not match graph size")
+		panic("reach: NewIncrementalFromLabels: label lists do not match graph size")
 	}
 	inc := &Incremental{
 		fwd: make([][]graph.NodeID, n),
@@ -86,18 +89,6 @@ func NewIncrementalFromLabels(g *graph.Graph, in, out [][]graph.NodeID) *Increme
 		inc.size += len(in[v]) + len(out[v])
 	}
 	return inc
-}
-
-// LabelDelta records one label entry changed by InsertEdge or DeleteEdge:
-// Center joined (Removed false) or left (Removed true) the compact
-// L_out(Node) (Out true) or L_in(Node) (Out false). The delta set is
-// exactly what an index built on top of the labeling (base-table codes,
-// cluster index, W-table) must absorb to stay consistent.
-type LabelDelta struct {
-	Node    graph.NodeID
-	Center  graph.NodeID
-	Out     bool
-	Removed bool
 }
 
 // NumNodes returns the number of nodes.

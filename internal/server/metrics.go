@@ -286,6 +286,9 @@ type Stats struct {
 	P99ms float64 `json:"p99_ms"`
 	// IO is the database buffer pool's accumulated counters.
 	IO storage.IOStats `json:"io"`
+	// ReachBackend is the reachability-index backend the database's graph
+	// codes were computed by ("twohop", "pll", ...).
+	ReachBackend string `json:"reach_backend"`
 	// UptimeSeconds is time since New.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -344,6 +347,7 @@ func (s *Server) Stats() Stats {
 		st.WorkerUtilization = float64(st.OperatorTasks) / (float64(st.OperatorOps) * float64(degree))
 	}
 	if !s.db.Closed() {
+		st.ReachBackend = s.db.ReachBackend()
 		st.IO = s.db.IOStats()
 		es := s.db.EpochStats()
 		st.CurrentEpoch = es.Current

@@ -1,7 +1,8 @@
 // Package twohop computes 2-hop reachability covers and labelings for
 // directed graphs (Cohen et al., SODA'02; the paper's reference [17]),
 // playing the role of the fast 2-hop computation of the authors' EDBT'06
-// algorithm (reference [15]).
+// algorithm (reference [15]). It is the default reach.Index backend
+// ("twohop"), registered with the reach registry at init.
 //
 // A 2-hop cover H = {S(U_w, w, V_w), ...} assigns every node v a label
 // L(v) = (L_in(v), L_out(v)) such that u ⇝ v iff L_out(u) ∩ L_in(v) ≠ ∅,
@@ -13,8 +14,11 @@
 // centers in a configurable rank order; a forward (backward) pruned BFS from
 // center w adds w to L_in (L_out) of every component whose reachability
 // from (to) w is not already answerable from previously assigned labels.
-// Every valid 2-hop cover supports the same R-join semantics; this
-// construction keeps |H|/|V| in the small-constant band the paper reports.
+// The labeling core itself (serial reference construction and the
+// batch-parallel construction with serial reconciliation) lives in
+// reach.PrunedLabeling, shared with the pll backend. Every valid 2-hop
+// cover supports the same R-join semantics; this construction keeps
+// |H|/|V| in the small-constant band the paper reports.
 //
 // Following Example 3.1 of the paper, the labels returned by In and Out are
 // "compact": the node itself is removed. Full graph codes are
@@ -30,7 +34,11 @@ import (
 	"sync"
 
 	"fastmatch/internal/graph"
+	"fastmatch/internal/reach"
 )
+
+// BackendName is the name this package registers with the reach registry.
+const BackendName = "twohop"
 
 // CenterOrder selects the landmark processing order, which determines cover
 // size (not correctness).
@@ -93,6 +101,7 @@ func buildWorkers(p int) int {
 
 // Cover is a computed 2-hop reachability labeling for a graph.
 // It is immutable after Compute and safe for concurrent readers.
+// It implements reach.Index.
 type Cover struct {
 	g   *graph.Graph
 	scc *graph.SCC
@@ -135,12 +144,7 @@ func Compute(g *graph.Graph, opt Options) *Cover {
 	}
 
 	workers := buildWorkers(opt.Parallelism)
-	var compIn, compOut [][]int32
-	if workers <= 1 {
-		compIn, compOut = labelSerial(scc, order, rank)
-	} else {
-		compIn, compOut = labelBatched(scc, order, rank, workers)
-	}
+	compIn, compOut := reach.PrunedLabeling(nc, scc.CondSuccessors, scc.CondPredecessors, order, rank, workers)
 
 	cov := &Cover{
 		g:      g,
@@ -195,89 +199,6 @@ func Compute(g *graph.Graph, opt Options) *Cover {
 	return cov
 }
 
-// labelSerial is the reference pruned-landmark construction: one forward and
-// one backward pruned BFS per center, strictly in rank order. Its output is
-// the historical serial cover, byte for byte.
-func labelSerial(scc *graph.SCC, order []int32, rank []int32) (compIn, compOut [][]int32) {
-	nc := scc.NumComponents()
-
-	// Per-component label lists holding component IDs in increasing rank
-	// order (append order).
-	compIn = make([][]int32, nc)
-	compOut = make([][]int32, nc)
-
-	// covered reports whether src ⇝ dst is answerable from the labels
-	// assigned so far, by merge-intersecting rank-ordered lists.
-	covered := func(outList, inList []int32) bool {
-		i, j := 0, 0
-		for i < len(outList) && j < len(inList) {
-			ri, rj := rank[outList[i]], rank[inList[j]]
-			switch {
-			case ri == rj:
-				return true
-			case ri < rj:
-				i++
-			default:
-				j++
-			}
-		}
-		return false
-	}
-
-	// Epoch-stamped visited marks shared across BFS runs.
-	visited := make([]int32, nc)
-	for i := range visited {
-		visited[i] = -1
-	}
-	var epoch int32
-	queue := make([]int32, 0, 256)
-
-	for _, c := range order {
-		// Forward pruned BFS: add c to compIn of every component reachable
-		// from c whose pair (c, d) is not already covered.
-		epoch++
-		queue = append(queue[:0], c)
-		visited[c] = epoch
-		for len(queue) > 0 {
-			d := queue[0]
-			queue = queue[1:]
-			if d != c && covered(compOut[c], compIn[d]) {
-				continue // pruned: do not label, do not expand
-			}
-			compIn[d] = append(compIn[d], c)
-			for _, e := range scc.CondSuccessors(d) {
-				if visited[e] != epoch {
-					visited[e] = epoch
-					queue = append(queue, e)
-				}
-			}
-		}
-
-		// Backward pruned BFS: add c to compOut of every component that
-		// reaches c. Note compIn[c] now contains c, so covered(u, c) via c
-		// itself is impossible until c lands in compOut[u] — exactly what
-		// this pass assigns.
-		epoch++
-		queue = append(queue[:0], c)
-		visited[c] = epoch
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			if u != c && covered(compOut[u], compIn[c]) {
-				continue
-			}
-			compOut[u] = append(compOut[u], c)
-			for _, p := range scc.CondPredecessors(u) {
-				if visited[p] != epoch {
-					visited[p] = epoch
-					queue = append(queue, p)
-				}
-			}
-		}
-	}
-	return compIn, compOut
-}
-
 // nodeList converts a component-ID label list to a sorted compact NodeID
 // list excluding self.
 func nodeList(comps []int32, rep []graph.NodeID, self graph.NodeID) []graph.NodeID {
@@ -326,6 +247,9 @@ func centerOrder(scc *graph.SCC, opt Options) []int32 {
 		return order
 	}
 }
+
+// Backend returns the registered backend name, "twohop".
+func (c *Cover) Backend() string { return BackendName }
 
 // Graph returns the graph this cover labels.
 func (c *Cover) Graph() *graph.Graph { return c.g }
@@ -392,20 +316,13 @@ func containsSorted(a []graph.NodeID, x graph.NodeID) bool {
 	return lo < len(a) && a[lo] == x
 }
 
-// Stats summarises a cover.
-type Stats struct {
-	Nodes      int
-	Edges      int
-	Components int
-	Size       int     // |H|
-	Ratio      float64 // |H| / |V|
-	MaxIn      int
-	MaxOut     int
-}
+// Stats is the shared per-backend index summary.
+type Stats = reach.Stats
 
 // Stats computes summary statistics.
 func (c *Cover) Stats() Stats {
 	s := Stats{
+		Backend:    BackendName,
 		Nodes:      c.g.NumNodes(),
 		Edges:      c.g.NumEdges(),
 		Components: c.scc.NumComponents(),
@@ -425,24 +342,44 @@ func (c *Cover) Stats() Stats {
 	return s
 }
 
-func (s Stats) String() string {
-	return fmt.Sprintf("2hop{|V|=%d |E|=%d scc=%d |H|=%d |H|/|V|=%.3f maxIn=%d maxOut=%d}",
-		s.Nodes, s.Edges, s.Components, s.Size, s.Ratio, s.MaxIn, s.MaxOut)
-}
-
 // Verify exhaustively checks that the cover agrees with BFS reachability on
 // every node pair of its graph, returning the first disagreement. It is
 // O(|V|²·|V+E|) — a debugging and acceptance tool for small graphs, also
 // usable on an Incremental labeling via its own Reaches.
-func (c *Cover) Verify() error {
-	g := c.g
-	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
-		reach := graph.ReachableFrom(g, u)
-		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-			if got, want := c.Reaches(u, v), reach[v]; got != want {
-				return fmt.Errorf("twohop: cover disagrees with BFS on (%d, %d): labeling says %v", u, v, got)
-			}
-		}
-	}
-	return nil
+func (c *Cover) Verify() error { return reach.VerifyIndex(c) }
+
+// Incremental, LabelDelta and the incremental-repair machinery are shared
+// across backends; see fastmatch/internal/reach. The aliases keep the
+// historical twohop names working.
+type (
+	Incremental = reach.Incremental
+	LabelDelta  = reach.LabelDelta
+)
+
+// NewIncremental seeds an updatable labeling from a computed cover and its
+// graph's adjacency.
+func NewIncremental(c *Cover) *Incremental { return reach.NewIncremental(c) }
+
+// NewIncrementalFromLabels seeds an updatable labeling from g's adjacency
+// and already-materialised compact label lists; see
+// reach.NewIncrementalFromLabels.
+func NewIncrementalFromLabels(g *graph.Graph, in, out [][]graph.NodeID) *Incremental {
+	return reach.NewIncrementalFromLabels(g, in, out)
+}
+
+// backend adapts this package to the reach.Backend interface.
+type backend struct{}
+
+func init() { reach.Register(backend{}) }
+
+func (backend) Name() string { return BackendName }
+
+func (backend) Build(g *graph.Graph, opt reach.Options) reach.Index {
+	return Compute(g, Options{Seed: opt.Seed, Parallelism: opt.Parallelism})
+}
+
+func (backend) Dynamic(idx reach.Index) reach.Dynamic { return reach.NewIncremental(idx) }
+
+func (backend) DynamicFromLabels(g *graph.Graph, in, out [][]graph.NodeID) reach.Dynamic {
+	return reach.NewIncrementalFromLabels(g, in, out)
 }

@@ -1,13 +1,18 @@
 package fastmatch
 
 import (
+	"fmt"
 	"sync"
 
-	"fastmatch/internal/twohop"
+	"fastmatch/internal/reach"
+
+	// Register the built-in backends for NewReachabilityOracleBackend.
+	_ "fastmatch/internal/pll"
+	_ "fastmatch/internal/twohop"
 )
 
 // ReachabilityOracle answers u ⇝ v questions over a graph that changes by
-// edge insertions and deletions, maintaining a 2-hop labeling
+// edge insertions and deletions, maintaining a reachability labeling
 // incrementally (the update problem of the paper's reference [24]; deletes
 // use over-delete/re-insert repair). Unlike Engine — which is built over a
 // snapshot and repairs its persistent index through
@@ -16,17 +21,37 @@ import (
 //
 // Methods are safe for concurrent use.
 type ReachabilityOracle struct {
-	mu  sync.Mutex
-	inc *twohop.Incremental
+	mu      sync.Mutex
+	backend string
+	inc     *reach.Incremental
 }
 
-// NewReachabilityOracle builds the initial labeling for g. Later edge
-// insertions and deletions go through InsertEdge/DeleteEdge and do not
-// affect g itself.
+// NewReachabilityOracle builds the initial labeling for g with the default
+// reachability backend. Later edge insertions and deletions go through
+// InsertEdge/DeleteEdge and do not affect g itself.
 func NewReachabilityOracle(g *Graph) *ReachabilityOracle {
-	cover := twohop.Compute(g, twohop.Options{})
-	return &ReachabilityOracle{inc: twohop.NewIncremental(cover)}
+	o, err := NewReachabilityOracleBackend(g, "")
+	if err != nil {
+		panic(err) // unreachable: the default backend is always registered
+	}
+	return o
 }
+
+// NewReachabilityOracleBackend is NewReachabilityOracle with an explicit
+// reachability backend ("twohop", "pll", ...; empty selects the default —
+// see ReachBackends). It errors only on an unknown backend name.
+func NewReachabilityOracleBackend(g *Graph, backend string) (*ReachabilityOracle, error) {
+	b, err := reach.Lookup(backend)
+	if err != nil {
+		return nil, fmt.Errorf("fastmatch: reachability oracle: %w", err)
+	}
+	idx := b.Build(g, reach.Options{})
+	return &ReachabilityOracle{backend: b.Name(), inc: reach.NewIncremental(idx)}, nil
+}
+
+// Backend reports the name of the reachability backend the oracle's
+// labeling was built by.
+func (o *ReachabilityOracle) Backend() string { return o.backend }
 
 // Reaches reports u ⇝ v under all insertions and deletions so far.
 func (o *ReachabilityOracle) Reaches(u, v NodeID) bool {
@@ -53,7 +78,7 @@ func (o *ReachabilityOracle) DeleteEdge(u, v NodeID) []CoverDelta {
 	return o.inc.DeleteEdge(u, v)
 }
 
-// LabelEntries returns the current 2-hop labeling size |H|.
+// LabelEntries returns the current labeling size |H|.
 func (o *ReachabilityOracle) LabelEntries() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()

@@ -1,0 +1,188 @@
+package fastmatch_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fastmatch/internal/exec"
+	"fastmatch/internal/gdb"
+	"fastmatch/internal/graph"
+	"fastmatch/internal/pattern"
+	"fastmatch/internal/reach"
+	"fastmatch/internal/xmark"
+)
+
+// Cross-backend equivalence: every registered reachability backend is a
+// different algorithm producing a different labeling over the same graph,
+// but all of them must answer the same questions — all-pairs Reaches, and
+// identical result rows from an engine built on their codes. A divergence
+// here is a backend correctness bug by construction (one of them
+// contradicts BFS).
+
+// crossGraphs is the graph battery: random digraphs in several density
+// regimes (cycle-heavy, sparse, disconnected) plus an XMark-derived graph.
+func crossGraphs() map[string]*graph.Graph {
+	random := func(seed int64, n, m, nlabels int) *graph.Graph {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder()
+		labels := make([]graph.Label, nlabels)
+		for i := range labels {
+			labels[i] = b.Intern(string(rune('A' + i)))
+		}
+		for i := 0; i < n; i++ {
+			b.AddNodeLabel(labels[rng.Intn(nlabels)])
+		}
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		return b.Build()
+	}
+	return map[string]*graph.Graph{
+		"dense-cyclic": random(21, 200, 800, 3),
+		"sparse":       random(22, 300, 330, 4),
+		"disconnected": random(23, 250, 120, 2),
+		"xmark":        xmark.Generate(xmark.Config{Nodes: 600, Seed: 5}).Graph,
+	}
+}
+
+// TestReachCrossBackendAgreement builds every registered backend over each
+// battery graph and asserts all-pairs Reaches agreement (anchored to BFS
+// truth via the first backend's Verify).
+func TestReachCrossBackendAgreement(t *testing.T) {
+	names := reach.Names()
+	if len(names) < 2 {
+		t.Fatalf("expected at least two registered backends, have %v", names)
+	}
+	for gname, g := range crossGraphs() {
+		t.Run(gname, func(t *testing.T) {
+			idxs := make([]reach.Index, len(names))
+			for i, name := range names {
+				b, err := reach.Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idxs[i] = b.Build(g, reach.Options{})
+			}
+			// Anchor: the first backend against BFS truth; the rest against
+			// the first (transitively all against truth, without paying the
+			// O(|V|²·BFS) verify per backend).
+			if err := idxs[0].Verify(); err != nil {
+				t.Fatalf("%s: %v", names[0], err)
+			}
+			n := g.NumNodes()
+			for u := graph.NodeID(0); int(u) < n; u++ {
+				for v := graph.NodeID(0); int(v) < n; v++ {
+					want := idxs[0].Reaches(u, v)
+					for i := 1; i < len(idxs); i++ {
+						if got := idxs[i].Reaches(u, v); got != want {
+							t.Fatalf("Reaches(%d,%d): %s says %v, %s says %v",
+								u, v, names[i], got, names[0], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReachCrossBackendQueries builds one engine per backend over the same
+// XMark graph and asserts identical sorted result rows on the pattern
+// battery, DP and DPS at worker degrees 1 and 4.
+func TestReachCrossBackendQueries(t *testing.T) {
+	g := xmark.Generate(xmark.Config{Nodes: 1200, Seed: 9}).Graph
+	names := reach.Names()
+	dbs := make([]*gdb.DB, len(names))
+	for i, name := range names {
+		db, err := gdb.Build(g, gdb.Options{ReachIndex: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer db.Close()
+		if db.ReachBackend() != name {
+			t.Fatalf("built %q, engine reports %q", name, db.ReachBackend())
+		}
+		dbs[i] = db
+	}
+	for _, w := range diffWorkloads() {
+		for _, algo := range []exec.Algorithm{exec.DP, exec.DPS} {
+			for _, workers := range []int{1, 4} {
+				want := sortedRows(t, dbs[0], w.Pattern, algo, workers)
+				for i := 1; i < len(dbs); i++ {
+					got := sortedRows(t, dbs[i], w.Pattern, algo, workers)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s %s workers=%d: %s returned %d rows, %s returned %d",
+							w.Name, algo, workers, names[i], len(got), names[0], len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzReachCrossBackend lets the fuzzer shape the graph: whatever digraph
+// the bytes encode, every registered backend must agree with BFS truth on
+// all pairs, and an engine built from each backend's codes must return the
+// same rows for a fixed two-edge pattern.
+func FuzzReachCrossBackend(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x02, 0x02, 0x03, 0x03, 0x01})
+	f.Add(int64(5), []byte{0x00, 0x01, 0x10, 0x11, 0x22, 0x08})
+	f.Add(int64(9), []byte{0xff, 0xfe, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		const n = 48
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder()
+		labels := []graph.Label{b.Intern("A"), b.Intern("B"), b.Intern("C")}
+		for i := 0; i < n; i++ {
+			b.AddNodeLabel(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			b.AddEdge(graph.NodeID(int(data[i])%n), graph.NodeID(int(data[i+1])%n))
+		}
+		g := b.Build()
+
+		names := reach.Names()
+		idxs := make([]reach.Index, len(names))
+		for i, name := range names {
+			bk, err := reach.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idxs[i] = bk.Build(g, reach.Options{})
+			if err := idxs[i].Verify(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			for v := graph.NodeID(0); int(v) < n; v++ {
+				want := idxs[0].Reaches(u, v)
+				for i := 1; i < len(idxs); i++ {
+					if got := idxs[i].Reaches(u, v); got != want {
+						t.Fatalf("Reaches(%d,%d): %s says %v, %s says %v",
+							u, v, names[i], got, names[0], want)
+					}
+				}
+			}
+		}
+
+		p := pattern.MustParse("A->B; B->C")
+		var want [][]graph.NodeID
+		for i, name := range names {
+			db, err := gdb.Build(g, gdb.Options{ReachIndex: name})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			rows := sortedRows(t, db, p, exec.DPS, 1)
+			db.Close()
+			if i == 0 {
+				want = rows
+			} else if !reflect.DeepEqual(rows, want) {
+				t.Fatalf("query rows: %s returned %d, %s returned %d",
+					name, len(rows), names[0], len(want))
+			}
+		}
+	})
+}
