@@ -1,0 +1,38 @@
+package gdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fastmatch/internal/graph"
+)
+
+func TestZZReviewRepackKeepsBackend(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddEdge(a, b)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.db")
+	db, err := Build(g, Options{Path: src, ReachIndex: "pll"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(src); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	dst := filepath.Join(dir, "dst.db")
+	if err := Repack(src, dst, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.ReachBackend(); got != "pll" {
+		t.Fatalf("repacked db backend = %q, want %q (source was pll)", got, "pll")
+	}
+}
